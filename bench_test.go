@@ -1,0 +1,92 @@
+package lamps
+
+import (
+	"testing"
+
+	"lamps/internal/experiments"
+)
+
+// Each benchmark regenerates one figure or table of the paper's evaluation
+// (Section 5) end to end: workload generation, scheduling search, energy
+// accounting and table rendering. The reduced QuickConfig workload is used
+// so a full -bench=. run stays fast; cmd/experiments runs the
+// publication-sized configuration.
+
+func benchExperiment(b *testing.B, name string, cfg experiments.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(name, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables produced")
+		}
+	}
+}
+
+// BenchmarkFig2PowerCurve regenerates the power and energy-per-cycle curves
+// (Fig. 2a/2b).
+func BenchmarkFig2PowerCurve(b *testing.B) {
+	benchExperiment(b, "fig2", experiments.QuickConfig())
+}
+
+// BenchmarkFig3Breakeven regenerates the shutdown break-even curve (Fig. 3).
+func BenchmarkFig3Breakeven(b *testing.B) {
+	benchExperiment(b, "fig3", experiments.QuickConfig())
+}
+
+// BenchmarkFig6ProcessorSweep regenerates the energy-versus-processors sweep
+// over fpppp/robot/sparse (Fig. 6).
+func BenchmarkFig6ProcessorSweep(b *testing.B) {
+	benchExperiment(b, "fig6", experiments.QuickConfig())
+}
+
+// BenchmarkFig10Coarse regenerates the coarse-grain relative energy charts
+// (Fig. 10a-d).
+func BenchmarkFig10Coarse(b *testing.B) {
+	benchExperiment(b, "fig10", experiments.QuickConfig())
+}
+
+// BenchmarkFig11Fine regenerates the fine-grain relative energy charts
+// (Fig. 11a-d).
+func BenchmarkFig11Fine(b *testing.B) {
+	benchExperiment(b, "fig11", experiments.QuickConfig())
+}
+
+// BenchmarkFig12Scatter regenerates the coarse-grain parallelism scatter
+// (Fig. 12).
+func BenchmarkFig12Scatter(b *testing.B) {
+	benchExperiment(b, "fig12", experiments.QuickConfig())
+}
+
+// BenchmarkFig13Scatter regenerates the fine-grain parallelism scatter
+// (Fig. 13).
+func BenchmarkFig13Scatter(b *testing.B) {
+	benchExperiment(b, "fig13", experiments.QuickConfig())
+}
+
+// BenchmarkTable2Stats regenerates the benchmark characteristics (Table 2).
+func BenchmarkTable2Stats(b *testing.B) {
+	benchExperiment(b, "table2", experiments.QuickConfig())
+}
+
+// BenchmarkTable3MPEG regenerates the MPEG-1 comparison (Table 3).
+func BenchmarkTable3MPEG(b *testing.B) {
+	benchExperiment(b, "table3", experiments.QuickConfig())
+}
+
+// BenchmarkLAMPSPSMPEG measures one LAMPS+PS search on the MPEG-1 graph,
+// the paper's headline workload, without harness overhead.
+func BenchmarkLAMPSPSMPEG(b *testing.B) {
+	g, deadline := MPEG1Fig9()
+	cfg := Config{Deadline: deadline}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LAMPSPS(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command experiments regenerates the figures and tables of the paper's
+// evaluation (de Langen & Juurlink, Section 5).
+//
+//	experiments                 # run everything, text tables to stdout
+//	experiments -run fig10      # one experiment
+//	experiments -csv -out dir/  # one CSV file per experiment
+//	experiments -count 20       # more random graphs per group
+//
+// Absolute energies depend on the synthetic workload substitution (see
+// DESIGN.md); the relative comparisons reproduce the paper's shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"lamps/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runName = fs.String("run", "all", "experiment to run: all or one of "+strings.Join(experiments.Names(), ", "))
+		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
+		outDir  = fs.String("out", "", "write one file per experiment into this directory instead of stdout")
+		count   = fs.Int("count", 0, "random graphs per size group (default 5; the STG set has 180)")
+		scatter = fs.Int("scatter", 0, "graphs per size in the scatter plots (default 6)")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		sizes   = fs.String("sizes", "", "comma-separated group sizes (default 50,100,500,1000,2000,2500,5000)")
+		quick   = fs.Bool("quick", false, "use the reduced smoke-test configuration")
+		verify  = fs.Bool("verify", false, "run the reproduction scorecard (checks the paper's claims) and exit")
+		svgDir  = fs.String("svg", "", "additionally render each figure as SVG into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+	if *count > 0 {
+		cfg.GroupCount = *count
+	}
+	if *scatter > 0 {
+		cfg.ScatterCount = *scatter
+	}
+	if *sizes != "" {
+		cfg.GroupSizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -sizes entry %q", s)
+			}
+			cfg.GroupSizes = append(cfg.GroupSizes, n)
+		}
+	}
+
+	if *verify {
+		_, failed, err := experiments.VerifyClaims(os.Stdout, cfg)
+		if err != nil {
+			return err
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d claim(s) failed", failed)
+		}
+		return nil
+	}
+
+	names := experiments.Names()
+	if *runName != "all" {
+		names = []string{*runName}
+	}
+	for _, name := range names {
+		tables, err := experiments.Run(name, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		var w *os.File = os.Stdout
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			ext := ".txt"
+			if *csv {
+				ext = ".csv"
+			}
+			f, err := os.Create(filepath.Join(*outDir, name+ext))
+			if err != nil {
+				return err
+			}
+			w = f
+		}
+		for _, t := range tables {
+			var err error
+			if *csv {
+				err = t.WriteCSV(w)
+			} else {
+				err = t.WriteText(w)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if *svgDir != "" {
+			figs, err := experiments.RenderSVG(name, tables)
+			if err != nil {
+				return err
+			}
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				return err
+			}
+			for _, fig := range figs {
+				if err := os.WriteFile(filepath.Join(*svgDir, fig.ID+".svg"), fig.SVG, 0o644); err != nil {
+					return err
+				}
+			}
+		}
+		if w != os.Stdout {
+			if err := w.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleToDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "fig2", "-out", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2.txt"))
+	if err != nil {
+		t.Fatalf("output not written: %v", err)
+	}
+	if !strings.Contains(string(data), "fig2a") || !strings.Contains(string(data), "fcrit") {
+		t.Errorf("unexpected content:\n%s", data)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "fig3", "-csv", "-out", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.Contains(string(data), "breakeven[cycles]") {
+		t.Errorf("unexpected csv:\n%s", data)
+	}
+}
+
+func TestRunQuickCustomSizes(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-run", "table2", "-quick", "-sizes", "40,60", "-count", "2", "-out", dir})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "40") || !strings.Contains(s, "60") {
+		t.Errorf("custom sizes not used:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-run", "nope"},
+		{"-sizes", "abc"},
+		{"-sizes", "-5"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	svgDir := filepath.Join(dir, "figs")
+	if err := run([]string{"-run", "fig3", "-quick", "-out", dir, "-svg", svgDir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(svgDir, "fig3.svg"))
+	if err != nil {
+		t.Fatalf("svg not written: %v", err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Errorf("svg content wrong")
+	}
+}

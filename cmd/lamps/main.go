@@ -1,0 +1,224 @@
+// Command lamps schedules one task graph with the leakage-aware heuristics
+// and reports the energy of every approach.
+//
+// Input graphs come from an STG file, the built-in MPEG-1 benchmark, one of
+// the synthetic application graphs, or a seeded random generator:
+//
+//	lamps -stg graph.stg -grain coarse -factor 2
+//	lamps -mpeg
+//	lamps -app fpppp -factor 8
+//	lamps -random 100 -seed 7 -factor 1.5 -schedule
+//
+// The deadline is -factor times the graph's critical path length at maximum
+// frequency, or -deadline seconds when given explicitly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"lamps/internal/core"
+	"lamps/internal/dag"
+	"lamps/internal/mpeg"
+	"lamps/internal/power"
+	"lamps/internal/sim"
+	"lamps/internal/stg"
+	"lamps/internal/taskgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lamps:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lamps", flag.ContinueOnError)
+	var (
+		stgPath   = fs.String("stg", "", "read the task graph from an STG file")
+		useMPEG   = fs.Bool("mpeg", false, "use the built-in MPEG-1 GOP benchmark (deadline 0.5s)")
+		app       = fs.String("app", "", "use a synthetic application graph: fpppp, robot or sparse")
+		random    = fs.Int("random", 0, "generate a random graph with this many tasks")
+		seed      = fs.Int64("seed", 1, "seed for -random")
+		grain     = fs.String("grain", "coarse", "weight scaling for -stg/-app/-random: coarse (1ms) or fine (10us)")
+		factor    = fs.Float64("factor", 2, "deadline as a multiple of the critical path length")
+		deadline  = fs.Float64("deadline", 0, "explicit deadline in seconds (overrides -factor)")
+		approach  = fs.String("approach", "", "run a single approach instead of all (e.g. LAMPS+PS)")
+		schedule  = fs.Bool("schedule", false, "print the winning schedule")
+		dot       = fs.Bool("dot", false, "print the task graph in DOT format and exit")
+		trace     = fs.String("trace", "", "write the winning schedule's simulated execution as Chrome trace JSON to this file")
+		jsonOut   = fs.String("json", "", "write the winning schedule (with graph) as JSON to this file")
+		ext       = fs.Bool("extensions", false, "also compare the multiple-frequency extensions (voltage islands, per-task DVS)")
+		model     = fs.String("model", "", "load the power model from a JSON file (see -dump-model)")
+		dumpModel = fs.Bool("dump-model", false, "print the default 70nm power model as JSON and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := power.Default70nm()
+	if *dumpModel {
+		return m.WriteJSON(out)
+	}
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		m, err = power.LoadJSON(f)
+		if err != nil {
+			return err
+		}
+	}
+	g, dl, err := loadGraph(*stgPath, *useMPEG, *app, *random, *seed, *grain)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		return g.WriteDOT(out)
+	}
+	cfg := core.Config{Model: m, Deadline: dl}
+	if cfg.Deadline == 0 {
+		cfg = core.DeadlineFactor(g, m, *factor)
+	}
+	if *deadline > 0 {
+		cfg.Deadline = *deadline
+	}
+
+	fmt.Fprintf(out, "graph %q: %d tasks, %d edges, CPL %d cycles (%.4gs at fmax), work %d cycles, parallelism %.2f\n",
+		g.Name(), g.NumTasks(), g.NumEdges(), g.CriticalPathLength(),
+		float64(g.CriticalPathLength())/m.FMax(), g.TotalWork(), g.Parallelism())
+	fmt.Fprintf(out, "deadline: %.6gs (%.2fx CPL)\n\n",
+		cfg.Deadline, cfg.Deadline*m.FMax()/float64(g.CriticalPathLength()))
+
+	approaches := core.Approaches
+	if *approach != "" {
+		approaches = []string{*approach}
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "approach\tenergy[J]\t#procs\tVdd\tf/fmax\tmakespan[s]\tshutdowns\tsavings vs S&S")
+	var base float64
+	var best *core.Result
+	for _, a := range approaches {
+		r, err := core.Run(a, g, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a, err)
+		}
+		if a == core.ApproachSS {
+			base = r.TotalEnergy()
+		}
+		savings := "-"
+		if base > 0 && a != core.ApproachSS {
+			savings = fmt.Sprintf("%.1f%%", 100*(1-r.TotalEnergy()/base))
+		}
+		procs := "-"
+		makespan := "-"
+		if r.Schedule != nil {
+			procs = fmt.Sprint(r.NumProcs)
+			makespan = fmt.Sprintf("%.4g", r.MakespanSec())
+			if best == nil || r.TotalEnergy() < best.TotalEnergy() {
+				best = r
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.6g\t%s\t%.2f\t%.2f\t%s\t%d\t%s\n",
+			a, r.TotalEnergy(), procs, r.Level.Vdd, r.Level.Norm, makespan,
+			r.Energy.Shutdowns, savings)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if *schedule && best != nil {
+		fmt.Fprintf(out, "\nbest schedulable approach: %s\n%s", best.Approach, best.Schedule)
+	}
+	if *ext {
+		isl, err := core.VoltageIslands(g, cfg, true)
+		if err != nil {
+			return err
+		}
+		pt, err := core.SlackReclaimDVS(g, cfg, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nmultiple-frequency extensions (beyond the paper):\n")
+		fmt.Fprintf(out, "  %-16s %.6g J on %d proc(s)\n", core.ApproachIslands, isl.TotalEnergy(), isl.NumProcs)
+		fmt.Fprintf(out, "  %-16s %.6g J on %d proc(s)\n", core.ApproachPerTask, pt.TotalEnergy(), pt.NumProcs)
+	}
+	if *jsonOut != "" && best != nil {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := best.Schedule.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s schedule to %s\n", best.Approach, *jsonOut)
+	}
+	if *trace != "" && best != nil {
+		tr, err := sim.Run(best.Schedule, m, sim.Options{
+			Level:       best.Level,
+			PS:          best.Approach == core.ApproachSSPS || best.Approach == core.ApproachLAMPSPS,
+			DeadlineSec: cfg.Deadline,
+		})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteChromeTrace(f, best.Approach+" on "+g.Name()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote execution trace of %s to %s (open in chrome://tracing)\n",
+			best.Approach, *trace)
+	}
+	return nil
+}
+
+func loadGraph(stgPath string, useMPEG bool, app string, random int, seed int64, grain string) (*dag.Graph, float64, error) {
+	gr := taskgen.Coarse
+	switch grain {
+	case "coarse":
+	case "fine":
+		gr = taskgen.Fine
+	default:
+		return nil, 0, fmt.Errorf("unknown grain %q (want coarse or fine)", grain)
+	}
+	switch {
+	case useMPEG:
+		return mpeg.Fig9(), mpeg.RealTimeDeadline, nil
+	case stgPath != "":
+		f, err := os.Open(stgPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		g, err := stg.Parse(f, strings.TrimSuffix(stgPath, ".stg"))
+		if err != nil {
+			return nil, 0, err
+		}
+		return gr.Scale(g), 0, nil
+	case app != "":
+		for _, g := range taskgen.Applications() {
+			if g.Name() == app {
+				return gr.Scale(g), 0, nil
+			}
+		}
+		return nil, 0, fmt.Errorf("unknown application %q (want fpppp, robot or sparse)", app)
+	case random > 0:
+		g, err := taskgen.Member(random, int(seed%4), seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		return gr.Scale(g), 0, nil
+	}
+	return nil, 0, fmt.Errorf("no input: use -stg, -mpeg, -app or -random (see -h)")
+}

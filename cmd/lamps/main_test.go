@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunMPEG(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mpeg"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"S&S", "LAMPS+PS", "LIMIT-MF", "deadline: 0.5s", "savings vs S&S"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunApp(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "robot", "-factor", "4", "-grain", "fine", "-schedule"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `graph "robot"`) {
+		t.Errorf("missing graph header:\n%s", s)
+	}
+	if !strings.Contains(s, "best schedulable approach") {
+		t.Errorf("missing schedule output")
+	}
+}
+
+func TestRunRandomSingleApproach(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-random", "30", "-seed", "5", "-approach", "LAMPS"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if strings.Contains(s, "LIMIT-MF") {
+		t.Errorf("single-approach run printed other approaches")
+	}
+	if !strings.Contains(s, "LAMPS") {
+		t.Errorf("missing LAMPS row")
+	}
+}
+
+func TestRunSTGFileAndDot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.stg")
+	content := "2\n 0 0 0\n 1 10 1 0\n 2 20 1 1\n 3 0 1 2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-stg", path, "-factor", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "2 tasks") {
+		t.Errorf("unexpected header:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-stg", path, "-dot"}, &out); err != nil {
+		t.Fatalf("run -dot: %v", err)
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Errorf("missing DOT output")
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-mpeg", "-trace", tracePath}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !strings.Contains(string(data), "traceEvents") {
+		t.Errorf("trace content wrong")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                           // no input
+		{"-app", "nonexistent"},      // unknown app
+		{"-grain", "weird", "-mpeg"}, // bad grain
+		{"-stg", "/does/not/exist"},  // missing file
+		{"-mpeg", "-approach", "bogus"},
+		{"-mpeg", "-deadline", "0.01"}, // infeasible
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestDumpAndLoadModel(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dump-model"}, &out); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	if !strings.Contains(out.String(), `"vdd_step"`) {
+		t.Fatalf("dump content wrong:\n%s", out.String())
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	if err := run([]string{"-mpeg", "-model", path}, &out2); err != nil {
+		t.Fatalf("run with model: %v", err)
+	}
+	if !strings.Contains(out2.String(), "LAMPS+PS") {
+		t.Errorf("model run output wrong")
+	}
+	// Missing and malformed model files.
+	if err := run([]string{"-mpeg", "-model", "/does/not/exist"}, &out2); err == nil {
+		t.Error("missing model accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-mpeg", "-model", bad}, &out2); err == nil {
+		t.Error("malformed model accepted")
+	}
+}
+
+func TestRunJSONExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sched.json")
+	var out bytes.Buffer
+	if err := run([]string{"-mpeg", "-json", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("json not written: %v", err)
+	}
+	if !strings.Contains(string(data), `"makespan_cycles"`) {
+		t.Errorf("json content wrong")
+	}
+}
+
+func TestRunExtensions(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mpeg", "-extensions"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"VoltageIslands", "PerTask-DVS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command stggen generates random task graphs and writes them in Standard
+// Task Graph Set format, so that external tools (or this library's CLI)
+// can consume them.
+//
+//	stggen -nodes 500 -method layered -seed 3 > graph.stg
+//	stggen -profile fpppp > fpppp.stg
+//	stggen -nodes 200 -method sp -out graphs/ -count 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"lamps/internal/dag"
+	"lamps/internal/stg"
+	"lamps/internal/taskgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stggen", flag.ContinueOnError)
+	var (
+		nodes   = fs.Int("nodes", 100, "number of tasks")
+		method  = fs.String("method", "layered", "generator: layered, gnp, sp or mix")
+		profile = fs.String("profile", "", "generate a synthetic application graph: fpppp, robot or sparse")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		count   = fs.Int("count", 1, "number of graphs to generate")
+		outDir  = fs.String("out", "", "write <name>.stg files into this directory instead of stdout")
+		prob    = fs.Float64("p", 0.5, "edge probability (layered and gnp)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *count < 1 {
+		return fmt.Errorf("count must be positive")
+	}
+
+	for i := 0; i < *count; i++ {
+		s := *seed + int64(i)
+		g, err := generate(*profile, *method, *nodes, *prob, i, s)
+		if err != nil {
+			return err
+		}
+		var w io.Writer = os.Stdout
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*outDir, fmt.Sprintf("%s-%03d.stg", g.Name(), i)))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := stg.Write(w, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func generate(profile, method string, nodes int, p float64, i int, seed int64) (*dag.Graph, error) {
+	if profile != "" {
+		for _, pr := range taskgen.Table2Profiles {
+			if pr.Name == profile {
+				return pr.Generate(seed)
+			}
+		}
+		return nil, fmt.Errorf("unknown profile %q (want fpppp, robot or sparse)", profile)
+	}
+	switch method {
+	case "layered":
+		return taskgen.Layered{Nodes: nodes, EdgeProb: p}.Generate(seed)
+	case "gnp":
+		return taskgen.OrderedGnp{Nodes: nodes, EdgeProb: p}.Generate(seed)
+	case "sp":
+		return taskgen.SeriesParallel{Nodes: nodes}.Generate(seed)
+	case "mix":
+		return taskgen.Member(nodes, i, seed)
+	}
+	return nil, fmt.Errorf("unknown method %q (want layered, gnp, sp or mix)", method)
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lamps/internal/stg"
+)
+
+func TestGenerateMethods(t *testing.T) {
+	for _, method := range []string{"layered", "gnp", "sp", "mix"} {
+		g, err := generate("", method, 40, 0.3, 0, 7)
+		if err != nil {
+			t.Errorf("%s: %v", method, err)
+			continue
+		}
+		if g.NumTasks() != 40 {
+			t.Errorf("%s: %d tasks", method, g.NumTasks())
+		}
+	}
+	if _, err := generate("", "bogus", 10, 0.5, 0, 1); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, err := generate("bogus", "", 10, 0.5, 0, 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	g, err := generate("sparse", "", 0, 0, 0, 1)
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if g.NumTasks() != 96 {
+		t.Errorf("sparse profile has %d tasks", g.NumTasks())
+	}
+}
+
+func TestRunWritesParsableFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-nodes", "25", "-method", "sp", "-count", "3", "-out", dir, "-seed", "9"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("wrote %d files, want 3", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".stg") {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := stg.Parse(f, e.Name())
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: not parsable: %v", e.Name(), err)
+			continue
+		}
+		if g.NumTasks() != 25 {
+			t.Errorf("%s: %d tasks", e.Name(), g.NumTasks())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-count", "0"}); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if err := run([]string{"-nodes", "-1", "-out", t.TempDir()}); err == nil {
+		t.Error("negative nodes accepted")
+	}
+}

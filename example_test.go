@@ -1,0 +1,79 @@
+package lamps_test
+
+import (
+	"fmt"
+
+	"lamps"
+)
+
+// The paper's running example (Fig. 4a): five tasks, deadline 1.25x the
+// critical path. LAMPS trades one processor for a slightly higher frequency
+// and wins (Fig. 7a).
+func ExampleLAMPS() {
+	b := lamps.NewGraphBuilder("fig4a")
+	t1 := b.AddTask(2 * lamps.Millisecond)
+	t2 := b.AddTask(6 * lamps.Millisecond)
+	t3 := b.AddTask(4 * lamps.Millisecond)
+	t4 := b.AddTask(4 * lamps.Millisecond)
+	t5 := b.AddTask(2 * lamps.Millisecond)
+	b.AddEdge(t1, t2)
+	b.AddEdge(t1, t3)
+	b.AddEdge(t1, t4)
+	b.AddEdge(t2, t5)
+	b.AddEdge(t3, t5)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	cfg := lamps.DeadlineFactor(g, nil, 1.25)
+	ss, _ := lamps.ScheduleAndStretch(g, cfg)
+	la, _ := lamps.LAMPS(g, cfg)
+	fmt.Printf("S&S employs %d processors, LAMPS %d\n", ss.NumProcs, la.NumProcs)
+	fmt.Printf("LAMPS saves %.0f%%\n", 100*(1-la.TotalEnergy()/ss.TotalEnergy()))
+	// Output:
+	// S&S employs 3 processors, LAMPS 2
+	// LAMPS saves 19%
+}
+
+// Scheduling the paper's MPEG-1 benchmark (Table 3): LAMPS+PS lands within
+// a percent of the absolute lower bound.
+func ExampleLAMPSPS() {
+	g, deadline := lamps.MPEG1Fig9()
+	cfg := lamps.Config{Deadline: deadline}
+
+	best, _ := lamps.LAMPSPS(g, cfg)
+	limit, _ := lamps.LimitMF(g, cfg)
+	fmt.Printf("LAMPS+PS uses %d processors at Vdd=%.2fV\n", best.NumProcs, best.Level.Vdd)
+	fmt.Printf("within %.1f%% of LIMIT-MF\n", 100*(best.TotalEnergy()/limit.TotalEnergy()-1))
+	// Output:
+	// LAMPS+PS uses 6 processors at Vdd=0.70V
+	// within 0.5% of LIMIT-MF
+}
+
+// The discrete voltage ladder of the default 70 nm model: the critical
+// (energy-optimal) level sits at 0.70 V.
+func ExampleDefault70nm() {
+	m := lamps.Default70nm()
+	fmt.Printf("%d levels, fmax %.2f GHz\n", len(m.Levels()), m.FMax()/1e9)
+	fmt.Printf("critical: %v\n", m.CriticalLevel())
+	// Output:
+	// 13 levels, fmax 3.09 GHz
+	// critical: level 6 (Vdd=0.70V, f=1.27e+09Hz, 0.41·fmax)
+}
+
+// Plain list scheduling with earliest deadline first.
+func ExampleListEDF() {
+	b := lamps.NewGraphBuilder("chain+side")
+	a := b.AddTask(10)
+	c := b.AddTask(20)
+	d := b.AddTask(5)
+	b.AddEdge(a, c)
+	_ = d
+	g, _ := b.Build()
+
+	s, _ := lamps.ListEDF(g, 2)
+	fmt.Printf("makespan %d cycles on %d processors\n", s.Makespan, s.ProcsUsed())
+	// Output:
+	// makespan 30 cycles on 2 processors
+}

@@ -1,0 +1,56 @@
+// Real-time MPEG-1 encoding (the paper's Section 5.3): schedule a 15-frame
+// group of pictures under a 30 frames/second deadline and study how the
+// energy of each approach changes as the real-time requirement is varied
+// from 24 to 60 frames per second.
+//
+// Run with: go run ./examples/mpeg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lamps"
+)
+
+func main() {
+	g, deadline := lamps.MPEG1Fig9()
+	fmt.Printf("MPEG-1 GOP %q: %d frames, %d dependences\n", g.Name(), g.NumTasks(), g.NumEdges())
+	fmt.Printf("total work %.3g Gcycles, critical path %.3g Gcycles\n\n",
+		float64(g.TotalWork())/1e9, float64(g.CriticalPathLength())/1e9)
+
+	// The paper's Table 3: 30 fps (0.5 s per 15-frame GOP).
+	fmt.Printf("--- 30 fps (deadline %.2f s), the paper's Table 3 ---\n", deadline)
+	report(g, lamps.Config{Deadline: deadline})
+
+	// Sensitivity: tighter and looser real-time requirements.
+	for _, fps := range []float64{24, 40, 50, 60} {
+		d := 15.0 / fps
+		fmt.Printf("\n--- %.0f fps (deadline %.3f s) ---\n", fps, d)
+		report(g, lamps.Config{Deadline: d})
+	}
+}
+
+func report(g *lamps.Graph, cfg lamps.Config) {
+	var baseline float64
+	for _, approach := range lamps.Approaches() {
+		r, err := lamps.Run(approach, g, cfg)
+		if err != nil {
+			fmt.Printf("%-9s infeasible: %v\n", approach, err)
+			continue
+		}
+		if approach == lamps.ApproachSS {
+			baseline = r.TotalEnergy()
+		}
+		procs := "-"
+		if r.Schedule != nil {
+			procs = fmt.Sprint(r.NumProcs)
+		}
+		fmt.Printf("%-9s %.4g J on %s procs at %.2f V (%5.1f%% of S&S, %d shutdowns)\n",
+			approach, r.TotalEnergy(), procs, r.Level.Vdd,
+			100*r.TotalEnergy()/baseline, r.Energy.Shutdowns)
+	}
+	if baseline == 0 {
+		log.Println("S&S infeasible at this deadline")
+	}
+}

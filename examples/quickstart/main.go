@@ -1,0 +1,63 @@
+// Quickstart: build a small task graph, schedule it with every approach and
+// compare energies.
+//
+// The graph is the paper's running example (Fig. 4a): five tasks with a
+// fork-join structure. We use the coarse-grain scaling (one weight unit =
+// 1 ms at maximum frequency) and a deadline of 1.5x the critical path, the
+// tightest setting of the paper's evaluation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lamps"
+)
+
+func main() {
+	b := lamps.NewGraphBuilder("fig4a")
+	t1 := b.AddTask(2 * lamps.Millisecond)
+	t2 := b.AddTask(6 * lamps.Millisecond)
+	t3 := b.AddTask(4 * lamps.Millisecond)
+	t4 := b.AddTask(4 * lamps.Millisecond)
+	t5 := b.AddTask(2 * lamps.Millisecond)
+	b.AddEdge(t1, t2)
+	b.AddEdge(t1, t3)
+	b.AddEdge(t1, t4)
+	b.AddEdge(t2, t5)
+	b.AddEdge(t3, t5)
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("task graph %q: %d tasks, critical path %d cycles, parallelism %.1f\n\n",
+		g.Name(), g.NumTasks(), g.CriticalPathLength(), g.Parallelism())
+
+	cfg := lamps.DeadlineFactor(g, nil, 1.5)
+	fmt.Printf("deadline: %.4g s (1.5x the critical path at 3.1 GHz)\n\n", cfg.Deadline)
+
+	var baseline float64
+	for _, approach := range lamps.Approaches() {
+		r, err := lamps.Run(approach, g, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", approach, err)
+		}
+		if approach == lamps.ApproachSS {
+			baseline = r.TotalEnergy()
+		}
+		fmt.Printf("%-9s %.4g J  (%.1f%% of S&S)\n",
+			approach, r.TotalEnergy(), 100*r.TotalEnergy()/baseline)
+	}
+
+	// Show the winning schedule: LAMPS uses 2 processors at a higher
+	// frequency instead of 3 at a lower one (the paper's Fig. 7a).
+	r, err := lamps.LAMPS(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLAMPS chose %d processor(s) at Vdd=%.2f V:\n%s",
+		r.NumProcs, r.Level.Vdd, r.Schedule)
+}

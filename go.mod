@@ -1,0 +1,3 @@
+module lamps
+
+go 1.22

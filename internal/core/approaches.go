@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lamps/internal/dag"
+	"lamps/internal/energy"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+// evalConfig stretches one schedule to the deadline and evaluates its
+// energy. When sweep is false only the slowest feasible level (the full S&S
+// stretch) is evaluated; when sweep is true every feasible level from the
+// maximum frequency down to the slowest feasible one is evaluated — the
+// DVS-versus-shutdown balance of the +PS heuristics — and the cheapest is
+// returned.
+func evalConfig(s *sched.Schedule, m *power.Model, deadline float64, ps bool, sweep bool, stats *Stats) (power.Level, energy.Breakdown, error) {
+	opts := energy.Options{PS: ps}
+	if !sweep {
+		lvl, err := energy.MinFeasibleLevel(s, m, deadline)
+		if err != nil {
+			return power.Level{}, energy.Breakdown{}, err
+		}
+		b, err := energy.Evaluate(s, m, lvl, deadline, opts)
+		stats.LevelsEvaluated++
+		return lvl, b, err
+	}
+	levels, err := energy.FeasibleLevels(s, m, deadline)
+	if err != nil {
+		return power.Level{}, energy.Breakdown{}, err
+	}
+	var bestLvl power.Level
+	var bestB energy.Breakdown
+	found := false
+	for _, lvl := range levels {
+		b, err := energy.Evaluate(s, m, lvl, deadline, opts)
+		stats.LevelsEvaluated++
+		if err != nil {
+			return power.Level{}, energy.Breakdown{}, err
+		}
+		if !found || b.Total() < bestB.Total() {
+			bestLvl, bestB, found = lvl, b, true
+		}
+	}
+	return bestLvl, bestB, nil
+}
+
+// ssCommon implements the shared S&S structure: schedule on as many
+// processors as the graph can occupy — the machine is assumed to have at
+// least as many processors as the maximum task concurrency, so the EDF
+// schedule dispatches every task at its earliest start — then trade the
+// remaining slack for DVS (and, with ps, processor shutdown). Every
+// processor that executes at least one task is employed and stays on, which
+// is precisely the wastefulness LAMPS improves upon: in the paper's Fig. 4
+// example S&S employs 3 processors although 2 would reach the same makespan.
+func ssCommon(approach string, g *dag.Graph, cfg Config, ps bool) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	m := cfg.model()
+	var stats Stats
+	sc := newScheduler(g, &cfg, &stats)
+
+	s, err := sc.at(cfg.maxUsefulProcs(g))
+	if err != nil {
+		return nil, err
+	}
+	n := s.ProcsUsed()
+	lvl, b, err := evalConfig(s, m, cfg.Deadline, ps, ps, &stats)
+	if err != nil {
+		return nil, wrapInfeasible(err)
+	}
+	return &Result{
+		Approach: approach,
+		Graph:    g,
+		NumProcs: n,
+		Level:    lvl,
+		Schedule: s,
+		Energy:   b,
+		Stats:    stats,
+	}, nil
+}
+
+// ScheduleAndStretch implements the S&S baseline (Section 4.1): schedule
+// with LS-EDF on as many processors as reduce the makespan, then scale the
+// common frequency down so the schedule finishes as close as possible to
+// the deadline. Idle processors stay on.
+func ScheduleAndStretch(g *dag.Graph, cfg Config) (*Result, error) {
+	return ssCommon(ApproachSS, g, cfg, false)
+}
+
+// ScheduleAndStretchPS implements S&S+PS (Section 4.3): like S&S, but the
+// operating frequency is swept from the maximum down to the minimum
+// feasible level, and at each level the slack — inside the schedule as well
+// as at its end — is used to shut processors down whenever an idle period
+// exceeds the break-even time. The cheapest balance wins.
+func ScheduleAndStretchPS(g *dag.Graph, cfg Config) (*Result, error) {
+	return ssCommon(ApproachSSPS, g, cfg, true)
+}
+
+// lampsCommon implements the shared LAMPS structure (Fig. 5 and Fig. 8 of
+// the paper): a binary search for the minimal feasible processor count
+// followed by a linear search upwards — linear because the energy as a
+// function of the processor count has local minima (Fig. 6) — evaluating
+// each configuration's energy, until adding processors stops reducing the
+// makespan.
+func lampsCommon(approach string, g *dag.Graph, cfg Config, ps bool) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	m := cfg.model()
+	var stats Stats
+	sc := newScheduler(g, &cfg, &stats)
+
+	deadlineCycles := cfg.Deadline * m.FMax()
+	hi := cfg.maxUsefulProcs(g)
+	nmin, err := sc.minProcsForDeadline(deadlineCycles, hi)
+	if err != nil {
+		return nil, err
+	}
+
+	var best *Result
+	consider := func(n int) error {
+		s, err := sc.at(n)
+		if err != nil {
+			return err
+		}
+		lvl, b, err := evalConfig(s, m, cfg.Deadline, ps, ps, &stats)
+		if err != nil {
+			return wrapInfeasible(err)
+		}
+		if best == nil || b.Total() < best.Energy.Total() {
+			best = &Result{
+				Approach: approach,
+				Graph:    g,
+				NumProcs: n,
+				Level:    lvl,
+				Schedule: s,
+				Energy:   b,
+			}
+		}
+		return nil
+	}
+	// Linear scan from the minimal feasible count until adding processors
+	// can no longer reduce the makespan (it has reached the critical path
+	// length, its absolute minimum). The scan is linear, not binary, because
+	// the energy as a function of the processor count has local minima
+	// (Fig. 6).
+	last := nmin
+	for n := nmin; n <= hi; n++ {
+		if err := consider(n); err != nil {
+			return nil, err
+		}
+		last = n
+		if mk, err := sc.makespan(n); err != nil {
+			return nil, err
+		} else if mk <= g.CriticalPathLength() {
+			break
+		}
+	}
+	// Also consider N_max, the "as many processors as can be employed
+	// efficiently" configuration that S&S uses, so the LAMPS search space
+	// always contains the S&S(+PS) solution: with shutdown available, wider
+	// schedules can consolidate idle time into fewer, longer, sleepable
+	// gaps, so skipping it could make LAMPS+PS worse than S&S+PS.
+	if last < hi {
+		if err := consider(hi); err != nil {
+			return nil, err
+		}
+	}
+	best.Stats = stats
+	return best, nil
+}
+
+// LAMPS implements Leakage-Aware MultiProcessor Scheduling (Section 4.2):
+// determine the balance between the number of employed processors and the
+// depth of voltage scaling that minimises total energy; the remaining
+// processors are turned off.
+func LAMPS(g *dag.Graph, cfg Config) (*Result, error) {
+	return lampsCommon(ApproachLAMPS, g, cfg, false)
+}
+
+// LAMPSPS implements LAMPS+PS (Section 4.3): LAMPS extended with the option
+// to shut employed processors down temporarily, choosing for every
+// processor count the frequency that best balances DVS against shutdown.
+func LAMPSPS(g *dag.Graph, cfg Config) (*Result, error) {
+	return lampsCommon(ApproachLAMPSPS, g, cfg, true)
+}
+
+// wrapInfeasible maps a deadline violation at the maximum level — meaning
+// the deadline is unreachable for this schedule — onto the package's
+// ErrInfeasible sentinel.
+func wrapInfeasible(err error) error {
+	if errors.Is(err, energy.ErrDeadline) {
+		return fmt.Errorf("%w: %v", ErrInfeasible, err)
+	}
+	return err
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lamps/internal/dag"
+	"lamps/internal/energy"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+// ApproachIslands names the per-processor frequency extension.
+const ApproachIslands = "VoltageIslands"
+
+// IslandsResult is the outcome of the voltage-island extension: every
+// processor keeps its own constant operating point for the whole schedule
+// (a realistic hardware constraint between the paper's single global
+// frequency and fully per-task DVS).
+type IslandsResult struct {
+	Graph    *dag.Graph
+	NumProcs int
+	Schedule *sched.Schedule
+
+	// ProcLevels[p] is the operating point of processor p. StartSec and
+	// FinishSec are the resulting per-task times in seconds.
+	ProcLevels []power.Level
+	StartSec   []float64
+	FinishSec  []float64
+
+	Energy energy.Breakdown
+	Stats  Stats
+}
+
+// TotalEnergy returns the total energy in joules.
+func (r *IslandsResult) TotalEnergy() float64 { return r.Energy.Total() }
+
+// MakespanSec returns the end of the last task in seconds.
+func (r *IslandsResult) MakespanSec() float64 {
+	var m float64
+	for _, f := range r.FinishSec {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+func (r *IslandsResult) String() string {
+	return fmt.Sprintf("%s: %.6g J on %d processor(s), makespan %.4gs",
+		ApproachIslands, r.TotalEnergy(), r.NumProcs, r.MakespanSec())
+}
+
+// VoltageIslands is an *extension beyond the paper*: each processor runs at
+// its own constant voltage/frequency, addressing the future-work question
+// of Section 6 ("having processors run at their own frequency"). The search
+// starts from the LAMPS(+PS) solution — every processor at its common level
+// — and greedily lowers one processor's level at a time, keeping the change
+// whenever the schedule (same assignment and per-processor order, timings
+// recomputed) still meets the deadline and the energy drops. With ps, idle
+// gaps longer than each processor's own break-even time are served by
+// sleep, and no island descends below the critical level.
+func VoltageIslands(g *dag.Graph, cfg Config, ps bool) (*IslandsResult, error) {
+	base, err := lampsCommon(ApproachLAMPSPS, g, cfg, ps)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.model()
+	s := base.Schedule
+	stats := base.Stats
+
+	levels := make([]power.Level, s.NumProcs)
+	for p := range levels {
+		levels[p] = base.Level
+	}
+	minIdx := len(m.Levels()) - 1
+	if ps {
+		minIdx = m.CriticalLevel().Index
+	}
+	if base.Level.Index > minIdx {
+		minIdx = base.Level.Index // never raise an island above its start
+	}
+
+	best := islandEval(s, m, levels, cfg.Deadline, ps, &stats)
+	if best == nil {
+		return nil, fmt.Errorf("%w: base configuration infeasible", ErrInfeasible)
+	}
+	for improved := true; improved; {
+		improved = false
+		for p := 0; p < s.NumProcs; p++ {
+			if len(s.TasksOn(p)) == 0 || levels[p].Index >= minIdx {
+				continue
+			}
+			levels[p] = m.Level(levels[p].Index + 1)
+			cand := islandEval(s, m, levels, cfg.Deadline, ps, &stats)
+			if cand != nil && cand.Energy.Total() < best.Energy.Total() {
+				best = cand
+				improved = true
+			} else {
+				levels[p] = m.Level(levels[p].Index - 1) // revert
+			}
+		}
+	}
+	best.Graph = g
+	best.NumProcs = base.NumProcs
+	best.Stats = stats
+	return best, nil
+}
+
+// islandEval recomputes the schedule timing for per-processor levels (fixed
+// assignment and per-processor order) and integrates the energy; nil when
+// the deadline is missed.
+func islandEval(s *sched.Schedule, m *power.Model, levels []power.Level, deadline float64, ps bool, stats *Stats) *IslandsResult {
+	stats.LevelsEvaluated++
+	g := s.Graph
+	n := g.NumTasks()
+	r := &IslandsResult{
+		Schedule:   s,
+		ProcLevels: append([]power.Level(nil), levels...),
+		StartSec:   make([]float64, n),
+		FinishSec:  make([]float64, n),
+	}
+	// Forward pass in original start order: precedence and processor order
+	// are preserved, only durations change.
+	order := make([]int32, n)
+	for v := range order {
+		order[v] = int32(v)
+	}
+	sort.Slice(order, func(i, j int) bool { return s.Start[order[i]] < s.Start[order[j]] })
+	procFree := make([]float64, s.NumProcs)
+	var bd energy.Breakdown
+	for _, v32 := range order {
+		v := int(v32)
+		p := s.Proc[v]
+		lvl := levels[p]
+		st := procFree[p]
+		for _, pred := range g.Preds(v) {
+			if r.FinishSec[pred] > st {
+				st = r.FinishSec[pred]
+			}
+		}
+		dur := float64(g.Weight(v)) / lvl.Freq
+		fin := st + dur
+		if fin > deadline*(1+1e-12) {
+			return nil
+		}
+		r.StartSec[v] = st
+		r.FinishSec[v] = fin
+		procFree[p] = fin
+		bd.Active += dur * m.LevelPower(lvl)
+		bd.ActiveTime += dur
+	}
+	// Gaps per processor at that processor's level.
+	for p := 0; p < s.NumProcs; p++ {
+		tasks := s.TasksOn(p)
+		if len(tasks) == 0 {
+			continue
+		}
+		lvl := levels[p]
+		pIdle := m.IdlePower(lvl)
+		breakeven := m.BreakevenTime(lvl)
+		charge := func(t float64) {
+			if t <= 0 {
+				return
+			}
+			if ps && t > breakeven {
+				bd.Sleep += t * m.PSleep
+				bd.SleepTime += t
+				bd.Overhead += m.EOverhead
+				bd.Shutdowns++
+			} else {
+				bd.Idle += t * pIdle
+				bd.IdleTime += t
+			}
+		}
+		cursor := 0.0
+		for _, v := range tasks {
+			charge(r.StartSec[v] - cursor)
+			cursor = r.FinishSec[v]
+		}
+		charge(deadline - cursor)
+	}
+	r.Energy = bd
+	return r
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lamps/internal/dag"
+	"lamps/internal/power"
+)
+
+func TestVoltageIslandsBasics(t *testing.T) {
+	m := power.Default70nm()
+	g := buildFig4a(t, coarseWeight)
+	cfg := DeadlineFactor(g, m, 2)
+	r, err := VoltageIslands(g, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalEnergy() <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	if r.MakespanSec() > cfg.Deadline*(1+1e-9) {
+		t.Errorf("islands miss deadline: %g > %g", r.MakespanSec(), cfg.Deadline)
+	}
+	if len(r.ProcLevels) != r.Schedule.NumProcs {
+		t.Errorf("ProcLevels length %d for %d procs", len(r.ProcLevels), r.Schedule.NumProcs)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestIslandsBracketedByUniformAndPerTask: per-processor freedom sits
+// between the uniform LAMPS+PS solution (its starting point, so it can only
+// improve on it) and the LIMIT-MF bound.
+func TestIslandsBracketed(t *testing.T) {
+	m := power.Default70nm()
+	f := func(seed int64, rawN, rawF uint8, ps bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, int(rawN%25)+2, 0.15, coarseWeight)
+		factor := []float64{1.5, 2, 4, 8}[rawF%4]
+		cfg := DeadlineFactor(g, m, factor)
+		isl, err := VoltageIslands(g, cfg, ps)
+		if err != nil {
+			t.Logf("islands: %v", err)
+			return false
+		}
+		uniform, err := lampsCommon(ApproachLAMPSPS, g, cfg, ps)
+		if err != nil {
+			return false
+		}
+		// Tolerance covers the closed form's horizon truncation.
+		if isl.TotalEnergy() > uniform.TotalEnergy()*(1+1e-6) {
+			t.Logf("islands %g J worse than uniform %g J", isl.TotalEnergy(), uniform.TotalEnergy())
+			return false
+		}
+		mf, err := LimitMF(g, cfg)
+		if err != nil {
+			return false
+		}
+		if isl.TotalEnergy() < mf.TotalEnergy()*(1-1e-9) {
+			t.Logf("islands beat LIMIT-MF ?!")
+			return false
+		}
+		// Precedence and processor serialisation hold under the new timing.
+		for v := 0; v < g.NumTasks(); v++ {
+			for _, p := range g.Preds(v) {
+				if isl.StartSec[v] < isl.FinishSec[p]*(1-1e-12) {
+					return false
+				}
+			}
+		}
+		return isl.MakespanSec() <= cfg.Deadline*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIslandsDifferentiate: on a graph with one lightly-loaded processor,
+// the descent should park that processor at a lower level than the busy one.
+func TestIslandsDifferentiate(t *testing.T) {
+	m := power.Default70nm()
+	// Heavy chain on one proc, one light independent task on another, tight
+	// deadline so the chain must stay fast.
+	b := dag.NewBuilder("skew")
+	prev := -1
+	for i := 0; i < 4; i++ {
+		v := b.AddTask(10 * coarseWeight)
+		if prev >= 0 {
+			b.AddEdge(prev, v)
+		}
+		prev = v
+	}
+	b.AddTask(2 * coarseWeight) // light, independent
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DeadlineFactor(g, m, 1.1)
+	r, err := VoltageIslands(g, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumProcs < 2 {
+		t.Skipf("planner chose %d proc(s); nothing to differentiate", r.NumProcs)
+	}
+	distinct := map[int]bool{}
+	for p := 0; p < r.Schedule.NumProcs; p++ {
+		if len(r.Schedule.TasksOn(p)) > 0 {
+			distinct[r.ProcLevels[p].Index] = true
+		}
+	}
+	if len(distinct) < 2 {
+		t.Errorf("all islands at the same level despite skewed load: %v", r.ProcLevels)
+	}
+}
+
+func TestIslandsInfeasible(t *testing.T) {
+	m := power.Default70nm()
+	g := buildFig4a(t, coarseWeight)
+	cfg := DeadlineFactor(g, m, 0.5)
+	if _, err := VoltageIslands(g, cfg, true); err == nil {
+		t.Error("no error on infeasible deadline")
+	}
+}

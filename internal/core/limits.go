@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"lamps/internal/dag"
+	"lamps/internal/energy"
+)
+
+// LimitSF computes the paper's single-frequency lower bound (Section 4.4).
+// Idle processors are assumed to consume no energy, the processor count is
+// unbounded, and the common frequency is scaled down to the critical
+// (energy-optimal) frequency if the deadline allows, or otherwise as little
+// above it as the deadline requires: with unlimited processors the best
+// achievable makespan is the critical path, so any feasible frequency
+// satisfies f ≥ CPL/D. No schedule whose processors all run at one constant
+// frequency can consume less energy, independently of the scheduling
+// algorithm.
+func LimitSF(g *dag.Graph, cfg Config) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	m := cfg.model()
+	need := float64(g.CriticalPathLength()) / cfg.Deadline
+	lvl, err := m.LevelForFrequency(need)
+	if err != nil {
+		return nil, fmt.Errorf("%w: CPL %d cycles does not fit %.4gs at f_max",
+			ErrInfeasible, g.CriticalPathLength(), cfg.Deadline)
+	}
+	// Among the feasible levels 0..lvl.Index, energy per cycle is minimised
+	// at the critical level; if the deadline forbids descending that far,
+	// the slowest feasible level is optimal (energy per cycle decreases
+	// monotonically from f_max down to the critical frequency).
+	if crit := m.CriticalLevel(); crit.Index < lvl.Index {
+		lvl = crit
+	}
+	e := float64(g.TotalWork()) * m.EnergyPerCycle(lvl)
+	return &Result{
+		Approach: ApproachLimitSF,
+		Graph:    g,
+		Level:    lvl,
+		Energy: energy.Breakdown{
+			Active:     e,
+			ActiveTime: float64(g.TotalWork()) / lvl.Freq,
+		},
+		Stats: Stats{LevelsEvaluated: 1},
+	}, nil
+}
+
+// LimitMF computes the paper's multiple-frequency lower bound (Section
+// 4.4): every task runs at the critical frequency and idle processors
+// consume nothing, so the energy is W times the minimum energy per cycle.
+// This is an absolute lower bound even when processors may run at different
+// frequencies and those frequencies may change over time; note that the
+// implied schedule may miss the deadline (the bound ignores it).
+func LimitMF(g *dag.Graph, cfg Config) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	m := cfg.model()
+	lvl := m.CriticalLevel()
+	e := float64(g.TotalWork()) * m.EnergyPerCycle(lvl)
+	return &Result{
+		Approach: ApproachLimitMF,
+		Graph:    g,
+		Level:    lvl,
+		Energy: energy.Breakdown{
+			Active:     e,
+			ActiveTime: float64(g.TotalWork()) / lvl.Freq,
+		},
+		Stats: Stats{LevelsEvaluated: 1},
+	}, nil
+}
+
+// EnergySaving returns the fraction of the possible energy reduction that a
+// heuristic attains, using S&S as the baseline and LIMIT-SF as the maximum,
+// as in the paper's Section 5.2 ("LAMPS+PS attains more than 94% of the
+// possible energy reduction"). It returns 1 when baseline and limit
+// coincide.
+func EnergySaving(baseline, achieved, limit float64) float64 {
+	den := baseline - limit
+	if den <= 0 {
+		return 1
+	}
+	return (baseline - achieved) / den
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lamps/internal/dag"
+	"lamps/internal/power"
+)
+
+func TestSlackReclaimBasics(t *testing.T) {
+	m := power.Default70nm()
+	g := buildFig4a(t, coarseWeight)
+	cfg := DeadlineFactor(g, m, 2)
+	r, err := SlackReclaimDVS(g, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalEnergy() <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	if r.MakespanSec() > cfg.Deadline*(1+1e-9) {
+		t.Errorf("per-task DVS misses deadline: %g > %g", r.MakespanSec(), cfg.Deadline)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+	// Every task runs at a valid ladder level and within its window.
+	for v := 0; v < g.NumTasks(); v++ {
+		if r.Levels[v].Freq <= 0 {
+			t.Errorf("task %d has no level", v)
+		}
+		if r.FinishSec[v]-r.StartSec[v] <= 0 {
+			t.Errorf("task %d has non-positive duration", v)
+		}
+	}
+}
+
+// TestSlackReclaimRespectsPrecedence verifies starts after predecessor
+// finishes and per-processor serialisation.
+func TestSlackReclaimRespectsPrecedence(t *testing.T) {
+	m := power.Default70nm()
+	f := func(seed int64, rawN, rawF uint8, ps bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, int(rawN%25)+2, 0.2, coarseWeight)
+		factor := []float64{1.5, 2, 4, 8}[rawF%4]
+		cfg := DeadlineFactor(g, m, factor)
+		r, err := SlackReclaimDVS(g, cfg, ps)
+		if err != nil {
+			t.Logf("SlackReclaimDVS: %v", err)
+			return false
+		}
+		for v := 0; v < g.NumTasks(); v++ {
+			for _, p := range g.Preds(v) {
+				if r.StartSec[v] < r.FinishSec[p]*(1-1e-12) {
+					t.Logf("task %d starts before pred %d finishes", v, p)
+					return false
+				}
+			}
+		}
+		for p := 0; p < r.NumProcs; p++ {
+			cursor := 0.0
+			for _, v := range r.Schedule.TasksOn(p) {
+				if r.StartSec[v] < cursor*(1-1e-12) {
+					t.Logf("overlap on proc %d", p)
+					return false
+				}
+				cursor = r.FinishSec[v]
+			}
+		}
+		return r.MakespanSec() <= cfg.Deadline*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSlackReclaimVsUniform: per-task DVS has the uniform stretch in its
+// search space in spirit, but greedy order may differ; assert instead the
+// paper-motivated bound: it can never beat LIMIT-MF, and on loose deadlines
+// it should land within a few percent of LAMPS+PS (the paper's prediction
+// that per-task frequencies buy little).
+func TestSlackReclaimVsBounds(t *testing.T) {
+	m := power.Default70nm()
+	for _, factor := range []float64{2, 4, 8} {
+		g := buildFig4a(t, coarseWeight)
+		cfg := DeadlineFactor(g, m, factor)
+		pt, err := SlackReclaimDVS(g, cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf, err := LimitMF(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.TotalEnergy() < mf.TotalEnergy()*(1-1e-9) {
+			t.Errorf("factor %g: per-task DVS beats LIMIT-MF: %g < %g",
+				factor, pt.TotalEnergy(), mf.TotalEnergy())
+		}
+		laps, err := LAMPSPS(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.TotalEnergy() > laps.TotalEnergy()*1.25 {
+			t.Errorf("factor %g: per-task DVS 25%% worse than LAMPS+PS (%g vs %g)",
+				factor, pt.TotalEnergy(), laps.TotalEnergy())
+		}
+	}
+}
+
+func TestSlackReclaimInfeasible(t *testing.T) {
+	m := power.Default70nm()
+	g := buildFig4a(t, coarseWeight)
+	cfg := DeadlineFactor(g, m, 0.5)
+	if _, err := SlackReclaimDVS(g, cfg, true); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := SlackReclaimDVS(g, Config{Deadline: -1}, false); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad config err = %v", err)
+	}
+}
+
+// TestSlackReclaimUsesMultipleLevels: on an unbalanced graph with slack,
+// different tasks should end up at different operating points — the whole
+// point of the extension.
+func TestSlackReclaimUsesMultipleLevels(t *testing.T) {
+	m := power.Default70nm()
+	// A chain (critical) plus one tiny independent task with huge slack.
+	b := newUnbalanced(t)
+	cfg := DeadlineFactor(b, m, 1.5)
+	r, err := SlackReclaimDVS(b, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for v := 0; v < b.NumTasks(); v++ {
+		seen[r.Levels[v].Index] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("all tasks at the same level %v; expected the off-critical task to run slower", r.Levels[0])
+	}
+}
+
+func newUnbalanced(t *testing.T) *dag.Graph {
+	t.Helper()
+	bb := dag.NewBuilder("unbalanced")
+	a := bb.AddTask(10 * coarseWeight)
+	c := bb.AddTask(10 * coarseWeight)
+	d := bb.AddTask(10 * coarseWeight)
+	tiny := bb.AddTask(1 * coarseWeight)
+	bb.AddEdge(a, c)
+	bb.AddEdge(c, d)
+	_ = tiny
+	g, err := bb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

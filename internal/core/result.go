@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"lamps/internal/dag"
+	"lamps/internal/energy"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+// Approach names, as used in the paper's figures and tables.
+const (
+	ApproachSS      = "S&S"
+	ApproachLAMPS   = "LAMPS"
+	ApproachSSPS    = "S&S+PS"
+	ApproachLAMPSPS = "LAMPS+PS"
+	ApproachLimitSF = "LIMIT-SF"
+	ApproachLimitMF = "LIMIT-MF"
+)
+
+// Approaches lists the heuristics and bounds in the paper's presentation
+// order.
+var Approaches = []string{
+	ApproachSS, ApproachLAMPS, ApproachSSPS, ApproachLAMPSPS,
+	ApproachLimitSF, ApproachLimitMF,
+}
+
+// Stats reports the search effort of a heuristic, mirroring the paper's
+// complexity discussion T_LAMPS = log2(N_upb − N_lwb)·T_ls + M·T_ls.
+type Stats struct {
+	SchedulesBuilt  int // list-scheduling invocations
+	LevelsEvaluated int // (schedule, level) energy evaluations
+}
+
+// Result is the outcome of one heuristic or bound on one task graph.
+type Result struct {
+	Approach string
+	Graph    *dag.Graph
+
+	// NumProcs is the number of processors employed (turned on). For the
+	// LIMIT-* bounds, which assume idle processors consume nothing, it is 0.
+	NumProcs int
+
+	// Level is the common operating point of all employed processors.
+	Level power.Level
+
+	// Schedule is the task placement (nil for the LIMIT-* bounds).
+	Schedule *sched.Schedule
+
+	// Energy is the full energy breakdown.
+	Energy energy.Breakdown
+
+	Stats Stats
+}
+
+// TotalEnergy returns the total energy in joules.
+func (r *Result) TotalEnergy() float64 { return r.Energy.Total() }
+
+// MakespanSec returns the stretched schedule length in seconds, or 0 for
+// the LIMIT-* bounds.
+func (r *Result) MakespanSec() float64 {
+	if r.Schedule == nil {
+		return 0
+	}
+	return float64(r.Schedule.Makespan) / r.Level.Freq
+}
+
+func (r *Result) String() string {
+	if r.Schedule == nil {
+		return fmt.Sprintf("%s: %.6g J at %v", r.Approach, r.TotalEnergy(), r.Level)
+	}
+	return fmt.Sprintf("%s: %.6g J on %d processor(s) at %v (makespan %.4gs, %d shutdowns)",
+		r.Approach, r.TotalEnergy(), r.NumProcs, r.Level, r.MakespanSec(), r.Energy.Shutdowns)
+}
+
+// Run dispatches an approach by name. It powers the CLI and the experiment
+// harness.
+func Run(approach string, g *dag.Graph, cfg Config) (*Result, error) {
+	switch approach {
+	case ApproachSS:
+		return ScheduleAndStretch(g, cfg)
+	case ApproachLAMPS:
+		return LAMPS(g, cfg)
+	case ApproachSSPS:
+		return ScheduleAndStretchPS(g, cfg)
+	case ApproachLAMPSPS:
+		return LAMPSPS(g, cfg)
+	case ApproachLimitSF:
+		return LimitSF(g, cfg)
+	case ApproachLimitMF:
+		return LimitMF(g, cfg)
+	}
+	return nil, fmt.Errorf("%w: unknown approach %q", ErrBadConfig, approach)
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lamps/internal/dag"
+	"lamps/internal/sched"
+)
+
+// scheduler memoises list-scheduling runs per processor count within one
+// heuristic invocation, so that the binary search of LAMPS phase 1 and the
+// linear search of phase 2 never schedule the same configuration twice.
+type scheduler struct {
+	g     *dag.Graph
+	prio  []int64
+	cache map[int]*sched.Schedule
+	stats *Stats
+}
+
+func newScheduler(g *dag.Graph, cfg *Config, stats *Stats) *scheduler {
+	return &scheduler{
+		g:     g,
+		prio:  cfg.priorities(g),
+		cache: make(map[int]*sched.Schedule),
+		stats: stats,
+	}
+}
+
+// at returns the (memoised) list schedule on n processors.
+func (sc *scheduler) at(n int) (*sched.Schedule, error) {
+	if s, ok := sc.cache[n]; ok {
+		return s, nil
+	}
+	s, err := sched.ListSchedule(sc.g, n, sc.prio)
+	if err != nil {
+		return nil, err
+	}
+	sc.stats.SchedulesBuilt++
+	sc.cache[n] = s
+	return s, nil
+}
+
+// makespan returns the makespan on n processors, in cycles.
+func (sc *scheduler) makespan(n int) (int64, error) {
+	s, err := sc.at(n)
+	if err != nil {
+		return 0, err
+	}
+	return s.Makespan, nil
+}
+
+// nLowerBound is the paper's N_lwb = ceil(sum of weights / D): no fewer
+// processors can possibly complete the work before the deadline, with the
+// deadline expressed in cycles at maximum frequency.
+func nLowerBound(g *dag.Graph, deadlineCycles float64) int {
+	if deadlineCycles <= 0 {
+		return g.NumTasks()
+	}
+	n := int(math.Ceil(float64(g.TotalWork()) / deadlineCycles))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// minProcsForDeadline performs the paper's phase-1 binary search: the
+// minimal number of processors whose LS-EDF makespan meets the deadline
+// (deadline in cycles at maximum frequency). The search interval is
+// [N_lwb, hi]; monotonicity of the makespan in the processor count is
+// assumed, as in the paper.
+func (sc *scheduler) minProcsForDeadline(deadlineCycles float64, hi int) (int, error) {
+	lo := nLowerBound(sc.g, deadlineCycles)
+	if lo > hi {
+		lo = hi
+	}
+	mk, err := sc.makespan(hi)
+	if err != nil {
+		return 0, err
+	}
+	if float64(mk) > deadlineCycles {
+		return 0, fmt.Errorf("%w: makespan %d cycles on %d processors, deadline %.0f cycles",
+			ErrInfeasible, mk, hi, deadlineCycles)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		mk, err := sc.makespan(mid)
+		if err != nil {
+			return 0, err
+		}
+		if float64(mk) <= deadlineCycles {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

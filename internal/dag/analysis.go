@@ -1,0 +1,109 @@
+package dag
+
+// This file provides structural analyses beyond the core levels/CPL:
+// reachability, transitive reduction and a width profile. They support the
+// workload generators (dropping redundant edges changes no schedule) and
+// give users tools to inspect benchmark graphs.
+
+// HasPath reports whether v is reachable from u through one or more edges.
+func (g *Graph) HasPath(u, v int) bool {
+	if u == v {
+		return false
+	}
+	// DFS bounded by topological position: only tasks between u and v in
+	// some topological order can lie on a path. A simple visited-set DFS is
+	// sufficient at the sizes we handle.
+	visited := make([]bool, g.NumTasks())
+	stack := []int32{int32(u)}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.succs[x] {
+			if s == int32(v) {
+				return true
+			}
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// TransitiveReduction returns a copy of the graph with every edge removed
+// whose endpoints remain connected through a longer path. Schedules and all
+// level analyses are invariant under this operation (a transitive edge
+// never constrains anything new); generated graphs can carry such edges.
+func (g *Graph) TransitiveReduction() (*Graph, error) {
+	n := g.NumTasks()
+	b := NewBuilder(g.name)
+	for v := 0; v < n; v++ {
+		if g.labels != nil {
+			b.AddLabeledTask(g.weights[v], g.labels[v])
+		} else {
+			b.AddTask(g.weights[v])
+		}
+	}
+	// An edge u->v is redundant iff v is reachable from u via a path of
+	// length >= 2, i.e. from some other successor of u.
+	for u := 0; u < n; u++ {
+		for _, v := range g.succs[u] {
+			redundant := false
+			for _, w := range g.succs[u] {
+				if w != v && g.HasPath(int(w), int(v)) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				b.AddEdge(u, int(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// WidthProfile returns, for a resolution of buckets time points across
+// [0, CPL), the number of tasks whose unbounded-machine execution windows
+// cover each point — the shape whose maximum is MaxWidth.
+func (g *Graph) WidthProfile(buckets int) []int {
+	if buckets <= 0 {
+		return nil
+	}
+	prof := make([]int, buckets)
+	cpl := g.cpl
+	if cpl == 0 {
+		return prof
+	}
+	for v := 0; v < g.NumTasks(); v++ {
+		lo := int(g.tlevel[v] * int64(buckets) / cpl)
+		hi := int((g.tlevel[v] + g.weights[v] - 1) * int64(buckets) / cpl)
+		for i := lo; i <= hi && i < buckets; i++ {
+			prof[i]++
+		}
+	}
+	return prof
+}
+
+// Ancestors returns the number of tasks from which v is reachable.
+func (g *Graph) Ancestors(v int) int {
+	visited := make([]bool, g.NumTasks())
+	stack := append([]int32(nil), g.preds[v]...)
+	count := 0
+	for _, p := range stack {
+		visited[p] = true
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, p := range g.preds[x] {
+			if !visited[p] {
+				visited[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,138 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHasPath(t *testing.T) {
+	g := buildPaperExample(t) // T1->{T2,T3,T4}, {T2,T3}->T5
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 1, true},
+		{0, 4, true}, // via T2 or T3
+		{1, 4, true},
+		{3, 4, false}, // T4 is a sink
+		{4, 0, false}, // no backward paths
+		{1, 2, false}, // siblings
+		{0, 0, false}, // self
+	}
+	for _, tc := range cases {
+		if got := g.HasPath(tc.u, tc.v); got != tc.want {
+			t.Errorf("HasPath(%d,%d) = %v, want %v", tc.u, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	// a -> b -> c plus the redundant a -> c.
+	b := NewBuilder("tr")
+	a := b.AddTask(1)
+	bb := b.AddTask(2)
+	c := b.AddTask(3)
+	b.AddEdge(a, bb)
+	b.AddEdge(bb, c)
+	b.AddEdge(a, c)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != 2 {
+		t.Errorf("reduced edges = %d, want 2", r.NumEdges())
+	}
+	if r.CriticalPathLength() != g.CriticalPathLength() {
+		t.Errorf("reduction changed CPL")
+	}
+	if !r.HasPath(a, c) {
+		t.Errorf("reduction broke reachability")
+	}
+}
+
+func TestTransitiveReductionPropertyInvariants(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%25) + 1
+		g := randomDAG(rng, n, 0.3)
+		r, err := g.TransitiveReduction()
+		if err != nil {
+			return false
+		}
+		if r.NumEdges() > g.NumEdges() || r.NumTasks() != g.NumTasks() {
+			return false
+		}
+		// All level analyses are invariant.
+		if r.CriticalPathLength() != g.CriticalPathLength() ||
+			r.TotalWork() != g.TotalWork() ||
+			r.MaxWidth() != g.MaxWidth() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if r.BottomLevel(v) != g.BottomLevel(v) || r.TopLevel(v) != g.TopLevel(v) {
+				return false
+			}
+		}
+		// Reachability preserved both ways (sampled).
+		for i := 0; i < 30; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if g.HasPath(u, v) != r.HasPath(u, v) {
+				t.Logf("reachability differs for %d->%d", u, v)
+				return false
+			}
+		}
+		// Idempotent: reducing again removes nothing.
+		r2, err := r.TransitiveReduction()
+		if err != nil {
+			return false
+		}
+		return r2.NumEdges() == r.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthProfile(t *testing.T) {
+	g := buildPaperExample(t)
+	prof := g.WidthProfile(10)
+	if len(prof) != 10 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	max := 0
+	for _, w := range prof {
+		if w > max {
+			max = w
+		}
+	}
+	if max != g.MaxWidth() {
+		t.Errorf("profile max %d != MaxWidth %d", max, g.MaxWidth())
+	}
+	// First bucket: only T1 runs at time 0.
+	if prof[0] != 1 {
+		t.Errorf("prof[0] = %d, want 1", prof[0])
+	}
+	if g.WidthProfile(0) != nil {
+		t.Errorf("WidthProfile(0) should be nil")
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	g := buildPaperExample(t)
+	cases := map[int]int{
+		0: 0, // source
+		1: 1, // T1
+		4: 3, // T1, T2, T3
+		3: 1, // T1
+	}
+	for v, want := range cases {
+		if got := g.Ancestors(v); got != want {
+			t.Errorf("Ancestors(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

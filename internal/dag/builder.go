@@ -1,0 +1,214 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles a Graph incrementally. The zero value is not usable;
+// create one with NewBuilder. Builders are not safe for concurrent use.
+type Builder struct {
+	name    string
+	weights []int64
+	labels  []string
+	edges   [][2]int32
+	anyLbl  bool
+}
+
+// NewBuilder returns an empty builder for a graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// AddTask appends a task with the given weight (cycles) and returns its
+// index. Weight validity is checked in Build so that builders can be
+// populated from untrusted input and report all errors in one place.
+func (b *Builder) AddTask(weight int64) int {
+	b.weights = append(b.weights, weight)
+	b.labels = append(b.labels, "")
+	return len(b.weights) - 1
+}
+
+// AddLabeledTask appends a task with a label and returns its index.
+func (b *Builder) AddLabeledTask(weight int64, label string) int {
+	v := b.AddTask(weight)
+	b.labels[v] = label
+	if label != "" {
+		b.anyLbl = true
+	}
+	return v
+}
+
+// AddEdge records a dependence: task to cannot start before task from has
+// finished. Validity is checked in Build.
+func (b *Builder) AddEdge(from, to int) {
+	b.edges = append(b.edges, [2]int32{int32(from), int32(to)})
+}
+
+// NumTasks returns the number of tasks added so far.
+func (b *Builder) NumTasks() int { return len(b.weights) }
+
+// Build validates the accumulated tasks and edges and returns an immutable
+// Graph with all derived analyses precomputed. It returns an error if the
+// graph is empty, a weight is non-positive, an edge is out of range, a self
+// edge or duplicate edge exists, or the edges form a cycle.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.weights)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	g := &Graph{
+		name:    b.name,
+		weights: append([]int64(nil), b.weights...),
+		succs:   make([][]int32, n),
+		preds:   make([][]int32, n),
+	}
+	if b.anyLbl {
+		g.labels = append([]string(nil), b.labels...)
+	}
+	for v, w := range g.weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: task %d has weight %d", ErrBadWeight, v, w)
+		}
+		g.work += w
+	}
+
+	for _, e := range b.edges {
+		u, v := int(e[0]), int(e[1])
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("%w: edge %d->%d with %d tasks", ErrBadTask, u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("%w: task %d", ErrSelfEdge, u)
+		}
+		g.succs[u] = append(g.succs[u], int32(v))
+		g.preds[v] = append(g.preds[v], int32(u))
+		g.nEdges++
+	}
+	// Detect duplicates after sorting adjacency lists; sorted lists also make
+	// traversal deterministic for downstream consumers.
+	for v := 0; v < n; v++ {
+		sortInt32(g.succs[v])
+		sortInt32(g.preds[v])
+		if d := firstDup(g.succs[v]); d >= 0 {
+			return nil, fmt.Errorf("%w: %d->%d", ErrDupEdge, v, d)
+		}
+	}
+
+	if err := g.computeTopo(); err != nil {
+		return nil, err
+	}
+	g.computeLevels()
+	g.computeMaxWidth()
+	return g, nil
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// firstDup returns the first duplicated value in a sorted slice, or -1.
+func firstDup(s []int32) int32 {
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			return s[i]
+		}
+	}
+	return -1
+}
+
+// computeTopo fills g.topo using Kahn's algorithm; ErrCycle if not a DAG.
+func (g *Graph) computeTopo() error {
+	n := g.NumTasks()
+	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = int32(len(g.preds[v]))
+	}
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	topo := make([]int32, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		topo = append(topo, v)
+		for _, s := range g.succs[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(topo) != n {
+		return ErrCycle
+	}
+	g.topo = topo
+	return nil
+}
+
+// computeLevels fills blevel, tlevel and cpl by dynamic programming over the
+// topological order.
+func (g *Graph) computeLevels() {
+	n := g.NumTasks()
+	g.blevel = make([]int64, n)
+	g.tlevel = make([]int64, n)
+	// Top levels: forward pass.
+	for _, v := range g.topo {
+		end := g.tlevel[v] + g.weights[v]
+		for _, s := range g.succs[v] {
+			if end > g.tlevel[s] {
+				g.tlevel[s] = end
+			}
+		}
+	}
+	// Bottom levels: backward pass.
+	for i := n - 1; i >= 0; i-- {
+		v := g.topo[i]
+		var best int64
+		for _, s := range g.succs[v] {
+			if g.blevel[s] > best {
+				best = g.blevel[s]
+			}
+		}
+		g.blevel[v] = best + g.weights[v]
+	}
+	for v := 0; v < n; v++ {
+		if l := g.blevel[v] + g.tlevel[v]; l > g.cpl {
+			g.cpl = l
+		}
+	}
+}
+
+// computeMaxWidth estimates the maximum number of concurrently executable
+// tasks by sweeping the unbounded-machine execution windows
+// [TopLevel(v), TopLevel(v)+Weight(v)).
+func (g *Graph) computeMaxWidth() {
+	n := g.NumTasks()
+	type event struct {
+		t     int64
+		delta int
+	}
+	events := make([]event, 0, 2*n)
+	for v := 0; v < n; v++ {
+		events = append(events,
+			event{g.tlevel[v], +1},
+			event{g.tlevel[v] + g.weights[v], -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // process ends before starts
+	})
+	cur, best := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > best {
+			best = cur
+		}
+	}
+	g.maxWidth = best
+}

@@ -1,0 +1,36 @@
+package dag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT writes the graph in Graphviz DOT format for visual inspection.
+// Node labels show the task index (or label, when set) and weight.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", dotName(g.name))
+	fmt.Fprintf(bw, "  rankdir=TB;\n  node [shape=box];\n")
+	for v := 0; v < g.NumTasks(); v++ {
+		label := g.Label(v)
+		if label == "" {
+			label = fmt.Sprintf("T%d", v)
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"%s\\nw=%d\"];\n", v, label, g.Weight(v))
+	}
+	for v := 0; v < g.NumTasks(); v++ {
+		for _, s := range g.Succs(v) {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", v, s)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func dotName(s string) string {
+	if s == "" {
+		return "taskgraph"
+	}
+	return s
+}

@@ -1,0 +1,137 @@
+// Package energy computes the total energy consumption of a static
+// multiprocessor schedule executed at one discrete operating point, with or
+// without the option to shut idle processors down (de Langen & Juurlink,
+// Sections 3.2–3.4 and 4.3).
+//
+// The accounting model follows the paper exactly:
+//
+//   - An executing processor consumes the full power P = P_AC + P_DC + P_on.
+//   - An idle (on, clock-gated) processor consumes P_DC + P_on.
+//   - A sleeping processor consumes P_sleep (50 µW); every shutdown+wakeup
+//     costs E_oh (483 µJ). Waking up in time is assumed possible by waking
+//     the processor shortly before the end of the idle period, so shutdown
+//     never delays the schedule.
+//   - Processors that execute no task at all are off and consume nothing;
+//     choosing how many processors to employ is the heuristics' job.
+//
+// With PS enabled, an idle gap of duration t is served by sleep exactly when
+// E_oh + t·P_sleep < t·P_idle, i.e. when t exceeds the break-even time of
+// Fig. 3; otherwise the processor stays idle.
+package energy
+
+import (
+	"errors"
+	"fmt"
+
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+// ErrDeadline is returned when the schedule does not fit the deadline at the
+// requested operating point.
+var ErrDeadline = errors.New("energy: schedule misses the deadline at this level")
+
+// Options selects the accounting variant.
+type Options struct {
+	// PS enables processor shutdown: idle gaps longer than the break-even
+	// time are served by deep sleep at the cost of the shutdown overhead.
+	PS bool
+	// IgnoreIdle makes idle gaps free. Used only by the LIMIT-SF/LIMIT-MF
+	// lower bounds, where idle processors are assumed to consume no energy.
+	IgnoreIdle bool
+}
+
+// Breakdown itemises where the energy of a schedule goes, in joules.
+type Breakdown struct {
+	Active   float64 // executing tasks at full power
+	Idle     float64 // on but idle (P_DC + P_on)
+	Sleep    float64 // in deep sleep (P_sleep)
+	Overhead float64 // shutdown + wakeup transitions (E_oh each)
+
+	Shutdowns  int     // number of shutdown+wakeup transitions
+	IdleTime   float64 // seconds spent idle (on)
+	SleepTime  float64 // seconds spent sleeping
+	ActiveTime float64 // processor-seconds spent executing
+}
+
+// Total returns the total energy in joules.
+func (b Breakdown) Total() float64 {
+	return b.Active + b.Idle + b.Sleep + b.Overhead
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total %.6g J (active %.6g, idle %.6g, sleep %.6g, overhead %.6g, %d shutdowns)",
+		b.Total(), b.Active, b.Idle, b.Sleep, b.Overhead, b.Shutdowns)
+}
+
+// Evaluate computes the energy of executing schedule s at operating point
+// lvl with the machine available from time 0 until deadlineSec. Schedule
+// times are cycles at maximum frequency, so every interval of c cycles lasts
+// c/lvl.Freq seconds. Evaluate returns ErrDeadline if the stretched makespan
+// exceeds the deadline (with a one-ULP tolerance for the exact-fit case).
+func Evaluate(s *sched.Schedule, m *power.Model, lvl power.Level, deadlineSec float64, opts Options) (Breakdown, error) {
+	var b Breakdown
+	makespanSec := float64(s.Makespan) / lvl.Freq
+	if makespanSec > deadlineSec*(1+1e-12) {
+		return b, fmt.Errorf("%w: makespan %.6gs > deadline %.6gs at %v", ErrDeadline, makespanSec, deadlineSec, lvl)
+	}
+
+	// Active energy: every cycle of work costs P(lvl)/f(lvl) joules.
+	b.ActiveTime = float64(s.BusyCycles()) / lvl.Freq
+	b.Active = b.ActiveTime * m.LevelPower(lvl)
+
+	if opts.IgnoreIdle {
+		return b, nil
+	}
+
+	// Idle gaps, including the trailing slack up to the deadline. The
+	// horizon is expressed in cycles at lvl so that gap lengths convert to
+	// seconds by dividing by lvl.Freq.
+	horizonCycles := int64(deadlineSec * lvl.Freq)
+	if horizonCycles < s.Makespan {
+		horizonCycles = s.Makespan // guard against float truncation
+	}
+	pIdle := m.IdlePower(lvl)
+	breakeven := m.BreakevenTime(lvl)
+	for _, gap := range s.Gaps(horizonCycles) {
+		t := float64(gap.Length()) / lvl.Freq
+		if opts.PS && t > breakeven {
+			b.Sleep += t * m.PSleep
+			b.SleepTime += t
+			b.Overhead += m.EOverhead
+			b.Shutdowns++
+		} else {
+			b.Idle += t * pIdle
+			b.IdleTime += t
+		}
+	}
+	return b, nil
+}
+
+// MinFeasibleLevel returns the slowest operating point at which the
+// schedule's makespan still fits the deadline, i.e. the most aggressive DVS
+// stretch. This is the "stretch" step of Schedule-and-Stretch.
+func MinFeasibleLevel(s *sched.Schedule, m *power.Model, deadlineSec float64) (power.Level, error) {
+	if deadlineSec <= 0 {
+		return power.Level{}, fmt.Errorf("%w: non-positive deadline", ErrDeadline)
+	}
+	need := float64(s.Makespan) / deadlineSec
+	lvl, err := m.LevelForFrequency(need)
+	if err != nil {
+		return power.Level{}, fmt.Errorf("%w: need %.4g Hz for makespan %d cycles in %.4gs",
+			ErrDeadline, need, s.Makespan, deadlineSec)
+	}
+	return lvl, nil
+}
+
+// FeasibleLevels returns all operating points at which the schedule meets
+// the deadline, ordered from the fastest (index 0) to the slowest feasible
+// one. The frequency sweep of the +PS heuristics iterates over exactly this
+// slice.
+func FeasibleLevels(s *sched.Schedule, m *power.Model, deadlineSec float64) ([]power.Level, error) {
+	min, err := MinFeasibleLevel(s, m, deadlineSec)
+	if err != nil {
+		return nil, err
+	}
+	return m.Levels()[:min.Index+1], nil
+}

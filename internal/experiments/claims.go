@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"lamps/internal/core"
+	"lamps/internal/mpeg"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+	"lamps/internal/taskgen"
+)
+
+// Claim is one falsifiable statement from the paper, encoded as an
+// executable check. VerifyClaims runs all of them and prints a scorecard —
+// an automated reproduction audit.
+type Claim struct {
+	ID    string
+	Text  string // the paper's statement (paraphrased, with section)
+	Check func(Config) (ok bool, detail string, err error)
+}
+
+// Claims encodes the paper's checkable statements in reading order.
+var Claims = []Claim{
+	{
+		ID:   "C1-fmax",
+		Text: "the maximum frequency of this processor is 3.1 GHz, at a supply voltage of 1 V (§3.2)",
+		Check: func(cfg Config) (bool, string, error) {
+			m := cfg.model()
+			f := m.Frequency(1.0)
+			return math.Abs(f-3.1e9)/3.1e9 < 0.01, fmt.Sprintf("f(1.0V) = %.4g Hz", f), nil
+		},
+	},
+	{
+		ID:   "C2-fcrit",
+		Text: "the critical frequency is reached at 0.7 V, corresponding to a normalised frequency of 0.41 (§3.3)",
+		Check: func(cfg Config) (bool, string, error) {
+			c := cfg.model().CriticalLevel()
+			ok := math.Abs(c.Vdd-0.70) < 1e-9 && math.Abs(c.Norm-0.41) < 0.02
+			return ok, fmt.Sprintf("critical level %v", c), nil
+		},
+	},
+	{
+		ID:   "C3-fcrit-cont",
+		Text: "the optimal or critical frequency is 0.38 times the maximum (§3.3)",
+		Check: func(cfg Config) (bool, string, error) {
+			m := cfg.model()
+			norm := m.CriticalFrequencyContinuous() / m.FMax()
+			return norm > 0.35 && norm < 0.40, fmt.Sprintf("continuous fcrit = %.3f fmax", norm), nil
+		},
+	},
+	{
+		ID:   "C4-breakeven",
+		Text: "when clocked at half the maximum frequency, an idle period of at least 1.7 million cycles is required for shutdown to pay (§3.4, Fig. 3)",
+		Check: func(cfg Config) (bool, string, error) {
+			m := cfg.model()
+			vdd, err := m.VddForFrequency(0.5 * m.FMax())
+			if err != nil {
+				return false, "", err
+			}
+			l := power.Level{Vdd: vdd, Freq: m.Frequency(vdd), Norm: 0.5}
+			c := m.BreakevenCycles(l)
+			return math.Abs(c-1.7e6)/1.7e6 < 0.05, fmt.Sprintf("breakeven = %.4g cycles", c), nil
+		},
+	},
+	{
+		ID:   "C5-mpeg-lamps",
+		Text: "LAMPS determines that using 3 processors is more efficient and reduces the energy by more than 26% compared to S&S (§5.3)",
+		Check: func(cfg Config) (bool, string, error) {
+			ss, la, err := mpegPair(cfg, core.ApproachLAMPS)
+			if err != nil {
+				return false, "", err
+			}
+			saving := 1 - la.TotalEnergy()/ss.TotalEnergy()
+			ok := la.NumProcs == 3 && saving > 0.20 && saving < 0.32
+			return ok, fmt.Sprintf("%d procs, %.1f%% saving", la.NumProcs, 100*saving), nil
+		},
+	},
+	{
+		ID:   "C6-mpeg-ssps",
+		Text: "S&S+PS reduces the energy consumption by almost 40% compared to S&S (§5.3)",
+		Check: func(cfg Config) (bool, string, error) {
+			ss, ps, err := mpegPair(cfg, core.ApproachSSPS)
+			if err != nil {
+				return false, "", err
+			}
+			saving := 1 - ps.TotalEnergy()/ss.TotalEnergy()
+			return saving > 0.33 && saving < 0.45, fmt.Sprintf("%.1f%% saving", 100*saving), nil
+		},
+	},
+	{
+		ID:   "C7-mpeg-limits",
+		Text: "the results for S&S+PS and LAMPS+PS are extremely close to the lower limits LIMIT-SF and LIMIT-MF (§5.3)",
+		Check: func(cfg Config) (bool, string, error) {
+			g := mpeg.Fig9()
+			ccfg := core.Config{Model: cfg.model(), Deadline: mpeg.RealTimeDeadline}
+			laps, err := core.LAMPSPS(g, ccfg)
+			if err != nil {
+				return false, "", err
+			}
+			sf, err := core.LimitSF(g, ccfg)
+			if err != nil {
+				return false, "", err
+			}
+			gap := laps.TotalEnergy()/sf.TotalEnergy() - 1
+			return gap < 0.01, fmt.Sprintf("LAMPS+PS is %.2f%% above LIMIT-SF", 100*gap), nil
+		},
+	},
+	{
+		ID:   "C8-limits-coincide",
+		Text: "for loose deadlines (4x or 8x the CPL), LIMIT-MF consumes the same amount of energy as LIMIT-SF (§6)",
+		Check: func(cfg Config) (bool, string, error) {
+			m := cfg.model()
+			for _, app := range taskgen.Applications() {
+				g := taskgen.Coarse.Scale(app)
+				for _, factor := range []float64{4, 8} {
+					ccfg := core.DeadlineFactor(g, m, factor)
+					sf, err := core.LimitSF(g, ccfg)
+					if err != nil {
+						return false, "", err
+					}
+					mf, err := core.LimitMF(g, ccfg)
+					if err != nil {
+						return false, "", err
+					}
+					if sf.TotalEnergy() != mf.TotalEnergy() {
+						return false, fmt.Sprintf("%s at %gx: SF %g != MF %g",
+							app.Name(), factor, sf.TotalEnergy(), mf.TotalEnergy()), nil
+					}
+				}
+			}
+			return true, "equal on all application graphs at 4x and 8x", nil
+		},
+	},
+	{
+		ID:   "C9-94pct",
+		Text: "for coarse-grain tasks LAMPS+PS attains more than 94% of the possible energy reduction for all combinations of benchmarks and deadlines (§5.2)",
+		Check: func(cfg Config) (bool, string, error) {
+			m := cfg.model()
+			worst := 1.0
+			where := ""
+			for _, app := range taskgen.Applications() {
+				g := taskgen.Coarse.Scale(app)
+				for _, factor := range []float64{1.5, 2, 4, 8} {
+					ccfg := core.DeadlineFactor(g, m, factor)
+					ss, err := core.ScheduleAndStretch(g, ccfg)
+					if err != nil {
+						return false, "", err
+					}
+					laps, err := core.LAMPSPS(g, ccfg)
+					if err != nil {
+						return false, "", err
+					}
+					sf, err := core.LimitSF(g, ccfg)
+					if err != nil {
+						return false, "", err
+					}
+					att := core.EnergySaving(ss.TotalEnergy(), laps.TotalEnergy(), sf.TotalEnergy())
+					if att < worst {
+						worst = att
+						where = fmt.Sprintf("%s at %gx", app.Name(), factor)
+					}
+				}
+			}
+			return worst > 0.94, fmt.Sprintf("worst attainment %.1f%% (%s)", 100*worst, where), nil
+		},
+	},
+	{
+		ID:   "C10-fine-ps-weak",
+		Text: "gains from shutdown are considerably larger for coarse-grain than fine-grain tasks, because fine-grain slack is often too short (§5.2)",
+		Check: func(cfg Config) (bool, string, error) {
+			m := cfg.model()
+			// sparse at a tight deadline is the paper's cleanest instance:
+			// high parallelism, small per-task weights, little slack per gap.
+			app := taskgen.Applications()[2]
+			saving := func(grain taskgen.Grain) (float64, error) {
+				g := grain.Scale(app)
+				ccfg := core.DeadlineFactor(g, m, 1.5)
+				ss, err := core.ScheduleAndStretch(g, ccfg)
+				if err != nil {
+					return 0, err
+				}
+				ps, err := core.ScheduleAndStretchPS(g, ccfg)
+				if err != nil {
+					return 0, err
+				}
+				return 1 - ps.TotalEnergy()/ss.TotalEnergy(), nil
+			}
+			coarse, err := saving(taskgen.Coarse)
+			if err != nil {
+				return false, "", err
+			}
+			fine, err := saving(taskgen.Fine)
+			if err != nil {
+				return false, "", err
+			}
+			return coarse > 2*fine, fmt.Sprintf("S&S+PS saving: coarse %.1f%%, fine %.1f%%", 100*coarse, 100*fine), nil
+		},
+	},
+	{
+		ID:   "C11-local-minima",
+		Text: "the energy consumption as a function of the number of processors can have local minima, so a full (linear) search must be performed (§4.2, Fig. 6)",
+		Check: func(cfg Config) (bool, string, error) {
+			tables, err := Fig6(cfg)
+			if err != nil {
+				return false, "", err
+			}
+			// Look for any column with a rise followed by a fall.
+			for col := 1; col <= 3; col++ {
+				prev := math.Inf(1)
+				rose := false
+				for _, row := range tables[0].Rows {
+					var v float64
+					if _, err := fmt.Sscanf(row[col], "%g", &v); err != nil {
+						continue
+					}
+					if v > prev {
+						rose = true
+					}
+					if rose && v < prev {
+						return true, fmt.Sprintf("non-global local minimum in the %s curve", tables[0].Header[col]), nil
+					}
+					prev = v
+				}
+			}
+			return false, "no local minima found in Fig. 6 curves", nil
+		},
+	},
+	{
+		ID:   "C12-edf-sufficient",
+		Text: "it will be nearly impossible to reduce the energy consumption further by using other scheduling algorithms than EDF (§6)",
+		Check: func(cfg Config) (bool, string, error) {
+			m := cfg.model()
+			g := taskgen.Coarse.Scale(taskgen.Fpppp())
+			ccfg := core.DeadlineFactor(g, m, 2)
+			base, err := core.LAMPSPS(g, ccfg)
+			if err != nil {
+				return false, "", err
+			}
+			worst := 0.0
+			for _, pol := range sched.Policies {
+				fn, err := sched.Priorities(pol, cfg.Seed)
+				if err != nil {
+					return false, "", err
+				}
+				c := ccfg
+				c.Priorities = fn
+				r, err := core.LAMPSPS(g, c)
+				if err != nil {
+					return false, "", err
+				}
+				if d := math.Abs(r.TotalEnergy()/base.TotalEnergy() - 1); d > worst {
+					worst = d
+				}
+			}
+			return worst < 0.02, fmt.Sprintf("max policy deviation %.2f%%", 100*worst), nil
+		},
+	},
+}
+
+func mpegPair(cfg Config, approach string) (*core.Result, *core.Result, error) {
+	g := mpeg.Fig9()
+	ccfg := core.Config{Model: cfg.model(), Deadline: mpeg.RealTimeDeadline}
+	ss, err := core.ScheduleAndStretch(g, ccfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	other, err := core.Run(approach, g, ccfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ss, other, nil
+}
+
+// VerifyClaims evaluates every encoded claim and writes a scorecard.
+// It returns the pass/fail counts; checker errors count as failures.
+func VerifyClaims(w io.Writer, cfg Config) (passed, failed int, err error) {
+	fmt.Fprintf(w, "reproduction scorecard (%d claims)\n\n", len(Claims))
+	for _, c := range Claims {
+		ok, detail, cerr := c.Check(cfg)
+		status := "PASS"
+		if cerr != nil {
+			status = "ERROR"
+			detail = cerr.Error()
+			ok = false
+		} else if !ok {
+			status = "FAIL"
+		}
+		if ok {
+			passed++
+		} else {
+			failed++
+		}
+		fmt.Fprintf(w, "[%-5s] %s: %s\n        measured: %s\n", status, c.ID, c.Text, detail)
+	}
+	fmt.Fprintf(w, "\n%d passed, %d failed\n", passed, failed)
+	return passed, failed, nil
+}

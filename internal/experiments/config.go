@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"lamps/internal/dag"
+	"lamps/internal/power"
+	"lamps/internal/taskgen"
+)
+
+// Config controls the experiment suite. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// Model is the processor power model (nil = power.Default70nm()).
+	Model *power.Model
+
+	// Seed feeds the deterministic graph generators.
+	Seed int64
+
+	// GroupCount is the number of random graphs per size group. The STG set
+	// has 180 per group; the default is smaller so a full run stays fast,
+	// and can be raised for publication-strength averages.
+	GroupCount int
+
+	// GroupSizes are the random group sizes of Figs. 10/11.
+	GroupSizes []int
+
+	// ScatterSizes and ScatterCount control the graphs of Figs. 12/13.
+	ScatterSizes []int
+	ScatterCount int
+
+	// DeadlineFactors are the deadline/CPL ratios of Figs. 10/11.
+	DeadlineFactors []float64
+
+	// Workers bounds the number of goroutines used by the heavy experiments
+	// (0 = GOMAXPROCS). Results are deterministic regardless of the value.
+	Workers int
+}
+
+// DefaultConfig returns the configuration used by cmd/experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		GroupCount:      5,
+		GroupSizes:      append([]int(nil), taskgen.GroupSizes...),
+		ScatterSizes:    append([]int(nil), taskgen.ScatterSizes...),
+		ScatterCount:    6,
+		DeadlineFactors: []float64{1.5, 2, 4, 8},
+	}
+}
+
+// QuickConfig returns a reduced configuration for tests and smoke runs.
+func QuickConfig() Config {
+	return Config{
+		Seed:            1,
+		GroupCount:      2,
+		GroupSizes:      []int{50, 100},
+		ScatterSizes:    []int{100, 200},
+		ScatterCount:    2,
+		DeadlineFactors: []float64{1.5, 2, 4, 8},
+	}
+}
+
+func (c *Config) model() *power.Model {
+	if c.Model == nil {
+		return power.Default70nm()
+	}
+	return c.Model
+}
+
+// benchmark is one named workload of the evaluation: either a group of
+// random graphs (whose results are averaged) or a single application graph.
+type benchmark struct {
+	name   string
+	graphs []*dag.Graph // in abstract weight units
+}
+
+// benchmarks assembles the evaluation workloads in the paper's presentation
+// order: random groups by size, then fpppp, robot, sparse.
+func (c *Config) benchmarks() ([]benchmark, error) {
+	var out []benchmark
+	sizes := append([]int(nil), c.GroupSizes...)
+	sort.Ints(sizes)
+	for _, size := range sizes {
+		gs, err := taskgen.Group(size, c.GroupCount, c.Seed+int64(size))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generating group %d: %w", size, err)
+		}
+		out = append(out, benchmark{name: fmt.Sprint(size), graphs: gs})
+	}
+	for _, app := range taskgen.Applications() {
+		out = append(out, benchmark{name: app.Name(), graphs: []*dag.Graph{app}})
+	}
+	return out, nil
+}

@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lamps/internal/core"
+)
+
+func TestNamesCoverEveryPaperArtefact(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig6", "fig10", "fig11", "fig12", "fig13", "table2", "table3",
+		"ext-leakage", "ext-optimal", "ext-pertask", "ext-policies"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", QuickConfig()); err == nil {
+		t.Error("Run accepted an unknown experiment")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tables, err := Fig2(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].ID != "fig2a" || tables[1].ID != "fig2b" {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	// One row per ladder level, frequency ascending, total power increasing.
+	pw := tables[0]
+	if len(pw.Rows) != 13 {
+		t.Errorf("fig2a rows = %d, want 13", len(pw.Rows))
+	}
+	var prev float64
+	for _, row := range pw.Rows {
+		tot, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[5])
+		}
+		if tot < prev {
+			t.Errorf("total power not increasing with frequency")
+		}
+		prev = tot
+	}
+	// The energy table marks exactly one critical level.
+	en := tables[1]
+	marks := 0
+	for _, row := range en.Rows {
+		if row[6] == "fcrit" {
+			marks++
+			if row[0] != "0.7000" {
+				t.Errorf("critical level at Vdd %s, want 0.70", row[0])
+			}
+		}
+	}
+	if marks != 1 {
+		t.Errorf("critical marks = %d, want 1", marks)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tables, err := Fig3(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	// The final appended row is the paper's half-frequency anchor.
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[1] != "0.5000" {
+		t.Fatalf("expected half-frequency row, got %v", last)
+	}
+	cycles, err := strconv.ParseFloat(last[4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles < 1.6e6 || cycles > 1.8e6 {
+		t.Errorf("breakeven at f=0.5 is %g cycles, paper: about 1.7e6", cycles)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tables, err := Fig6(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 20 {
+		t.Fatalf("fig6 rows = %d, want 20", len(tb.Rows))
+	}
+	if len(tb.Header) != 4 {
+		t.Fatalf("fig6 header = %v", tb.Header)
+	}
+	// Low processor counts are infeasible at a 2x deadline for all three
+	// graphs; by 20 processors all are feasible with energy >= 1 (the
+	// LIMIT-MF normalisation).
+	for col := 1; col <= 3; col++ {
+		if tb.Rows[0][col] != "-" {
+			t.Errorf("%s feasible on 1 processor at 2x CPL?", tb.Header[col])
+		}
+		v, err := strconv.ParseFloat(tb.Rows[19][col], 64)
+		if err != nil {
+			t.Errorf("%s not feasible on 20 processors", tb.Header[col])
+			continue
+		}
+		if v < 1 {
+			t.Errorf("%s normalised energy %g < 1 (beats LIMIT-MF?)", tb.Header[col], v)
+		}
+	}
+}
+
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage cell %q", cell)
+	}
+	return v
+}
+
+func TestFig10DominanceAndTrends(t *testing.T) {
+	cfg := QuickConfig()
+	tables, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(cfg.DeadlineFactors) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(cfg.DeadlineFactors))
+	}
+	// Columns: benchmark, LAMPS, S&S+PS, LAMPS+PS, LIMIT-SF, LIMIT-MF.
+	for ti, tb := range tables {
+		for _, row := range tb.Rows {
+			lamps := parsePct(t, row[1])
+			ssps := parsePct(t, row[2])
+			lampsps := parsePct(t, row[3])
+			sf := parsePct(t, row[4])
+			mf := parsePct(t, row[5])
+			if lamps > 100.0001 || ssps > 100.0001 {
+				t.Errorf("table %d %s: heuristic above the S&S baseline", ti, row[0])
+			}
+			if !(mf <= sf+1e-6 && sf <= lampsps+1e-6 && lampsps <= lamps+1e-6 && lampsps <= ssps+1e-6) {
+				t.Errorf("table %d %s: dominance violated: %v", ti, row[0], row)
+			}
+		}
+	}
+	// Looser deadlines give larger savings: compare the first benchmark's
+	// LAMPS+PS column across the 1.5x and 8x tables.
+	tight := parsePct(t, tables[0].Rows[0][3])
+	loose := parsePct(t, tables[len(tables)-1].Rows[0][3])
+	if loose >= tight {
+		t.Errorf("loose-deadline savings (%g%%) not larger than tight (%g%%)", 100-loose, 100-tight)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	cfg := QuickConfig()
+	tables, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	wantRows := len(cfg.ScatterSizes) * cfg.ScatterCount
+	if len(tb.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), wantRows)
+	}
+	for _, row := range tb.Rows {
+		par, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || par < 1 {
+			t.Errorf("bad parallelism %q", row[1])
+		}
+		// Energy per unit of work must be at least the critical energy per
+		// cycle times the grain (the LIMIT-MF column, last).
+		mf, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatalf("bad cell: %v", err)
+		}
+		for c := 2; c < len(row)-1; c++ {
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				t.Fatalf("bad cell: %v", err)
+			}
+			if v < mf*(1-1e-9) {
+				t.Errorf("%s: %s below LIMIT-MF", row[0], tb.Header[c])
+			}
+		}
+	}
+}
+
+func TestTable2IncludesAllBenchmarks(t *testing.T) {
+	cfg := QuickConfig()
+	tables, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	names := map[string]bool{}
+	for _, row := range tb.Rows {
+		names[row[0]] = true
+	}
+	for _, want := range []string{"fpppp", "robot", "sparse", "50", "100"} {
+		if !names[want] {
+			t.Errorf("table2 missing benchmark %q", want)
+		}
+	}
+	// The application rows must reproduce Table 2 exactly.
+	for _, row := range tb.Rows {
+		if row[0] == "fpppp" {
+			if row[1] != "334" || row[3] != "1062" || row[4] != "7113" {
+				t.Errorf("fpppp row = %v", row)
+			}
+		}
+	}
+}
+
+// TestTable3MatchesPaperShape verifies the qualitative MPEG-1 findings of
+// the paper: LAMPS saves roughly a quarter versus S&S using 3 processors,
+// S&S+PS and LAMPS+PS save roughly 40% and sit within a percent of both
+// limits, and LAMPS+PS uses fewer processors than S&S+PS.
+func TestTable3MatchesPaperShape(t *testing.T) {
+	tables, err := Table3(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	rows := map[string][]string{}
+	for _, row := range tb.Rows {
+		rows[row[0]] = row
+	}
+	pct := func(name string) float64 { return parsePct(t, rows[name][2]) }
+
+	if got := pct(core.ApproachLAMPS); got < 68 || got > 82 {
+		t.Errorf("LAMPS relative = %g%%, paper: 73.4%%", got)
+	}
+	if got := pct(core.ApproachSSPS); got < 55 || got > 68 {
+		t.Errorf("S&S+PS relative = %g%%, paper: 60.4%%", got)
+	}
+	if got := pct(core.ApproachLAMPSPS); got < 55 || got > 68 {
+		t.Errorf("LAMPS+PS relative = %g%%, paper: 60.4%%", got)
+	}
+	if rows[core.ApproachLAMPS][3] != "3" {
+		t.Errorf("LAMPS #procs = %s, paper: 3", rows[core.ApproachLAMPS][3])
+	}
+	ssProcs, _ := strconv.Atoi(rows[core.ApproachSS][3])
+	lpProcs, _ := strconv.Atoi(rows[core.ApproachLAMPSPS][3])
+	if ssProcs < 7 || ssProcs > 8 {
+		t.Errorf("S&S #procs = %d, paper: 7", ssProcs)
+	}
+	if lpProcs >= ssProcs {
+		t.Errorf("LAMPS+PS procs (%d) not below S&S+PS procs (%d)", lpProcs, ssProcs)
+	}
+	// The +PS heuristics must be within 2% of LIMIT-SF.
+	sf := pct(core.ApproachLimitSF)
+	if pct(core.ApproachLAMPSPS) > sf*1.02 {
+		t.Errorf("LAMPS+PS (%g%%) not close to LIMIT-SF (%g%%)", pct(core.ApproachLAMPSPS), sf)
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	tb := Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Notes:  []string{"hello"},
+	}
+	tb.Append("one", 2.5)
+	tb.Append(3, "four")
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "one", "2.5000", "four", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := Table{ID: "y", Title: "demo", Header: []string{"a", "b"}}
+	tb.Append("v", 1)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a,b\n") || !strings.Contains(out, "v,1\n") {
+		t.Errorf("csv output wrong:\n%s", out)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	cfg := QuickConfig()
+	var buf bytes.Buffer
+	if err := RunAll(&buf, cfg, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range Names() {
+		if !strings.Contains(out, "== "+id) {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}
+
+// TestVerifyClaims runs the full reproduction scorecard: every encoded
+// claim of the paper must pass against the default model and workloads.
+func TestVerifyClaims(t *testing.T) {
+	var buf bytes.Buffer
+	passed, failed, err := VerifyClaims(&buf, QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Errorf("%d claims failed:\n%s", failed, buf.String())
+	}
+	if passed != len(Claims) {
+		t.Errorf("passed = %d, want %d", passed, len(Claims))
+	}
+	out := buf.String()
+	for _, c := range Claims {
+		if !strings.Contains(out, c.ID) {
+			t.Errorf("scorecard missing claim %s", c.ID)
+		}
+	}
+}
+
+// TestRenderSVGAllFigures: every fig* experiment renders to valid non-empty
+// SVG; tabular artefacts render to nothing.
+func TestRenderSVGAllFigures(t *testing.T) {
+	cfg := QuickConfig()
+	wantFigs := map[string]int{
+		"fig2": 2, "fig3": 1, "fig6": 1, "fig10": 4, "fig11": 4,
+		"fig12": 1, "fig13": 1, "table2": 0, "table3": 0,
+	}
+	for name, want := range wantFigs {
+		tables, err := Run(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		figs, err := RenderSVG(name, tables)
+		if err != nil {
+			t.Fatalf("RenderSVG(%s): %v", name, err)
+		}
+		if len(figs) != want {
+			t.Errorf("%s rendered %d figures, want %d", name, len(figs), want)
+			continue
+		}
+		for _, f := range figs {
+			s := string(f.SVG)
+			if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "</svg>") {
+				t.Errorf("%s/%s: not an SVG document", name, f.ID)
+			}
+			if strings.Contains(s, "NaN") {
+				t.Errorf("%s/%s: NaN in output", name, f.ID)
+			}
+		}
+	}
+}

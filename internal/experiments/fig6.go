@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lamps/internal/core"
+	"lamps/internal/dag"
+	"lamps/internal/energy"
+	"lamps/internal/sched"
+	"lamps/internal/taskgen"
+)
+
+// Fig6 regenerates the energy-versus-processor-count sweep of Fig. 6: the
+// total energy of the stretched EDF schedule (no shutdown, unused
+// processors off) for the three application graphs at a deadline of 2x the
+// CPL, for 1..20 processors. Energies are normalised by the graph's
+// LIMIT-MF bound so the three curves share a scale; infeasible
+// configurations (too few processors to meet the deadline) are marked "-".
+// The local minima visible in these curves are why LAMPS performs a linear
+// rather than binary search over the processor count.
+func Fig6(cfg Config) ([]Table, error) {
+	m := cfg.model()
+	const factor = 2.0
+	const maxProcs = 20
+	apps := taskgen.Applications()
+
+	t := Table{
+		ID:     "fig6",
+		Title:  "normalised energy vs number of processors (deadline = 2x CPL, coarse grain)",
+		Header: []string{"#procs"},
+		Notes: []string{
+			"energy normalised by the graph's LIMIT-MF bound",
+			"paper: local minima (e.g. sparse around 14 processors) force a linear search",
+		},
+	}
+	type column struct {
+		g     *dag.Graph
+		mf    float64
+		cells []string
+	}
+	var cols []column
+	for _, app := range apps {
+		g := taskgen.Coarse.Scale(app)
+		t.Header = append(t.Header, app.Name())
+		ccfg := core.DeadlineFactor(g, m, factor)
+		mf, err := core.LimitMF(g, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, column{g: g, mf: mf.TotalEnergy()})
+	}
+	for n := 1; n <= maxProcs; n++ {
+		for i := range cols {
+			c := &cols[i]
+			cell := "-"
+			s, err := sched.ListEDF(c.g, n)
+			if err != nil {
+				return nil, err
+			}
+			deadline := factor * float64(c.g.CriticalPathLength()) / m.FMax()
+			if lvl, err := energy.MinFeasibleLevel(s, m, deadline); err == nil {
+				b, err := energy.Evaluate(s, m, lvl, deadline, energy.Options{})
+				if err != nil {
+					return nil, err
+				}
+				cell = formatFloat(b.Total() / c.mf)
+			}
+			c.cells = append(c.cells, cell)
+		}
+	}
+	for n := 1; n <= maxProcs; n++ {
+		row := []string{fmt.Sprint(n)}
+		for i := range cols {
+			row = append(row, cols[i].cells[n-1])
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap runs fn(i) for every i in [0, n) on up to workers goroutines
+// (0 = GOMAXPROCS) and returns the first error. Callers write result slot i
+// from fn(i) only, so no further synchronisation is needed and output order
+// stays deterministic regardless of scheduling.
+func parallelMap(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

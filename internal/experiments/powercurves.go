@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"lamps/internal/power"
+)
+
+// Fig2 regenerates the power and energy-per-cycle curves of Fig. 2: for
+// every discrete operating point, the dynamic, static, intrinsic and total
+// power (Fig. 2a) and the corresponding energies per cycle (Fig. 2b). The
+// discrete critical level is flagged in the last column.
+func Fig2(cfg Config) ([]Table, error) {
+	m := cfg.model()
+	pw := Table{
+		ID:     "fig2a",
+		Title:  "power consumption as a function of the normalised frequency",
+		Header: []string{"vdd[V]", "f/fmax", "Pac[W]", "Pdc[W]", "Pon[W]", "Ptotal[W]"},
+	}
+	en := Table{
+		ID:     "fig2b",
+		Title:  "energy per cycle as a function of the normalised frequency",
+		Header: []string{"vdd[V]", "f/fmax", "Eac[nJ]", "Edc[nJ]", "Eon[nJ]", "Etotal[nJ]", "critical"},
+	}
+	crit := m.CriticalLevel()
+	for i := len(m.Levels()) - 1; i >= 0; i-- { // ascending frequency, as plotted
+		l := m.Level(i)
+		pac := m.PowerAC(l.Vdd, l.Freq)
+		pdc := m.PowerDC(l.Vdd)
+		pw.Append(l.Vdd, l.Norm, pac, pdc, m.POn, m.LevelPower(l))
+		mark := ""
+		if l.Index == crit.Index {
+			mark = "fcrit"
+		}
+		const nano = 1e9
+		en.Append(l.Vdd, l.Norm,
+			pac/l.Freq*nano, pdc/l.Freq*nano, m.POn/l.Freq*nano,
+			m.EnergyPerCycle(l)*nano, mark)
+	}
+	en.Notes = append(en.Notes,
+		"paper: continuous fcrit = 0.38*fmax; discrete critical level at Vdd=0.70V (0.41*fmax)")
+	return []Table{pw, en}, nil
+}
+
+// Fig3 regenerates the minimum number of idle cycles required for processor
+// shutdown to be beneficial, as a function of the normalised frequency.
+func Fig3(cfg Config) ([]Table, error) {
+	m := cfg.model()
+	t := Table{
+		ID:     "fig3",
+		Title:  "minimum idle period for beneficial shutdown vs normalised frequency",
+		Header: []string{"vdd[V]", "f/fmax", "Pidle[W]", "breakeven[ms]", "breakeven[cycles]"},
+		Notes: []string{
+			"paper: about 1.7 million cycles at half the maximum frequency",
+		},
+	}
+	for i := len(m.Levels()) - 1; i >= 0; i-- {
+		l := m.Level(i)
+		t.Append(l.Vdd, l.Norm, m.IdlePower(l),
+			m.BreakevenTime(l)*1e3, m.BreakevenCycles(l))
+	}
+	// Also report the interpolated half-frequency point the paper quotes.
+	if vdd, err := m.VddForFrequency(0.5 * m.FMax()); err == nil {
+		l := power.Level{Vdd: vdd, Freq: m.Frequency(vdd), Norm: 0.5}
+		t.Append(l.Vdd, 0.5, m.IdlePower(l), m.BreakevenTime(l)*1e3, m.BreakevenCycles(l))
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner regenerates one experiment.
+type Runner func(Config) ([]Table, error)
+
+// Registry maps experiment ids to their runners, covering every figure and
+// table of the paper's evaluation.
+var Registry = map[string]Runner{
+	"fig2":   Fig2,
+	"fig3":   Fig3,
+	"fig6":   Fig6,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"table2": Table2,
+	"table3": Table3,
+
+	// Extensions beyond the paper (see extensions.go).
+	"ext-policies": ExtPolicies,
+	"ext-optimal":  ExtOptimal,
+	"ext-pertask":  ExtPerTask,
+	"ext-leakage":  ExtLeakage,
+}
+
+// Names returns the registered experiment ids in stable order.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for n := range Registry {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		// figN before tableN, numerically.
+		return orderKey(names[i]) < orderKey(names[j])
+	})
+	return names
+}
+
+func orderKey(name string) string {
+	var kind string
+	var num int
+	if _, err := fmt.Sscanf(name, "fig%d", &num); err == nil {
+		kind = "a"
+	} else if _, err := fmt.Sscanf(name, "table%d", &num); err == nil {
+		kind = "b"
+	} else {
+		return "z" + name
+	}
+	return fmt.Sprintf("%s%04d", kind, num)
+}
+
+// Run executes one experiment by id.
+func Run(name string, cfg Config) ([]Table, error) {
+	r, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(cfg)
+}
+
+// RunAll executes every experiment in order, writing text tables to w.
+func RunAll(w io.Writer, cfg Config, csv bool) error {
+	for _, name := range Names() {
+		tables, err := Run(name, cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		for _, t := range tables {
+			var err error
+			if csv {
+				err = t.WriteCSV(w)
+			} else {
+				err = t.WriteText(w)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lamps/internal/core"
+	"lamps/internal/dag"
+	"lamps/internal/taskgen"
+)
+
+// relativeApproaches are the bars of Figs. 10 and 11, relative to S&S.
+var relativeApproaches = []string{
+	core.ApproachLAMPS,
+	core.ApproachSSPS,
+	core.ApproachLAMPSPS,
+	core.ApproachLimitSF,
+	core.ApproachLimitMF,
+}
+
+// Fig10 regenerates the coarse-grain relative energy charts (Fig. 10a-d):
+// for every benchmark and every deadline factor, the energy of each
+// approach as a percentage of S&S. Group results are averaged over the
+// group's graphs (each graph's percentages are computed first, then
+// averaged, so every graph contributes equally as in the paper's averages).
+func Fig10(cfg Config) ([]Table, error) {
+	return relativeEnergy(cfg, taskgen.Coarse, "fig10")
+}
+
+// Fig11 regenerates the fine-grain relative energy charts (Fig. 11a-d).
+func Fig11(cfg Config) ([]Table, error) {
+	return relativeEnergy(cfg, taskgen.Fine, "fig11")
+}
+
+func relativeEnergy(cfg Config, grain taskgen.Grain, id string) ([]Table, error) {
+	m := cfg.model()
+	benches, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	// Flatten (benchmark, graph) pairs into independent work items so the
+	// expensive scheduling searches run in parallel; aggregation afterwards
+	// is sequential and order-preserving.
+	type item struct {
+		bench int
+		unit  *dag.Graph
+		pct   []float64
+		err   error
+	}
+	var items []*item
+	for bi, bench := range benches {
+		for _, unit := range bench.graphs {
+			items = append(items, &item{bench: bi, unit: unit})
+		}
+	}
+
+	var tables []Table
+	sub := 'a'
+	for _, factor := range cfg.DeadlineFactors {
+		t := Table{
+			ID: fmt.Sprintf("%s%c", id, sub),
+			Title: fmt.Sprintf("relative energy, %s grain, deadline = %gx CPL (S&S = 100%%)",
+				grain, factor),
+			Header: append([]string{"benchmark"}, relativeApproaches...),
+		}
+		sub++
+		err := parallelMap(len(items), cfg.Workers, func(i int) error {
+			it := items[i]
+			g := grain.Scale(it.unit)
+			ccfg := core.DeadlineFactor(g, m, factor)
+			ss, err := core.ScheduleAndStretch(g, ccfg)
+			if err != nil {
+				return fmt.Errorf("%s %s S&S: %w", t.ID, it.unit.Name(), err)
+			}
+			base := ss.TotalEnergy()
+			it.pct = make([]float64, len(relativeApproaches))
+			for ai, a := range relativeApproaches {
+				r, err := core.Run(a, g, ccfg)
+				if err != nil {
+					return fmt.Errorf("%s %s %s: %w", t.ID, it.unit.Name(), a, err)
+				}
+				it.pct[ai] = r.TotalEnergy() / base * 100
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for bi, bench := range benches {
+			sums := make([]float64, len(relativeApproaches))
+			counted := 0
+			for _, it := range items {
+				if it.bench != bi {
+					continue
+				}
+				for ai := range sums {
+					sums[ai] += it.pct[ai]
+				}
+				counted++
+			}
+			row := []any{bench.name}
+			for _, s := range sums {
+				row = append(row, fmt.Sprintf("%.1f%%", s/float64(counted)))
+			}
+			t.Append(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,117 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (Section 5) from the library: the power/energy curves (Fig. 2),
+// the shutdown break-even curve (Fig. 3), the energy-versus-processors sweep
+// (Fig. 6), the relative energy bar charts for coarse and fine grain
+// (Figs. 10 and 11), the parallelism scatter plots (Figs. 12 and 13), the
+// benchmark characteristics (Table 2) and the MPEG-1 comparison (Table 3).
+//
+// Results are produced as plain-text tables (one row per bar/point/line of
+// the original artwork) and can also be emitted as CSV for plotting.
+package experiments
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment artefact: a titled grid of cells with
+// optional footnotes.
+type Table struct {
+	ID     string // experiment id, e.g. "fig10a"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Append adds one row, formatting each cell with %v.
+func (t *Table) Append(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v < 0.001:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(bw, "  ")
+			}
+			fmt.Fprintf(bw, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(bw)
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(bw, "note: %s\n", n)
+	}
+	fmt.Fprintln(bw)
+	return bw.Flush()
+}
+
+// WriteCSV renders the table as CSV (header + rows; the title and notes are
+// emitted as comment records prefixed with '#').
+func (t *Table) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %s\n", t.ID, t.Title)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(bw, "# %s\n", n)
+	}
+	return bw.Flush()
+}

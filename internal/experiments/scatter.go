@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lamps/internal/core"
+	"lamps/internal/dag"
+	"lamps/internal/taskgen"
+)
+
+// scatterApproaches are the point series of Figs. 12 and 13.
+var scatterApproaches = []string{
+	core.ApproachSS,
+	core.ApproachLAMPS,
+	core.ApproachSSPS,
+	core.ApproachLAMPSPS,
+	core.ApproachLimitMF,
+}
+
+// Fig12 regenerates the coarse-grain scatter plot of Fig. 12: total energy
+// divided by total work (in joules per weight unit) as a function of the
+// average amount of parallelism, one row per random graph, at a deadline of
+// 2x the CPL.
+func Fig12(cfg Config) ([]Table, error) {
+	return scatter(cfg, taskgen.Coarse, "fig12")
+}
+
+// Fig13 regenerates the fine-grain scatter plot of Fig. 13.
+func Fig13(cfg Config) ([]Table, error) {
+	return scatter(cfg, taskgen.Fine, "fig13")
+}
+
+func scatter(cfg Config, grain taskgen.Grain, id string) ([]Table, error) {
+	m := cfg.model()
+	const factor = 2.0
+	t := Table{
+		ID: id,
+		Title: fmt.Sprintf("energy/total-work vs average parallelism, %s grain, deadline = 2x CPL",
+			grain),
+		Header: append([]string{"graph", "parallelism"}, scatterApproaches...),
+		Notes: []string{
+			"energy per unit of work in J per STG weight unit; each row is one task graph",
+		},
+	}
+	var units []*dag.Graph
+	for _, size := range cfg.ScatterSizes {
+		graphs, err := taskgen.Group(size, cfg.ScatterCount, cfg.Seed+int64(size)*31)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, graphs...)
+	}
+	rows := make([][]string, len(units))
+	err := parallelMap(len(units), cfg.Workers, func(i int) error {
+		unit := units[i]
+		g := grain.Scale(unit)
+		workUnits := float64(unit.TotalWork())
+		ccfg := core.DeadlineFactor(g, m, factor)
+		row := []string{unit.Name(), formatFloat(g.Parallelism())}
+		for _, a := range scatterApproaches {
+			r, err := core.Run(a, g, ccfg)
+			if err != nil {
+				return fmt.Errorf("%s %s %s: %w", id, unit.Name(), a, err)
+			}
+			row = append(row, fmt.Sprintf("%.6g", r.TotalEnergy()/workUnits))
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, rows...)
+	return []Table{t}, nil
+}

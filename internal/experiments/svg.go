@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lamps/internal/svgplot"
+)
+
+// RenderedFigure is one SVG rendering of an experiment table.
+type RenderedFigure struct {
+	ID  string // file stem, e.g. "fig10a"
+	SVG []byte
+}
+
+// RenderSVG turns the tables of one experiment into SVG figures mirroring
+// the paper's artwork. Experiments that are inherently tabular (table2,
+// table3 and the ext-* scorecards except ext-leakage) return nil.
+func RenderSVG(name string, tables []Table) ([]RenderedFigure, error) {
+	var out []RenderedFigure
+	for _, t := range tables {
+		fig, err := figureFor(name, t)
+		if err != nil {
+			return nil, err
+		}
+		if fig == nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := fig.Render(&buf); err != nil {
+			return nil, fmt.Errorf("experiments: rendering %s: %w", t.ID, err)
+		}
+		out = append(out, RenderedFigure{ID: t.ID, SVG: buf.Bytes()})
+	}
+	return out, nil
+}
+
+// figureFor maps one table onto a chart form: curves over the frequency or
+// processor count become line charts, the relative-energy comparisons
+// grouped bars, and the parallelism studies scatter plots.
+func figureFor(name string, t Table) (*svgplot.Figure, error) {
+	switch {
+	case t.ID == "fig2a":
+		return lineFigure(t, 1, []int{2, 3, 4, 5}, "normalised frequency", "power [W]")
+	case t.ID == "fig2b":
+		return lineFigure(t, 1, []int{2, 3, 4, 5}, "normalised frequency", "energy per cycle [nJ]")
+	case t.ID == "fig3":
+		return lineFigure(t, 1, []int{4}, "normalised frequency", "break-even idle period [cycles]")
+	case t.ID == "fig6":
+		return lineFigure(t, 0, []int{1, 2, 3}, "number of processors", "energy / LIMIT-MF")
+	case strings.HasPrefix(t.ID, "fig10") || strings.HasPrefix(t.ID, "fig11"):
+		return barFigure(t)
+	case t.ID == "fig12" || t.ID == "fig13":
+		return scatterFigure(t)
+	default:
+		return nil, nil // tabular artefact
+	}
+}
+
+func cellFloat(cell string) (float64, bool) {
+	cell = strings.TrimSuffix(strings.TrimSpace(cell), "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	return v, err == nil
+}
+
+func lineFigure(t Table, xcol int, ycols []int, xlabel, ylabel string) (*svgplot.Figure, error) {
+	fig := &svgplot.Figure{
+		Title: fmt.Sprintf("%s — %s", t.ID, t.Title), Kind: "line",
+		XLabel: xlabel, YLabel: ylabel,
+	}
+	for _, yc := range ycols {
+		s := svgplot.Series{Name: t.Header[yc]}
+		for _, row := range t.Rows {
+			x, okX := cellFloat(row[xcol])
+			y, okY := cellFloat(row[yc])
+			if okX && okY {
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, y)
+			}
+		}
+		if len(s.X) > 0 {
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	if len(fig.Series) == 0 {
+		return nil, fmt.Errorf("experiments: %s has no plottable series", t.ID)
+	}
+	return fig, nil
+}
+
+func barFigure(t Table) (*svgplot.Figure, error) {
+	fig := &svgplot.Figure{
+		Title: fmt.Sprintf("%s — %s", t.ID, t.Title), Kind: "bars",
+		YLabel: "energy relative to S&S [%]", Width: 960,
+	}
+	for _, row := range t.Rows {
+		fig.Groups = append(fig.Groups, row[0])
+	}
+	for c := 1; c < len(t.Header); c++ {
+		s := svgplot.Series{Name: t.Header[c]}
+		for _, row := range t.Rows {
+			v, ok := cellFloat(row[c])
+			if !ok {
+				return nil, fmt.Errorf("experiments: %s: bad cell %q", t.ID, row[c])
+			}
+			s.Y = append(s.Y, v)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func scatterFigure(t Table) (*svgplot.Figure, error) {
+	fig := &svgplot.Figure{
+		Title: fmt.Sprintf("%s — %s", t.ID, t.Title), Kind: "scatter",
+		XLabel: "average parallelism (work / CPL)", YLabel: "energy per unit of work [J]",
+	}
+	for c := 2; c < len(t.Header); c++ {
+		s := svgplot.Series{Name: t.Header[c]}
+		for _, row := range t.Rows {
+			x, okX := cellFloat(row[1])
+			y, okY := cellFloat(row[c])
+			if okX && okY {
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, y)
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lamps/internal/core"
+	"lamps/internal/mpeg"
+)
+
+// Table2 regenerates the benchmark-characteristics table: node count, edge
+// count, critical path and total work (in STG weight units) for every
+// workload. Random groups report min–max ranges over the group, like the
+// paper.
+func Table2(cfg Config) ([]Table, error) {
+	benches, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     "table2",
+		Title:  "employed benchmarks and their main characteristics",
+		Header: []string{"name", "nodes", "edges", "critical path", "total work"},
+	}
+	// Present applications first, as the paper does.
+	order := make([]benchmark, 0, len(benches))
+	for _, b := range benches {
+		if len(b.graphs) == 1 {
+			order = append(order, b)
+		}
+	}
+	for _, b := range benches {
+		if len(b.graphs) > 1 {
+			order = append(order, b)
+		}
+	}
+	for _, b := range order {
+		if len(b.graphs) == 1 {
+			g := b.graphs[0]
+			t.Append(b.name, g.NumTasks(), g.NumEdges(), g.CriticalPathLength(), g.TotalWork())
+			continue
+		}
+		minE, maxE := b.graphs[0].NumEdges(), b.graphs[0].NumEdges()
+		minC, maxC := b.graphs[0].CriticalPathLength(), b.graphs[0].CriticalPathLength()
+		minW, maxW := b.graphs[0].TotalWork(), b.graphs[0].TotalWork()
+		for _, g := range b.graphs[1:] {
+			minE = minInt(minE, g.NumEdges())
+			maxE = maxInt(maxE, g.NumEdges())
+			minC = minI64(minC, g.CriticalPathLength())
+			maxC = maxI64(maxC, g.CriticalPathLength())
+			minW = minI64(minW, g.TotalWork())
+			maxW = maxI64(maxW, g.TotalWork())
+		}
+		t.Append(b.name, b.graphs[0].NumTasks(),
+			fmt.Sprintf("%d-%d", minE, maxE),
+			fmt.Sprintf("%d-%d", minC, maxC),
+			fmt.Sprintf("%d-%d", minW, maxW))
+	}
+	return []Table{t}, nil
+}
+
+// Table3 regenerates the MPEG-1 comparison: total energy and employed
+// processor count for every approach on the Fig. 9 task graph with the
+// paper's real-time deadline of 0.5 s for a 15-frame GOP.
+func Table3(cfg Config) ([]Table, error) {
+	m := cfg.model()
+	g := mpeg.Fig9()
+	ccfg := core.Config{Model: m, Deadline: mpeg.RealTimeDeadline}
+	t := Table{
+		ID:     "table3",
+		Title:  "energy consumption for the MPEG-1 benchmark (GOP of 15 frames, deadline 0.5s)",
+		Header: []string{"approach", "energy[J]", "relative to S&S", "#procs", "level"},
+		Notes: []string{
+			"paper reports (arbitrary units): S&S 18.116/7p, LAMPS 13.290/3p, " +
+				"S&S+PS 10.949/7p, LAMPS+PS 10.947/6p, LIMIT-SF 10.940, LIMIT-MF 10.940",
+		},
+	}
+	var base float64
+	for _, a := range core.Approaches {
+		r, err := core.Run(a, g, ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", a, err)
+		}
+		if a == core.ApproachSS {
+			base = r.TotalEnergy()
+		}
+		procs := "N/A"
+		if r.Schedule != nil {
+			procs = fmt.Sprint(r.NumProcs)
+		}
+		t.Append(a, r.TotalEnergy(),
+			fmt.Sprintf("%.1f%%", r.TotalEnergy()/base*100),
+			procs,
+			fmt.Sprintf("%.2fV/%.2f", r.Level.Vdd, r.Level.Norm))
+	}
+	return []Table{t}, nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,262 @@
+// Package frames translates periodic real-time task sets into frame-based
+// task DAGs, the transformation of Liberato et al. (ECRTS'99) that the
+// paper invokes in Section 3.1 to connect its DAG model with the periodic
+// model of Jejurikar et al. One hyperperiod of the set becomes a frame:
+// every job of every periodic task is a node, consecutive jobs of the same
+// task are chained, each job carries its release time (job index times the
+// period) and its absolute deadline.
+//
+// On top of the translation, Schedule runs a LAMPS-style search for the
+// processor count and common operating point that minimise the energy of
+// one hyperperiod while every job meets its deadline — extending the
+// paper's leakage-aware scheduling to the periodic task model its
+// single-processor related work uses.
+package frames
+
+import (
+	"errors"
+	"fmt"
+
+	"lamps/internal/dag"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+// Errors returned by the package.
+var (
+	ErrBadTask    = errors.New("frames: invalid task")
+	ErrEmpty      = errors.New("frames: empty task set")
+	ErrInfeasible = errors.New("frames: no feasible configuration")
+)
+
+// Task is a periodic real-time task. All times are in cycles at the maximum
+// frequency; the period doubles as wall-clock quantity (cycles at f_max are
+// a fixed unit of time).
+type Task struct {
+	Name     string
+	WCET     int64 // worst-case execution time per job
+	Period   int64
+	Deadline int64 // relative deadline; 0 means the period (implicit)
+}
+
+// Set is a periodic task set.
+type Set struct {
+	tasks []Task
+}
+
+// NewSet returns an empty task set.
+func NewSet() *Set { return &Set{} }
+
+// Add appends a task after validating it.
+func (s *Set) Add(t Task) error {
+	if t.WCET <= 0 || t.Period <= 0 {
+		return fmt.Errorf("%w: %q WCET %d period %d", ErrBadTask, t.Name, t.WCET, t.Period)
+	}
+	if t.Deadline < 0 {
+		return fmt.Errorf("%w: %q negative deadline", ErrBadTask, t.Name)
+	}
+	if t.Deadline == 0 {
+		t.Deadline = t.Period
+	}
+	if t.WCET > t.Deadline {
+		return fmt.Errorf("%w: %q WCET %d exceeds deadline %d", ErrBadTask, t.Name, t.WCET, t.Deadline)
+	}
+	s.tasks = append(s.tasks, t)
+	return nil
+}
+
+// Len returns the number of periodic tasks.
+func (s *Set) Len() int { return len(s.tasks) }
+
+// Utilization returns the total processor utilization sum(WCET/Period) at
+// maximum frequency; it lower-bounds the required processor count.
+func (s *Set) Utilization() float64 {
+	var u float64
+	for _, t := range s.tasks {
+		u += float64(t.WCET) / float64(t.Period)
+	}
+	return u
+}
+
+// Hyperperiod returns the least common multiple of all periods.
+func (s *Set) Hyperperiod() (int64, error) {
+	if len(s.tasks) == 0 {
+		return 0, ErrEmpty
+	}
+	l := int64(1)
+	for _, t := range s.tasks {
+		l = lcm(l, t.Period)
+		if l <= 0 || l > int64(1)<<56 {
+			return 0, fmt.Errorf("frames: hyperperiod overflow (periods too co-prime)")
+		}
+	}
+	return l, nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 { return a / gcd(a, b) * b }
+
+// FrameDAG unrolls one hyperperiod into a DAG plus per-job release times
+// and absolute deadlines (both in cycles at f_max). Jobs of one task are
+// chained to enforce job order; there are no cross-task edges (the periodic
+// model has independent tasks).
+func (s *Set) FrameDAG() (g *dag.Graph, releases, deadlines []int64, err error) {
+	h, err := s.Hyperperiod()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	b := dag.NewBuilder("frame")
+	for _, t := range s.tasks {
+		jobs := h / t.Period
+		prev := -1
+		for k := int64(0); k < jobs; k++ {
+			v := b.AddLabeledTask(t.WCET, fmt.Sprintf("%s#%d", t.Name, k))
+			releases = append(releases, k*t.Period)
+			deadlines = append(deadlines, k*t.Period+t.Deadline)
+			if prev >= 0 {
+				b.AddEdge(prev, v)
+			}
+			prev = v
+		}
+	}
+	g, err = b.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, releases, deadlines, nil
+}
+
+// Plan is a feasible leakage-aware configuration for one hyperperiod.
+type Plan struct {
+	NumProcs  int
+	Level     power.Level
+	Schedule  *sched.Schedule // in stretched time units (cycles at f_max)
+	EnergyJ   float64
+	Active    float64 // joules
+	Idle      float64
+	Sleep     float64
+	Overhead  float64
+	Shutdowns int
+}
+
+// Schedule searches processor counts and discrete operating points for the
+// energy-minimal configuration in which every job of every periodic task
+// meets its absolute deadline within the hyperperiod. PS enables processor
+// shutdown during gaps. MaxProcs (0 = automatic) caps the processor count.
+//
+// Durations are stretched *before* scheduling — at level L a job of w
+// cycles occupies ceil(w·f_max/f_L) time units — because release times and
+// deadlines are wall-clock quantities that do not stretch with frequency,
+// unlike in the paper's single-deadline model.
+func (s *Set) Schedule(m *power.Model, ps bool, maxProcs int) (*Plan, error) {
+	g, releases, deadlines, err := s.FrameDAG()
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.Hyperperiod()
+	if err != nil {
+		return nil, err
+	}
+	nmax := g.MaxWidth()
+	if maxProcs > 0 && maxProcs < nmax {
+		nmax = maxProcs
+	}
+	nmin := int(s.Utilization())
+	if float64(nmin) < s.Utilization() {
+		nmin++
+	}
+	if nmin < 1 {
+		nmin = 1
+	}
+	fmax := m.FMax()
+	var best *Plan
+	for _, lvl := range m.Levels() {
+		stretch := fmax / lvl.Freq
+		scaled, prio, ok := s.stretchFor(g, deadlines, stretch)
+		if !ok {
+			continue // some WCET no longer fits its deadline at this level
+		}
+		for n := nmin; n <= nmax; n++ {
+			sc, err := sched.ListScheduleReleases(scaled, n, prio, releases)
+			if err != nil {
+				return nil, err
+			}
+			if !meetsAll(sc, deadlines) {
+				continue
+			}
+			p := s.evaluate(sc, m, lvl, h, ps)
+			p.NumProcs = n
+			if best == nil || p.EnergyJ < best.EnergyJ {
+				best = p
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: utilization %.2f, max %d processors",
+			ErrInfeasible, s.Utilization(), nmax)
+	}
+	return best, nil
+}
+
+// stretchFor builds the graph with durations scaled for the level and EDF
+// priorities from the absolute deadlines; ok is false when a single job
+// cannot fit its own window at this level.
+func (s *Set) stretchFor(g *dag.Graph, deadlines []int64, stretch float64) (*dag.Graph, []int64, bool) {
+	b := dag.NewBuilder(g.Name())
+	for v := 0; v < g.NumTasks(); v++ {
+		w := int64(float64(g.Weight(v))*stretch + 0.999999)
+		b.AddLabeledTask(w, g.Label(v))
+	}
+	for v := 0; v < g.NumTasks(); v++ {
+		for _, succ := range g.Succs(v) {
+			b.AddEdge(v, int(succ))
+		}
+	}
+	scaled, err := b.Build()
+	if err != nil {
+		return nil, nil, false
+	}
+	prio, err := sched.DeadlinePriorities(scaled, deadlines)
+	if err != nil {
+		return nil, nil, false
+	}
+	return scaled, prio, true
+}
+
+func meetsAll(sc *sched.Schedule, deadlines []int64) bool {
+	for v, d := range deadlines {
+		if sc.Finish[v] > d {
+			return false
+		}
+	}
+	return true
+}
+
+// evaluate integrates the energy of one hyperperiod: active time at the
+// level's full power, gaps idle or — with ps — asleep when long enough.
+func (s *Set) evaluate(sc *sched.Schedule, m *power.Model, lvl power.Level, h int64, ps bool) *Plan {
+	fmax := m.FMax()
+	toSec := func(units int64) float64 { return float64(units) / fmax }
+	p := &Plan{Level: lvl, Schedule: sc}
+	p.Active = toSec(sc.BusyCycles()) * m.LevelPower(lvl)
+	pIdle := m.IdlePower(lvl)
+	breakeven := m.BreakevenTime(lvl)
+	for _, gap := range sc.Gaps(h) {
+		t := toSec(gap.Length())
+		if ps && t > breakeven {
+			p.Sleep += t * m.PSleep
+			p.Overhead += m.EOverhead
+			p.Shutdowns++
+		} else {
+			p.Idle += t * pIdle
+		}
+	}
+	p.EnergyJ = p.Active + p.Idle + p.Sleep + p.Overhead
+	return p
+}

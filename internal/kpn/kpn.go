@@ -1,0 +1,150 @@
+// Package kpn models Kahn Process Networks and their conversion to task
+// DAGs with deadlines, following Section 3.1 (Fig. 1) of de Langen &
+// Juurlink: the network is unrolled into several copies; a channel from
+// process a to process b with delay d becomes an edge from the i-th copy of
+// a to the (i+d)-th copy of b; an edge from each copy of a process to its
+// next copy models that the process cannot start its (i+1)-st firing before
+// finishing the i-th. Output processes receive a deadline per copy: the
+// first copy's deadline plus i times the reciprocal of the throughput.
+package kpn
+
+import (
+	"errors"
+	"fmt"
+
+	"lamps/internal/dag"
+	"lamps/internal/sched"
+)
+
+// Errors returned by network construction and unrolling.
+var (
+	ErrBadProcess = errors.New("kpn: invalid process")
+	ErrBadChannel = errors.New("kpn: invalid channel")
+	ErrBadUnroll  = errors.New("kpn: invalid unroll parameters")
+)
+
+// Process is one node of the network, firing once per iteration.
+type Process struct {
+	Name   string
+	Cycles int64 // processing time of one firing, in cycles at f_max
+	Output bool  // output processes carry the throughput deadline
+}
+
+// Channel is a FIFO connection between processes. Delay is the number of
+// initial tokens: the i-th firing of To consumes the (i−Delay)-th result of
+// From, so the unrolled edge goes from copy i of From to copy i+Delay of To.
+// Delay 0 is an ordinary dependence within one iteration.
+type Channel struct {
+	From, To int // process indices
+	Delay    int
+}
+
+// Network is a Kahn Process Network.
+type Network struct {
+	procs []Process
+	chans []Channel
+}
+
+// New returns an empty network.
+func New() *Network { return &Network{} }
+
+// AddProcess appends a process and returns its index.
+func (n *Network) AddProcess(p Process) int {
+	n.procs = append(n.procs, p)
+	return len(n.procs) - 1
+}
+
+// AddChannel appends a channel.
+func (n *Network) AddChannel(c Channel) {
+	n.chans = append(n.chans, c)
+}
+
+// NumProcesses returns the number of processes.
+func (n *Network) NumProcesses() int { return len(n.procs) }
+
+// Unroll expands copies iterations of the network into a task DAG plus
+// per-task absolute deadlines (in cycles at maximum frequency) suitable for
+// sched.ListEDFWithDeadlines. The output tasks of copy i receive the
+// deadline firstDeadline + i*period, where period is the reciprocal of the
+// required throughput; all other tasks have sched.NoDeadline and inherit
+// urgency through the backward pass.
+func (n *Network) Unroll(copies int, firstDeadline, period int64) (*dag.Graph, []int64, error) {
+	if copies < 1 {
+		return nil, nil, fmt.Errorf("%w: copies = %d", ErrBadUnroll, copies)
+	}
+	if firstDeadline <= 0 || period <= 0 {
+		return nil, nil, fmt.Errorf("%w: deadline %d, period %d", ErrBadUnroll, firstDeadline, period)
+	}
+	if len(n.procs) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty network", ErrBadProcess)
+	}
+	for i, p := range n.procs {
+		if p.Cycles <= 0 {
+			return nil, nil, fmt.Errorf("%w: process %d (%s) cycles %d", ErrBadProcess, i, p.Name, p.Cycles)
+		}
+	}
+	for _, c := range n.chans {
+		if c.From < 0 || c.From >= len(n.procs) || c.To < 0 || c.To >= len(n.procs) {
+			return nil, nil, fmt.Errorf("%w: endpoints %d->%d", ErrBadChannel, c.From, c.To)
+		}
+		if c.Delay < 0 {
+			return nil, nil, fmt.Errorf("%w: negative delay %d", ErrBadChannel, c.Delay)
+		}
+		if c.From == c.To && c.Delay == 0 {
+			return nil, nil, fmt.Errorf("%w: zero-delay self loop on process %d", ErrBadChannel, c.From)
+		}
+	}
+
+	b := dag.NewBuilder("kpn")
+	np := len(n.procs)
+	id := func(proc, copy int) int { return copy*np + proc }
+	dl := make([]int64, copies*np)
+	for copy := 0; copy < copies; copy++ {
+		for pi, p := range n.procs {
+			v := b.AddLabeledTask(p.Cycles, fmt.Sprintf("%s#%d", p.Name, copy))
+			if v != id(pi, copy) {
+				panic("kpn: task numbering out of sync")
+			}
+			if p.Output {
+				dl[v] = firstDeadline + int64(copy)*period
+			} else {
+				dl[v] = sched.NoDeadline
+			}
+		}
+	}
+	// Self edges between successive copies of each process.
+	for pi := range n.procs {
+		for copy := 0; copy+1 < copies; copy++ {
+			b.AddEdge(id(pi, copy), id(pi, copy+1))
+		}
+	}
+	// Channel edges with delay.
+	for _, c := range n.chans {
+		for copy := 0; copy+c.Delay < copies; copy++ {
+			b.AddEdge(id(c.From, copy), id(c.To, copy+c.Delay))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("kpn: %w", err)
+	}
+	return g, dl, nil
+}
+
+// Fig1Example builds the three-process network of the paper's Fig. 1: T1
+// processes external inputs I1, I2, …; T3 processes external inputs
+// J1, J2, … together with T2's previous result; T2 combines the outputs of
+// T1 and T3. In the unrolled DAG there are edges from T1(j) and T3(j) to
+// T2(j), and — because T3 combines input J(i+1) with the i-th result of
+// T2 — from T2(j) to T3(j+1), i.e. a channel T2 -> T3 with one initial
+// token. T2 produces the network's output stream.
+func Fig1Example(t1, t2, t3 int64) *Network {
+	n := New()
+	p1 := n.AddProcess(Process{Name: "T1", Cycles: t1})
+	p2 := n.AddProcess(Process{Name: "T2", Cycles: t2, Output: true})
+	p3 := n.AddProcess(Process{Name: "T3", Cycles: t3})
+	n.AddChannel(Channel{From: p1, To: p2})
+	n.AddChannel(Channel{From: p3, To: p2})
+	n.AddChannel(Channel{From: p2, To: p3, Delay: 1})
+	return n
+}

@@ -1,0 +1,118 @@
+// Package mpeg builds the MPEG-1 encoding task graph of the paper's
+// Section 5.3 (Fig. 9): a closed group of pictures with I, P and B frames,
+// where every P frame depends on the previous reference frame (I or P) and
+// every B frame depends on the reference frames surrounding it in display
+// order. Execution times are the maximum per-frame-type encoding times of
+// the Tennis sequence reported by Zhu et al., scaled to a 3.1 GHz clock.
+package mpeg
+
+import (
+	"errors"
+	"fmt"
+
+	"lamps/internal/dag"
+)
+
+// Maximum encoding cycle counts per frame type for the Tennis sequence,
+// as quoted in the paper's Fig. 9 caption.
+const (
+	ICycles int64 = 36_700_900
+	BCycles int64 = 178_259_300
+	PCycles int64 = 73_401_800
+)
+
+// GOP15 is the paper's 15-frame group of pictures in display order:
+// I B B P B B P B B P B B P B B.
+const GOP15 = "IBBPBBPBBPBBPBB"
+
+// RealTimeDeadline is the paper's deadline for one GOP15: 0.5 seconds,
+// matching a real-time encoding requirement of 30 frames per second.
+const RealTimeDeadline = 0.5
+
+// ErrBadPattern is returned for malformed GOP patterns.
+var ErrBadPattern = errors.New("mpeg: invalid GOP pattern")
+
+// Cycles maps a frame type to its encoding time; used to customise the
+// per-type costs.
+type Cycles map[byte]int64
+
+// TennisCycles returns the paper's Tennis-sequence cycle counts.
+func TennisCycles() Cycles {
+	return Cycles{'I': ICycles, 'B': BCycles, 'P': PCycles}
+}
+
+// BuildGOP constructs the dependence graph of one closed GOP given its
+// display-order pattern (a string over {I, P, B} starting with I). Frame i
+// is task i with label "<type><i>". Dependences (closed GOP):
+//
+//   - A P frame depends on the nearest preceding reference frame (I or P).
+//   - A B frame depends on the nearest preceding reference frame and on the
+//     nearest following reference frame (if any; trailing B frames of a
+//     closed GOP depend only on the preceding reference).
+//
+// With the GOP15 pattern and Tennis cycle counts this reproduces Fig. 9.
+func BuildGOP(pattern string, cycles Cycles) (*dag.Graph, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("%w: empty pattern", ErrBadPattern)
+	}
+	if pattern[0] != 'I' {
+		return nil, fmt.Errorf("%w: pattern must start with an I frame, got %q", ErrBadPattern, pattern[0])
+	}
+	b := dag.NewBuilder("mpeg-" + pattern)
+	for i := 0; i < len(pattern); i++ {
+		ft := pattern[i]
+		w, ok := cycles[ft]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown frame type %q at position %d", ErrBadPattern, ft, i)
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: non-positive cycles for frame type %q", ErrBadPattern, ft)
+		}
+		b.AddLabeledTask(w, fmt.Sprintf("%c%d", ft, i))
+	}
+	isRef := func(c byte) bool { return c == 'I' || c == 'P' }
+	prevRef := func(i int) int {
+		for j := i - 1; j >= 0; j-- {
+			if isRef(pattern[j]) {
+				return j
+			}
+		}
+		return -1
+	}
+	nextRef := func(i int) int {
+		for j := i + 1; j < len(pattern); j++ {
+			if isRef(pattern[j]) {
+				return j
+			}
+		}
+		return -1
+	}
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case 'I':
+			// Intra-coded: no dependences.
+		case 'P':
+			if p := prevRef(i); p >= 0 {
+				b.AddEdge(p, i)
+			}
+		case 'B':
+			if p := prevRef(i); p >= 0 {
+				b.AddEdge(p, i)
+			}
+			if nx := nextRef(i); nx >= 0 {
+				b.AddEdge(nx, i)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Fig9 returns the paper's MPEG-1 benchmark graph: GOP15 with the Tennis
+// cycle counts.
+func Fig9() *dag.Graph {
+	g, err := BuildGOP(GOP15, TennisCycles())
+	if err != nil {
+		panic("mpeg: Fig9 construction failed: " + err.Error())
+	}
+	return g
+}

@@ -1,0 +1,138 @@
+package mpeg
+
+import (
+	"errors"
+	"testing"
+
+	"lamps/internal/sched"
+)
+
+func TestFig9Aggregates(t *testing.T) {
+	g := Fig9()
+	if g.NumTasks() != 15 {
+		t.Fatalf("NumTasks = %d, want 15", g.NumTasks())
+	}
+	// Work: 1 I + 4 P + 10 B frames.
+	wantWork := ICycles + 4*PCycles + 10*BCycles
+	if g.TotalWork() != wantWork {
+		t.Errorf("TotalWork = %d, want %d", g.TotalWork(), wantWork)
+	}
+	// Critical path: I0 -> P3 -> P6 -> P9 -> P12 -> B13 (or B14).
+	wantCPL := ICycles + 4*PCycles + BCycles
+	if g.CriticalPathLength() != wantCPL {
+		t.Errorf("CPL = %d, want %d", g.CriticalPathLength(), wantCPL)
+	}
+	// Edges: 4 along the reference chain, 2 per non-trailing B (8 Bs), 1 per
+	// trailing B (2 Bs).
+	if g.NumEdges() != 4+8*2+2 {
+		t.Errorf("NumEdges = %d, want 22", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// The real-time deadline is roughly 3x the CPL, as the paper notes
+	// implicitly by it being comfortably schedulable.
+	cplSec := float64(wantCPL) / 3.1e9
+	if RealTimeDeadline/cplSec < 2.5 || RealTimeDeadline/cplSec > 3.5 {
+		t.Errorf("deadline/CPL ratio = %g, expected around 3", RealTimeDeadline/cplSec)
+	}
+}
+
+func TestFig9Dependences(t *testing.T) {
+	g := Fig9()
+	// Task indices follow display order: I0 B1 B2 P3 B4 B5 P6 ...
+	wantPreds := map[int][]int{
+		0:  {},      // I0
+		1:  {0, 3},  // B1 <- I0, P3
+		2:  {0, 3},  // B2
+		3:  {0},     // P3 <- I0
+		4:  {3, 6},  // B4 <- P3, P6
+		5:  {3, 6},  // B5
+		6:  {3},     // P6 <- P3
+		7:  {6, 9},  // B7
+		8:  {6, 9},  // B8
+		9:  {6},     // P9
+		10: {9, 12}, // B10
+		11: {9, 12}, // B11
+		12: {9},     // P12
+		13: {12},    // B13 (closed GOP: trailing B)
+		14: {12},    // B14
+	}
+	for v, want := range wantPreds {
+		got := g.Preds(v)
+		if len(got) != len(want) {
+			t.Errorf("task %d preds = %v, want %v", v, got, want)
+			continue
+		}
+		for i := range want {
+			if int(got[i]) != want[i] {
+				t.Errorf("task %d preds = %v, want %v", v, got, want)
+				break
+			}
+		}
+	}
+}
+
+// TestFig9Parallelism verifies the peak concurrency that determines how
+// many processors S&S employs.
+func TestFig9Parallelism(t *testing.T) {
+	g := Fig9()
+	if g.MaxWidth() < 7 || g.MaxWidth() > 8 {
+		t.Errorf("MaxWidth = %d, expected 7..8 (the paper's S&S employs 7)", g.MaxWidth())
+	}
+	s, err := sched.ListEDF(g, g.MaxWidth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != g.CriticalPathLength() {
+		t.Errorf("makespan with full width = %d, want CPL %d", s.Makespan, g.CriticalPathLength())
+	}
+}
+
+func TestBuildGOPErrors(t *testing.T) {
+	cases := []struct {
+		pattern string
+		cycles  Cycles
+	}{
+		{"", TennisCycles()},
+		{"BIP", TennisCycles()},
+		{"IXB", TennisCycles()},
+		{"IPB", Cycles{'I': 1, 'P': 0, 'B': 1}},
+		{"IPB", Cycles{'I': 1, 'B': 1}},
+	}
+	for _, tc := range cases {
+		if _, err := BuildGOP(tc.pattern, tc.cycles); !errors.Is(err, ErrBadPattern) {
+			t.Errorf("BuildGOP(%q) err = %v, want ErrBadPattern", tc.pattern, err)
+		}
+	}
+}
+
+func TestBuildGOPVariants(t *testing.T) {
+	// I-only GOP: no edges at all.
+	g, err := BuildGOP("III", Cycles{'I': 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("III edges = %d, want 0", g.NumEdges())
+	}
+	// IPPP: a chain.
+	g, err = BuildGOP("IPPP", TennisCycles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 || g.MaxWidth() != 1 {
+		t.Errorf("IPPP edges=%d width=%d, want chain", g.NumEdges(), g.MaxWidth())
+	}
+	// IBP: B depends on both I and P; P depends on I.
+	g, err = BuildGOP("IBP", TennisCycles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("IBP edges = %d, want 3", g.NumEdges())
+	}
+	if g.Label(1) != "B1" || g.Label(2) != "P2" {
+		t.Errorf("labels = %q, %q", g.Label(1), g.Label(2))
+	}
+}

@@ -1,0 +1,195 @@
+// Package opt computes provably optimal reference solutions for small task
+// graphs by exhaustive branch and bound. It exists to validate the
+// heuristics: LS-EDF's makespan can be compared against the true optimum,
+// and LAMPS against the energy-optimal processor-count/level pair.
+//
+// Key observation: without shutdown and with one common frequency, the
+// energy of a schedule depends only on the employed processor count N and
+// the operating point — active energy W/f·P plus idle energy
+// (N·D − W/f)·P_idle — not on the task placement. The schedule only decides
+// *feasibility* through its makespan. The energy-optimal single-frequency
+// solution is therefore min over (N, level) of a closed form, subject to
+// OptimalMakespan(g, N)/f ≤ D, which branch and bound settles exactly for
+// small graphs.
+package opt
+
+import (
+	"errors"
+	"fmt"
+
+	"lamps/internal/dag"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+// MaxTasks bounds the graph size accepted by the exhaustive search.
+const MaxTasks = 12
+
+// Errors returned by the package.
+var (
+	ErrTooLarge   = errors.New("opt: graph too large for exhaustive search")
+	ErrInfeasible = errors.New("opt: deadline infeasible")
+)
+
+// OptimalMakespan returns the minimum possible makespan of g on nprocs
+// identical processors, found by branch and bound over semi-active
+// schedules (an optimal semi-active schedule always exists for makespan).
+func OptimalMakespan(g *dag.Graph, nprocs int) (int64, error) {
+	n := g.NumTasks()
+	if n > MaxTasks {
+		return 0, fmt.Errorf("%w: %d tasks (max %d)", ErrTooLarge, n, MaxTasks)
+	}
+	if nprocs < 1 {
+		return 0, fmt.Errorf("opt: nprocs %d", nprocs)
+	}
+	if nprocs > n {
+		nprocs = n
+	}
+	// Upper bound from LS-EDF; the optimum can only improve on it.
+	ls, err := sched.ListEDF(g, nprocs)
+	if err != nil {
+		return 0, err
+	}
+	best := ls.Makespan
+
+	finish := make([]int64, n)
+	free := make([]int64, nprocs)
+	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = int32(g.InDegree(v))
+	}
+
+	lower := sched.MakespanLowerBound(g, nprocs)
+
+	var dfs func(scheduled int, cur int64)
+	dfs = func(scheduled int, cur int64) {
+		if cur >= best {
+			return // dominated
+		}
+		if scheduled == n {
+			best = cur
+			return
+		}
+		// Path-based lower bound: every unscheduled ready task still needs
+		// its bottom level after its earliest start.
+		for v := 0; v < n; v++ {
+			if indeg[v] < 0 {
+				continue // already scheduled
+			}
+			est := int64(0)
+			if indeg[v] == 0 {
+				for _, p := range g.Preds(v) {
+					if finish[p] > est {
+						est = finish[p]
+					}
+				}
+				if est+g.BottomLevel(v) >= best {
+					return
+				}
+			}
+		}
+		// Branch: choose a ready task and a processor. Processors with equal
+		// free times are interchangeable; branch only on distinct values.
+		for v := 0; v < n; v++ {
+			if indeg[v] != 0 {
+				continue
+			}
+			ready := int64(0)
+			for _, p := range g.Preds(v) {
+				if finish[p] > ready {
+					ready = finish[p]
+				}
+			}
+			seen := map[int64]bool{}
+			for p := 0; p < nprocs; p++ {
+				if seen[free[p]] {
+					continue
+				}
+				seen[free[p]] = true
+				start := free[p]
+				if ready > start {
+					start = ready
+				}
+				fin := start + g.Weight(v)
+				if fin >= best {
+					continue
+				}
+				// Apply.
+				oldFree := free[p]
+				free[p] = fin
+				finish[v] = fin
+				indeg[v] = -1
+				for _, s := range g.Succs(v) {
+					indeg[s]--
+				}
+				next := cur
+				if fin > next {
+					next = fin
+				}
+				dfs(scheduled+1, next)
+				// Undo.
+				for _, s := range g.Succs(v) {
+					indeg[s]++
+				}
+				indeg[v] = 0
+				finish[v] = 0
+				free[p] = oldFree
+				if best <= lower {
+					return // cannot improve further
+				}
+			}
+		}
+	}
+	dfs(0, 0)
+	return best, nil
+}
+
+// SFResult is the energy-optimal single-frequency, no-shutdown solution.
+type SFResult struct {
+	NumProcs int
+	Level    power.Level
+	EnergyJ  float64
+	Makespan int64 // optimal makespan at NumProcs, in cycles
+}
+
+// OptimalEnergySF returns the minimum-energy (processor count, level) pair
+// for the single-frequency machine without shutdown, using exhaustive
+// optimal makespans for feasibility. It is a lower bound for S&S and LAMPS
+// (which use the same machine model but a heuristic scheduler) and an upper
+// bound for LIMIT-SF (which additionally assumes free idling).
+func OptimalEnergySF(g *dag.Graph, m *power.Model, deadlineSec float64) (*SFResult, error) {
+	n := g.NumTasks()
+	if n > MaxTasks {
+		return nil, fmt.Errorf("%w: %d tasks (max %d)", ErrTooLarge, n, MaxTasks)
+	}
+	if deadlineSec <= 0 {
+		return nil, fmt.Errorf("%w: deadline %g", ErrInfeasible, deadlineSec)
+	}
+	maxN := g.MaxWidth()
+	makespans := make([]int64, maxN+1)
+	for N := 1; N <= maxN; N++ {
+		mk, err := OptimalMakespan(g, N)
+		if err != nil {
+			return nil, err
+		}
+		makespans[N] = mk
+	}
+	work := float64(g.TotalWork())
+	var best *SFResult
+	for N := 1; N <= maxN; N++ {
+		for _, lvl := range m.Levels() {
+			if float64(makespans[N])/lvl.Freq > deadlineSec*(1+1e-12) {
+				continue
+			}
+			busy := work / lvl.Freq
+			e := busy*m.LevelPower(lvl) + (float64(N)*deadlineSec-busy)*m.IdlePower(lvl)
+			if best == nil || e < best.EnergyJ {
+				best = &SFResult{NumProcs: N, Level: lvl, EnergyJ: e, Makespan: makespans[N]}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: CPL %d cycles in %gs", ErrInfeasible, g.CriticalPathLength(), deadlineSec)
+	}
+	return best, nil
+}

@@ -1,0 +1,250 @@
+package opt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lamps/internal/core"
+	"lamps/internal/dag"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+func buildFig4a(t testing.TB) *dag.Graph {
+	t.Helper()
+	b := dag.NewBuilder("fig4a")
+	for _, w := range []int64{2, 6, 4, 4, 2} {
+		b.AddTask(w)
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 4)
+	b.AddEdge(2, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestOptimalMakespanKnownValues(t *testing.T) {
+	g := buildFig4a(t)
+	tests := []struct {
+		nprocs int
+		want   int64
+	}{
+		{1, 18}, // total work
+		{2, 10}, // the Fig. 7a observation: 2 procs reach the CPL
+		{3, 10},
+		{9, 10},
+	}
+	for _, tc := range tests {
+		got, err := OptimalMakespan(g, tc.nprocs)
+		if err != nil {
+			t.Fatalf("OptimalMakespan(%d): %v", tc.nprocs, err)
+		}
+		if got != tc.want {
+			t.Errorf("OptimalMakespan(%d) = %d, want %d", tc.nprocs, got, tc.want)
+		}
+	}
+}
+
+// TestOptimalBeatsAnomalousListSchedule constructs Graham's classic anomaly
+// setup where naive list scheduling is suboptimal, and verifies branch and
+// bound finds the better value.
+func TestOptimalMakespanIndependentTasks(t *testing.T) {
+	// Weights 3,3,2,2,2 on 2 processors: optimal 6 (3+3 | 2+2+2), while a
+	// bad list order could give 7.
+	b := dag.NewBuilder("indep")
+	for _, w := range []int64{3, 3, 2, 2, 2} {
+		b.AddTask(w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OptimalMakespan(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Errorf("OptimalMakespan = %d, want 6", got)
+	}
+}
+
+func TestOptimalMakespanTooLarge(t *testing.T) {
+	b := dag.NewBuilder("big")
+	for i := 0; i < MaxTasks+1; i++ {
+		b.AddTask(1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OptimalMakespan(g, 2); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+	if _, err := OptimalEnergySF(g, power.Default70nm(), 1); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func randomTiny(rng *rand.Rand, n int) *dag.Graph {
+	b := dag.NewBuilder("tiny")
+	for i := 0; i < n; i++ {
+		b.AddTask(int64(rng.Intn(9) + 1))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestPropertyLSNeverBeatsOptimum: the heuristic's makespan is bounded below
+// by the exhaustive optimum and above by Graham's factor of it.
+func TestPropertyLSNeverBeatsOptimum(t *testing.T) {
+	f := func(seed int64, rawN, rawProcs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%7) + 2
+		nprocs := int(rawProcs%3) + 1
+		g := randomTiny(rng, n)
+		optimum, err := OptimalMakespan(g, nprocs)
+		if err != nil {
+			return false
+		}
+		ls, err := sched.ListEDF(g, nprocs)
+		if err != nil {
+			return false
+		}
+		if ls.Makespan < optimum {
+			t.Logf("LS makespan %d below optimum %d ?!", ls.Makespan, optimum)
+			return false
+		}
+		graham := float64(optimum) * (2 - 1/float64(nprocs))
+		if float64(ls.Makespan) > graham+1e-9 {
+			t.Logf("LS makespan %d above Graham bound of optimum %d", ls.Makespan, optimum)
+			return false
+		}
+		if optimum < sched.MakespanLowerBound(g, nprocs) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLAMPSvsOptimalEnergy: on tiny graphs, LAMPS's energy is
+// bracketed by the exhaustive optimum (same machine model) from below
+// — modulo the level granularity both share — and LAMPS usually attains it.
+func TestPropertyLAMPSvsOptimalEnergy(t *testing.T) {
+	m := power.Default70nm()
+	matches := 0
+	total := 0
+	f := func(seed int64, rawN, rawF uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%7) + 2
+		g := randomTiny(rng, n)
+		scaled, err := g.ScaleWeights(3_100_000)
+		if err != nil {
+			return false
+		}
+		factor := []float64{1.5, 2, 4, 8}[rawF%4]
+		cfg := core.DeadlineFactor(scaled, m, factor)
+		opt, err := OptimalEnergySF(scaled, m, cfg.Deadline)
+		if err != nil {
+			return false
+		}
+		la, err := core.LAMPS(scaled, cfg)
+		if err != nil {
+			return false
+		}
+		total++
+		if la.TotalEnergy() < opt.EnergyJ*(1-1e-6) { // 1e-6: Evaluate truncates the horizon to whole cycles
+			t.Logf("LAMPS %g J beats the exhaustive optimum %g J ?!", la.TotalEnergy(), opt.EnergyJ)
+			return false
+		}
+		if la.TotalEnergy() <= opt.EnergyJ*(1+1e-6) {
+			matches++
+		}
+		// The optimum itself must respect the LIMIT-SF bound.
+		sf, err := core.LimitSF(scaled, cfg)
+		if err != nil {
+			return false
+		}
+		return opt.EnergyJ >= sf.TotalEnergy()*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+	if total > 0 && float64(matches)/float64(total) < 0.7 {
+		t.Errorf("LAMPS matched the exhaustive optimum on only %d/%d tiny instances", matches, total)
+	}
+	t.Logf("LAMPS matched the exhaustive optimum on %d/%d tiny instances", matches, total)
+}
+
+func TestOptimalEnergySFInfeasible(t *testing.T) {
+	g := buildFig4a(t)
+	scaled, err := g.ScaleWeights(3_100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power.Default70nm()
+	cplSec := float64(scaled.CriticalPathLength()) / m.FMax()
+	if _, err := OptimalEnergySF(scaled, m, cplSec/2); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := OptimalEnergySF(scaled, m, -1); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("negative deadline err = %v", err)
+	}
+}
+
+func TestOptimalEnergySFPicksSensibleLevel(t *testing.T) {
+	g := buildFig4a(t)
+	scaled, err := g.ScaleWeights(3_100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power.Default70nm()
+	// Loose deadline: with idle power charged, very low frequencies are
+	// penalised; the optimum should sit at or above... simply: it must be a
+	// valid ladder level and meet the deadline.
+	d := 8 * float64(scaled.CriticalPathLength()) / m.FMax()
+	r, err := OptimalEnergySF(scaled, m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumProcs < 1 || r.NumProcs > scaled.MaxWidth() {
+		t.Errorf("NumProcs = %d", r.NumProcs)
+	}
+	if float64(r.Makespan)/r.Level.Freq > d*(1+1e-9) {
+		t.Errorf("optimal config misses deadline")
+	}
+	// On this graph at 8x, one processor at a deep level wins.
+	if r.NumProcs != 1 {
+		t.Errorf("NumProcs = %d, want 1 on a loose deadline", r.NumProcs)
+	}
+}
+
+func BenchmarkOptimalMakespan8(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomTiny(rng, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalMakespan(g, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package power
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelJSON is the serialised form of a Model: technology constants and
+// platform parameters only; derived data is rebuilt on load.
+type modelJSON struct {
+	K1    float64 `json:"k1"`
+	K2    float64 `json:"k2"`
+	K3    float64 `json:"k3"`
+	K4    float64 `json:"k4"`
+	K5    float64 `json:"k5"`
+	K6    float64 `json:"k6"`
+	K7    float64 `json:"k7"`
+	Vdd0  float64 `json:"vdd0"`
+	Vbs   float64 `json:"vbs"`
+	Alpha float64 `json:"alpha"`
+	Vth1  float64 `json:"vth1"`
+	Ij    float64 `json:"ij"`
+	Ceff  float64 `json:"ceff"`
+	Ld    float64 `json:"ld"`
+	Lg    float64 `json:"lg"`
+
+	Activity  float64 `json:"activity"`
+	POn       float64 `json:"p_on"`
+	PSleep    float64 `json:"p_sleep"`
+	EOverhead float64 `json:"e_overhead"`
+
+	VddMax  float64 `json:"vdd_max"`
+	VddMin  float64 `json:"vdd_min"`
+	VddStep float64 `json:"vdd_step"`
+}
+
+// WriteJSON serialises the model's parameters, so custom technologies can
+// be stored next to experiments and loaded with LoadJSON (or the CLI's
+// -model flag).
+func (m *Model) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(modelJSON{
+		K1: m.K1, K2: m.K2, K3: m.K3, K4: m.K4, K5: m.K5, K6: m.K6, K7: m.K7,
+		Vdd0: m.Vdd0, Vbs: m.Vbs, Alpha: m.Alpha, Vth1: m.Vth1, Ij: m.Ij,
+		Ceff: m.Ceff, Ld: m.Ld, Lg: m.Lg,
+		Activity: m.Activity, POn: m.POn, PSleep: m.PSleep, EOverhead: m.EOverhead,
+		VddMax: m.VddMax, VddMin: m.VddMin, VddStep: m.VddStep,
+	})
+}
+
+// LoadJSON reads a model serialised by WriteJSON (or written by hand),
+// validates it and builds the voltage ladder. Missing fields default to
+// zero and will fail validation, except that a fully-empty document is
+// rejected explicitly.
+func LoadJSON(r io.Reader) (*Model, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var j modelJSON
+	if err := dec.Decode(&j); err != nil {
+		return nil, fmt.Errorf("power: decoding model: %w", err)
+	}
+	m := &Model{
+		K1: j.K1, K2: j.K2, K3: j.K3, K4: j.K4, K5: j.K5, K6: j.K6, K7: j.K7,
+		Vdd0: j.Vdd0, Vbs: j.Vbs, Alpha: j.Alpha, Vth1: j.Vth1, Ij: j.Ij,
+		Ceff: j.Ceff, Ld: j.Ld, Lg: j.Lg,
+		Activity: j.Activity, POn: j.POn, PSleep: j.PSleep, EOverhead: j.EOverhead,
+		VddMax: j.VddMax, VddMin: j.VddMin, VddStep: j.VddStep,
+	}
+	if err := m.Build(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

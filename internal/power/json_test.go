@@ -1,0 +1,95 @@
+package power
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := Default70nm()
+	m.POn = 0.07
+	m.VddMin = 0.5
+	if err := m.Build(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if back.POn != 0.07 || back.VddMin != 0.5 {
+		t.Errorf("parameters lost: POn=%g VddMin=%g", back.POn, back.VddMin)
+	}
+	if back.FMax() != m.FMax() {
+		t.Errorf("FMax differs after round trip")
+	}
+	if len(back.Levels()) != len(m.Levels()) {
+		t.Errorf("ladder differs after round trip")
+	}
+	if back.CriticalLevel().Vdd != m.CriticalLevel().Vdd {
+		t.Errorf("critical level differs")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{invalid`,
+		`{"unknown_field": 1}`,
+		`{"k1": 0.063}`, // missing everything else: Build fails
+	}
+	for _, in := range cases {
+		if _, err := LoadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadJSON(%q) succeeded", in)
+		}
+	}
+}
+
+func TestWithLeakage(t *testing.T) {
+	m := Default70nm()
+	heavy, err := m.WithLeakage(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := heavy.PowerDC(1.0), 5*m.PowerDC(1.0); !approx(got, want, 1e-9) {
+		t.Errorf("PowerDC scaled to %g, want %g", got, want)
+	}
+	// More leakage pushes the critical frequency up.
+	if heavy.CriticalLevel().Index >= m.CriticalLevel().Index {
+		// Higher index = lower frequency; heavier leakage must not lower it.
+		if heavy.CriticalLevel().Index > m.CriticalLevel().Index {
+			t.Errorf("critical level moved down with more leakage: %v vs %v",
+				heavy.CriticalLevel(), m.CriticalLevel())
+		}
+	}
+	// The original model is untouched.
+	if !approx(m.PowerDC(1.0), 0.7155, 0.01) {
+		t.Errorf("original model mutated: %g", m.PowerDC(1.0))
+	}
+
+	light, err := m.WithoutLeakage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if light.PowerDC(1.0) > 1e-6 {
+		t.Errorf("WithoutLeakage still leaks %g W", light.PowerDC(1.0))
+	}
+	// With no leakage the energy-optimal frequency drops (only the intrinsic
+	// P_on still penalises slow clocks), so the critical level moves to a
+	// lower frequency (higher ladder index) than with leakage.
+	if light.CriticalLevel().Index <= m.CriticalLevel().Index {
+		t.Errorf("no-leakage critical level = %v, want slower than %v",
+			light.CriticalLevel(), m.CriticalLevel())
+	}
+
+	if _, err := m.WithLeakage(0); err == nil {
+		t.Error("WithLeakage(0) accepted")
+	}
+	if _, err := m.WithLeakage(-1); err == nil {
+		t.Error("WithLeakage(-1) accepted")
+	}
+}

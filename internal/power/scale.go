@@ -1,0 +1,32 @@
+package power
+
+import "fmt"
+
+// WithLeakage returns a copy of the model with the sub-threshold leakage
+// current (K3) and the junction current (Ij) scaled by the given factor,
+// rebuilt and ready for use. The paper motivates leakage awareness with the
+// prediction that leakage grows by about 5x per technology generation
+// (Borkar, IEEE Micro 1999); scaling the leakage terms explores that axis:
+// more leakage raises the critical frequency and shifts the optimum from
+// "many slow processors" towards "few fast ones plus shutdown".
+func (m *Model) WithLeakage(factor float64) (*Model, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("%w: leakage factor %g", ErrBadParams, factor)
+	}
+	c := *m
+	c.levels = nil
+	c.built = false
+	c.K3 *= factor
+	c.Ij *= factor
+	if err := c.Build(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// WithoutLeakage returns a copy of the model with (nearly) zero static
+// power, approximating past technology generations in which dynamic power
+// dominated and Schedule-and-Stretch was near-optimal.
+func (m *Model) WithoutLeakage() (*Model, error) {
+	return m.WithLeakage(1e-9)
+}

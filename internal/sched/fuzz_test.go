@@ -1,0 +1,25 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON feeds arbitrary bytes to the schedule deserialiser: it must
+// never panic, and every accepted document must pass full validation.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"name":"x","num_procs":1,"makespan_cycles":5,"tasks":[{"id":0,"weight_cycles":5,"proc":0,"start_cycles":0,"finish_cycles":5}]}`)
+	f.Add(`{"name":"","num_procs":2,"makespan_cycles":0,"tasks":[]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"tasks":[{"id":0,"preds":[0]}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted schedule fails validation: %v", verr)
+		}
+	})
+}

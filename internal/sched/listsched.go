@@ -1,0 +1,282 @@
+package sched
+
+import (
+	"container/heap"
+	"math"
+
+	"lamps/internal/dag"
+)
+
+// NoDeadline marks a task without an explicit deadline in per-task deadline
+// slices.
+const NoDeadline = int64(math.MaxInt64)
+
+// EDFPriorities returns the per-task priorities used by list scheduling with
+// earliest deadline first for a single global deadline D (in cycles): the
+// effective deadline of task v is the latest time it may finish without
+// making the deadline unreachable along any downstream path,
+//
+//	d(v) = D − (blevel(v) − w(v)).
+//
+// Lower values mean higher urgency. Because D shifts all priorities equally,
+// the resulting order — and hence the schedule — is independent of D; EDF
+// with a global deadline coincides with highest-bottom-level-first list
+// scheduling.
+func EDFPriorities(g *dag.Graph, deadline int64) []int64 {
+	prio := make([]int64, g.NumTasks())
+	for v := range prio {
+		prio[v] = deadline - (g.BottomLevel(v) - g.Weight(v))
+	}
+	return prio
+}
+
+// DeadlinePriorities returns EDF priorities for per-task absolute deadlines
+// (use NoDeadline for tasks without one, e.g. non-output tasks of an
+// unrolled KPN). The effective deadline is propagated backwards:
+//
+//	d(v) = min(dl(v), min over successors s of d(s) − w(s)).
+//
+// It returns ErrBadDeadlines when the slice length does not match the graph.
+func DeadlinePriorities(g *dag.Graph, dl []int64) ([]int64, error) {
+	n := g.NumTasks()
+	if len(dl) != n {
+		return nil, ErrBadDeadlines
+	}
+	eff := make([]int64, n)
+	copy(eff, dl)
+	topo := g.TopoOrder()
+	for i := n - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, s := range g.Succs(int(v)) {
+			if eff[s] == NoDeadline {
+				continue
+			}
+			if d := eff[s] - g.Weight(int(s)); d < eff[v] {
+				eff[v] = d
+			}
+		}
+	}
+	return eff, nil
+}
+
+// FIFOPriorities returns priorities equal to the task index. Used as a
+// deliberately naive baseline in ablation experiments.
+func FIFOPriorities(g *dag.Graph) []int64 {
+	prio := make([]int64, g.NumTasks())
+	for v := range prio {
+		prio[v] = int64(v)
+	}
+	return prio
+}
+
+// ListEDF schedules the graph on nprocs identical processors using list
+// scheduling with earliest deadline first (LS-EDF), the scheduling algorithm
+// employed by S&S and LAMPS. Whenever a processor is idle and tasks are
+// ready, the ready task with the earliest effective deadline is dispatched.
+func ListEDF(g *dag.Graph, nprocs int) (*Schedule, error) {
+	return ListSchedule(g, nprocs, EDFPriorities(g, 0))
+}
+
+// ListEDFWithDeadlines is ListEDF with explicit per-task deadlines (see
+// DeadlinePriorities).
+func ListEDFWithDeadlines(g *dag.Graph, nprocs int, dl []int64) (*Schedule, error) {
+	prio, err := DeadlinePriorities(g, dl)
+	if err != nil {
+		return nil, err
+	}
+	return ListSchedule(g, nprocs, prio)
+}
+
+// readyItem is an entry of the ready heap.
+type readyItem struct {
+	task int32
+	prio int64
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].task < h[j].task
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// finishEvent is a running task completion in the event queue.
+type finishEvent struct {
+	finish int64
+	task   int32
+}
+
+type eventHeap []finishEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].task < h[j].task
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(finishEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// intHeap is a min-heap of processor indices (lowest index dispatched first
+// for determinism).
+type intHeap []int32
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int32)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ListSchedule runs event-driven, work-conserving list scheduling with
+// arbitrary per-task priorities (lower value = dispatched earlier among
+// ready tasks). Whenever at least one processor is idle and at least one
+// task is ready, the lowest-priority-value ready task starts immediately on
+// the lowest-numbered idle processor; otherwise time advances to the next
+// task completion. It is the engine behind ListEDF and the alternative
+// policies.
+func ListSchedule(g *dag.Graph, nprocs int, prio []int64) (*Schedule, error) {
+	return ListScheduleReleases(g, nprocs, prio, nil)
+}
+
+// ListScheduleReleases is ListSchedule with per-task release times (in
+// cycles): no task starts before its release, even when its predecessors
+// have finished and a processor is idle. Releases model environment inputs
+// that arrive over time — the paper uses them for periodic tasks translated
+// to frame DAGs (Section 3.1, after Liberato et al.) and for KPN inputs not
+// available at time zero. A nil slice means every task is released at 0.
+func ListScheduleReleases(g *dag.Graph, nprocs int, prio, release []int64) (*Schedule, error) {
+	if nprocs <= 0 {
+		return nil, ErrNoProcs
+	}
+	n := g.NumTasks()
+	if len(prio) != n {
+		return nil, ErrBadDeadlines
+	}
+	if release != nil && len(release) != n {
+		return nil, ErrBadDeadlines
+	}
+	relOf := func(v int32) int64 {
+		if release == nil {
+			return 0
+		}
+		return release[v]
+	}
+	s := &Schedule{
+		Graph:    g,
+		NumProcs: nprocs,
+		Proc:     make([]int32, n),
+		Start:    make([]int64, n),
+		Finish:   make([]int64, n),
+	}
+
+	indeg := make([]int32, n)
+	ready := make(readyHeap, 0, n)
+	var pending eventHeap // tasks with all preds done, waiting for release
+	for v := 0; v < n; v++ {
+		indeg[v] = int32(g.InDegree(v))
+		if indeg[v] == 0 {
+			if r := relOf(int32(v)); r > 0 {
+				pending = append(pending, finishEvent{r, int32(v)})
+			} else {
+				ready = append(ready, readyItem{int32(v), prio[v]})
+			}
+		}
+	}
+	heap.Init(&ready)
+	heap.Init(&pending)
+
+	idle := make(intHeap, nprocs)
+	for p := range idle {
+		idle[p] = int32(p)
+	}
+	heap.Init(&idle)
+
+	var running eventHeap
+	var t int64
+	for {
+		// Admit every pending task whose release has passed.
+		for pending.Len() > 0 && pending[0].finish <= t {
+			ev := heap.Pop(&pending).(finishEvent)
+			heap.Push(&ready, readyItem{ev.task, prio[ev.task]})
+		}
+		// Dispatch every ready task for which an idle processor exists.
+		for ready.Len() > 0 && idle.Len() > 0 {
+			it := heap.Pop(&ready).(readyItem)
+			p := heap.Pop(&idle).(int32)
+			v := int(it.task)
+			finish := t + g.Weight(v)
+			s.Proc[v] = p
+			s.Start[v] = t
+			s.Finish[v] = finish
+			if finish > s.Makespan {
+				s.Makespan = finish
+			}
+			heap.Push(&running, finishEvent{finish, it.task})
+		}
+		if running.Len() == 0 && pending.Len() == 0 {
+			break // nothing running, nothing future: done
+		}
+		// Advance to the next event: a completion or a release.
+		next := int64(math.MaxInt64)
+		if running.Len() > 0 {
+			next = running[0].finish
+		}
+		if pending.Len() > 0 && pending[0].finish < next {
+			next = pending[0].finish
+		}
+		t = next
+		for running.Len() > 0 && running[0].finish == t {
+			ev := heap.Pop(&running).(finishEvent)
+			heap.Push(&idle, s.Proc[ev.task])
+			for _, succ := range g.Succs(int(ev.task)) {
+				indeg[succ]--
+				if indeg[succ] == 0 {
+					if r := relOf(succ); r > t {
+						heap.Push(&pending, finishEvent{r, succ})
+					} else {
+						heap.Push(&ready, readyItem{succ, prio[succ]})
+					}
+				}
+			}
+		}
+	}
+	s.rebuildByProc()
+	return s, nil
+}
+
+// MakespanLowerBound returns max(CPL, ceil(W/nprocs)), a lower bound on the
+// makespan of any schedule of g on nprocs processors. The paper's
+// N_lwb = ceil(W/D) processor bound is this bound solved for N.
+func MakespanLowerBound(g *dag.Graph, nprocs int) int64 {
+	lb := g.CriticalPathLength()
+	if w := (g.TotalWork() + int64(nprocs) - 1) / int64(nprocs); w > lb {
+		lb = w
+	}
+	return lb
+}

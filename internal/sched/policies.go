@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"lamps/internal/dag"
+)
+
+// This file provides alternative list-scheduling priority policies. The
+// paper schedules exclusively with EDF and uses the LIMIT bounds to argue
+// that no other scheduling algorithm can improve much (Section 4.4); these
+// policies make that argument testable empirically, and are exposed through
+// core.Config.Priorities for ablation studies.
+
+// PolicyName identifies a priority policy.
+type PolicyName string
+
+// Available policies.
+const (
+	// PolicyEDF is earliest deadline first, the paper's policy: highest
+	// bottom level first.
+	PolicyEDF PolicyName = "edf"
+	// PolicyFIFO dispatches ready tasks by index; a deliberately naive
+	// baseline.
+	PolicyFIFO PolicyName = "fifo"
+	// PolicyLPT dispatches the longest ready task first (longest processing
+	// time), the classic makespan heuristic for independent tasks.
+	PolicyLPT PolicyName = "lpt"
+	// PolicySPT dispatches the shortest ready task first.
+	PolicySPT PolicyName = "spt"
+	// PolicyCriticalChild prefers tasks whose heaviest successor is most
+	// urgent: blevel plus the largest successor weight. It approximates the
+	// slowdown-opportunity-aware scheduling of Zhang et al. (DAC'02), which
+	// the paper cites as an alternative worth comparing against.
+	PolicyCriticalChild PolicyName = "critical-child"
+	// PolicyRandom uses a seeded random permutation; useful to estimate how
+	// much the policy matters at all.
+	PolicyRandom PolicyName = "random"
+)
+
+// Policies lists all policy names.
+var Policies = []PolicyName{
+	PolicyEDF, PolicyFIFO, PolicyLPT, PolicySPT, PolicyCriticalChild, PolicyRandom,
+}
+
+// ErrUnknownPolicy is returned for unrecognised policy names.
+var ErrUnknownPolicy = errors.New("sched: unknown policy")
+
+// Priorities returns the priority function of a named policy. The random
+// policy is seeded with the given seed; the others ignore it.
+func Priorities(name PolicyName, seed int64) (func(*dag.Graph) []int64, error) {
+	switch name {
+	case PolicyEDF:
+		return func(g *dag.Graph) []int64 { return EDFPriorities(g, 0) }, nil
+	case PolicyFIFO:
+		return FIFOPriorities, nil
+	case PolicyLPT:
+		return LPTPriorities, nil
+	case PolicySPT:
+		return SPTPriorities, nil
+	case PolicyCriticalChild:
+		return CriticalChildPriorities, nil
+	case PolicyRandom:
+		return func(g *dag.Graph) []int64 { return RandomPriorities(g, seed) }, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, name)
+}
+
+// LPTPriorities orders ready tasks by decreasing weight.
+func LPTPriorities(g *dag.Graph) []int64 {
+	prio := make([]int64, g.NumTasks())
+	for v := range prio {
+		prio[v] = -g.Weight(v)
+	}
+	return prio
+}
+
+// SPTPriorities orders ready tasks by increasing weight.
+func SPTPriorities(g *dag.Graph) []int64 {
+	prio := make([]int64, g.NumTasks())
+	for v := range prio {
+		prio[v] = g.Weight(v)
+	}
+	return prio
+}
+
+// CriticalChildPriorities orders ready tasks by decreasing
+// blevel + max-successor-weight, favouring tasks that unblock heavy
+// successors early.
+func CriticalChildPriorities(g *dag.Graph) []int64 {
+	prio := make([]int64, g.NumTasks())
+	for v := range prio {
+		var heaviest int64
+		for _, s := range g.Succs(v) {
+			if w := g.Weight(int(s)); w > heaviest {
+				heaviest = w
+			}
+		}
+		prio[v] = -(g.BottomLevel(v) + heaviest)
+	}
+	return prio
+}
+
+// RandomPriorities assigns a seeded random permutation as priorities.
+func RandomPriorities(g *dag.Graph, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(g.NumTasks())
+	prio := make([]int64, g.NumTasks())
+	for v := range prio {
+		prio[v] = int64(perm[v])
+	}
+	return prio
+}

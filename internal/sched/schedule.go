@@ -1,0 +1,200 @@
+// Package sched implements static multiprocessor list scheduling for
+// weighted task DAGs, in particular list scheduling with earliest deadline
+// first (LS-EDF) as used by all heuristics in de Langen & Juurlink
+// (Section 4). Schedules are expressed in cycles at the maximum frequency;
+// running the machine at a scaled frequency stretches every interval
+// uniformly, which preserves precedence and processor assignment.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lamps/internal/dag"
+)
+
+// Errors returned by the scheduler.
+var (
+	ErrNoProcs      = errors.New("sched: number of processors must be positive")
+	ErrBadDeadlines = errors.New("sched: per-task deadline slice has wrong length")
+)
+
+// Schedule is the result of statically mapping a task graph onto a fixed
+// number of identical processors. All times are in cycles at the maximum
+// frequency.
+type Schedule struct {
+	Graph    *dag.Graph
+	NumProcs int
+
+	Proc   []int32 // task -> processor index
+	Start  []int64 // task -> start time [cycles]
+	Finish []int64 // task -> finish time [cycles]
+
+	Makespan int64
+
+	byProc [][]int32 // processor -> tasks in increasing start order
+}
+
+// TasksOn returns the tasks assigned to processor p in execution order. The
+// returned slice is owned by the schedule and must not be modified.
+func (s *Schedule) TasksOn(p int) []int32 { return s.byProc[p] }
+
+// ProcsUsed returns the number of processors that execute at least one task.
+// List scheduling may leave processors empty when the graph has less
+// parallelism than the machine has processors.
+func (s *Schedule) ProcsUsed() int {
+	n := 0
+	for p := 0; p < s.NumProcs; p++ {
+		if len(s.byProc[p]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Gap is a contiguous idle interval on one processor, in cycles. For
+// employed processors the intervals before the first task, between
+// consecutive tasks, and after the last task up to the schedule horizon are
+// all gaps.
+type Gap struct {
+	Proc       int
+	Begin, End int64 // [Begin, End) in cycles
+}
+
+// Length returns the gap duration in cycles.
+func (g Gap) Length() int64 { return g.End - g.Begin }
+
+// Gaps returns every idle interval of every *employed* processor, assuming
+// the machine must stay available until horizon (typically the deadline
+// expressed in cycles at the schedule's frequency). Processors that execute
+// no task at all are considered off and contribute no gaps. Zero-length
+// intervals are omitted.
+func (s *Schedule) Gaps(horizon int64) []Gap {
+	var gaps []Gap
+	for p := 0; p < s.NumProcs; p++ {
+		tasks := s.byProc[p]
+		if len(tasks) == 0 {
+			continue
+		}
+		cursor := int64(0)
+		for _, v := range tasks {
+			if s.Start[v] > cursor {
+				gaps = append(gaps, Gap{p, cursor, s.Start[v]})
+			}
+			cursor = s.Finish[v]
+		}
+		if horizon > cursor {
+			gaps = append(gaps, Gap{p, cursor, horizon})
+		}
+	}
+	return gaps
+}
+
+// BusyCycles returns the total number of executed cycles, which equals the
+// graph's total work.
+func (s *Schedule) BusyCycles() int64 { return s.Graph.TotalWork() }
+
+// IdleCycles returns the total idle cycles across employed processors up to
+// the given horizon.
+func (s *Schedule) IdleCycles(horizon int64) int64 {
+	var idle int64
+	for _, g := range s.Gaps(horizon) {
+		idle += g.Length()
+	}
+	return idle
+}
+
+// Validate checks the structural invariants of the schedule: every task is
+// placed exactly once, intervals on one processor do not overlap, durations
+// equal task weights, all precedence constraints hold, and Makespan is the
+// maximum finish time. It is used by tests and property checks.
+func (s *Schedule) Validate() error {
+	g := s.Graph
+	n := g.NumTasks()
+	if len(s.Proc) != n || len(s.Start) != n || len(s.Finish) != n {
+		return fmt.Errorf("sched: schedule arrays have wrong length")
+	}
+	var maxFinish int64
+	for v := 0; v < n; v++ {
+		if s.Proc[v] < 0 || int(s.Proc[v]) >= s.NumProcs {
+			return fmt.Errorf("sched: task %d on invalid processor %d", v, s.Proc[v])
+		}
+		if s.Start[v] < 0 {
+			return fmt.Errorf("sched: task %d starts at negative time %d", v, s.Start[v])
+		}
+		if s.Finish[v]-s.Start[v] != g.Weight(v) {
+			return fmt.Errorf("sched: task %d duration %d != weight %d",
+				v, s.Finish[v]-s.Start[v], g.Weight(v))
+		}
+		if s.Finish[v] > maxFinish {
+			maxFinish = s.Finish[v]
+		}
+		for _, pred := range g.Preds(v) {
+			if s.Start[v] < s.Finish[pred] {
+				return fmt.Errorf("sched: task %d starts at %d before pred %d finishes at %d",
+					v, s.Start[v], pred, s.Finish[pred])
+			}
+		}
+	}
+	if maxFinish != s.Makespan {
+		return fmt.Errorf("sched: makespan %d != max finish %d", s.Makespan, maxFinish)
+	}
+	// Per-processor non-overlap and ordering.
+	seen := make([]bool, n)
+	total := 0
+	for p := 0; p < s.NumProcs; p++ {
+		var cursor int64
+		for _, v := range s.byProc[p] {
+			if seen[v] {
+				return fmt.Errorf("sched: task %d scheduled twice", v)
+			}
+			seen[v] = true
+			total++
+			if int(s.Proc[v]) != p {
+				return fmt.Errorf("sched: task %d listed on proc %d but assigned to %d", v, p, s.Proc[v])
+			}
+			if s.Start[v] < cursor {
+				return fmt.Errorf("sched: overlap on processor %d at task %d", p, v)
+			}
+			cursor = s.Finish[v]
+		}
+	}
+	if total != n {
+		return fmt.Errorf("sched: %d of %d tasks placed", total, n)
+	}
+	return nil
+}
+
+// String renders a compact textual Gantt-like description, useful in
+// examples and debugging.
+func (s *Schedule) String() string {
+	out := fmt.Sprintf("schedule of %q on %d processor(s), makespan %d cycles\n",
+		s.Graph.Name(), s.NumProcs, s.Makespan)
+	for p := 0; p < s.NumProcs; p++ {
+		out += fmt.Sprintf("  P%d:", p)
+		for _, v := range s.byProc[p] {
+			label := s.Graph.Label(int(v))
+			if label == "" {
+				label = fmt.Sprintf("T%d", v)
+			}
+			out += fmt.Sprintf(" %s[%d,%d)", label, s.Start[v], s.Finish[v])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// rebuildByProc sorts per-processor task lists by start time; used after
+// assignment.
+func (s *Schedule) rebuildByProc() {
+	s.byProc = make([][]int32, s.NumProcs)
+	for v := range s.Proc {
+		p := s.Proc[v]
+		s.byProc[p] = append(s.byProc[p], int32(v))
+	}
+	for p := range s.byProc {
+		tasks := s.byProc[p]
+		sort.Slice(tasks, func(i, j int) bool { return s.Start[tasks[i]] < s.Start[tasks[j]] })
+	}
+}

@@ -1,0 +1,360 @@
+// Package sim executes a static schedule on a simulated DVS+PS
+// multiprocessor, integrating each processor's energy over an explicit
+// state timeline (running / idle / sleeping / off, with shutdown+wakeup
+// transitions).
+//
+// The simulator serves two purposes:
+//
+//  1. Cross-validation: executed with every task taking exactly its WCET,
+//     the integrated energy must equal the closed-form accounting of the
+//     energy package bit-for-bit (up to float rounding); property tests
+//     assert this.
+//  2. Runtime variation: tasks may finish earlier than their WCET (the
+//     usual case in practice). The simulator re-dispatches on *actual*
+//     completion times while keeping the static processor assignment and
+//     per-processor task order, and can greedily reclaim the emerging slack
+//     by slowing down not-yet-started tasks, in the style of Zhu, Melhem &
+//     Childers (IEEE TPDS 2003), cited as [1] by the paper.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lamps/internal/energy"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+// Errors returned by the simulator.
+var (
+	ErrBadInput = errors.New("sim: invalid input")
+	ErrDeadline = errors.New("sim: deadline violated")
+)
+
+// State is a processor power state.
+type State int
+
+// Processor states.
+const (
+	StateOff State = iota
+	StateIdle
+	StateRunning
+	StateSleeping
+	StateTransition
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOff:
+		return "off"
+	case StateIdle:
+		return "idle"
+	case StateRunning:
+		return "running"
+	case StateSleeping:
+		return "sleeping"
+	case StateTransition:
+		return "transition"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Segment is one homogeneous interval of a processor's timeline.
+type Segment struct {
+	Proc       int
+	State      State
+	Begin, End float64 // seconds
+	Task       int     // task index for running segments, -1 otherwise
+	Level      power.Level
+	EnergyJ    float64 // energy of this segment, incl. transition overhead
+}
+
+// Trace is the full outcome of a simulation.
+type Trace struct {
+	Segments  []Segment
+	Breakdown energy.Breakdown
+
+	// FinishSec[v] is task v's actual completion time.
+	FinishSec []float64
+	// LevelOf[v] is the operating point task v executed at.
+	LevelOf []power.Level
+	// MakespanSec is the last completion time.
+	MakespanSec float64
+	// Transitions counts voltage/frequency switches (reclaim mode only).
+	Transitions int
+	// DeadlineMet reports whether MakespanSec fits the configured deadline.
+	DeadlineMet bool
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Level is the common operating point (as in the paper's heuristics).
+	Level power.Level
+	// PS enables shutdown of idle gaps beyond the break-even time. Gap
+	// lengths are known to the simulator (the dispatcher knows the static
+	// schedule), matching the paper's assumption that wakeups are scheduled
+	// just in time.
+	PS bool
+	// DeadlineSec is the machine horizon: employed processors stay powered
+	// (idle or sleeping) until this time.
+	DeadlineSec float64
+
+	// Speedup[v], if non-nil, scales task v's actual cycles: actual =
+	// WCET * Speedup[v], with 0 < Speedup[v] <= 1. Nil means WCET execution.
+	Speedup []float64
+	// Reclaim greedily slows down a task into slack that materialised from
+	// earlier-than-WCET completions, never below the critical level when PS
+	// is set, and never beyond the task's static WCET finish time (so the
+	// deadline guarantee of the static schedule is preserved).
+	Reclaim bool
+
+	// TransitionTime and TransitionEnergy model a voltage/frequency switch:
+	// whenever a processor changes its operating point (only Reclaim causes
+	// that), the switch takes TransitionTime seconds — consumed from the
+	// task's slack budget before it starts — and costs TransitionEnergy
+	// joules. The paper assumes free transitions; real regulators take tens
+	// of microseconds, and these knobs quantify how much of the reclaim
+	// benefit survives them.
+	TransitionTime   float64
+	TransitionEnergy float64
+}
+
+// Run simulates the schedule and returns its trace.
+func Run(s *sched.Schedule, m *power.Model, opts Options) (*Trace, error) {
+	if s == nil || m == nil {
+		return nil, fmt.Errorf("%w: nil schedule or model", ErrBadInput)
+	}
+	if opts.Level.Freq <= 0 {
+		return nil, fmt.Errorf("%w: operating point with zero frequency", ErrBadInput)
+	}
+	if opts.DeadlineSec <= 0 {
+		return nil, fmt.Errorf("%w: non-positive deadline", ErrBadInput)
+	}
+	g := s.Graph
+	n := g.NumTasks()
+	if opts.Speedup != nil && len(opts.Speedup) != n {
+		return nil, fmt.Errorf("%w: speedup slice has %d entries for %d tasks", ErrBadInput, len(opts.Speedup), n)
+	}
+
+	tr := &Trace{
+		FinishSec: make([]float64, n),
+		LevelOf:   make([]power.Level, n),
+	}
+	// Static WCET finish times at the common level: the reclaim bound.
+	wcetFinish := make([]float64, n)
+	for v := 0; v < n; v++ {
+		wcetFinish[v] = float64(s.Finish[v]) / opts.Level.Freq
+	}
+
+	// Event-driven execution preserving the per-processor order.
+	type cursorT struct {
+		next int     // index into TasksOn(p)
+		free float64 // time the processor finished its previous task
+	}
+	cursors := make([]cursorT, s.NumProcs)
+	done := make([]bool, n)
+	remaining := 0
+	for p := 0; p < s.NumProcs; p++ {
+		remaining += len(s.TasksOn(p))
+	}
+
+	addRun := func(p, v int, begin, end float64, lvl power.Level) {
+		e := (end - begin) * m.LevelPower(lvl)
+		tr.Segments = append(tr.Segments, Segment{
+			Proc: p, State: StateRunning, Begin: begin, End: end, Task: v,
+			Level: lvl, EnergyJ: e,
+		})
+		tr.Breakdown.Active += e
+		tr.Breakdown.ActiveTime += end - begin
+	}
+
+	for remaining > 0 {
+		progressed := false
+		for p := 0; p < s.NumProcs; p++ {
+			cur := &cursors[p]
+			tasks := s.TasksOn(p)
+			for cur.next < len(tasks) {
+				v := int(tasks[cur.next])
+				ready := cur.free
+				blocked := false
+				for _, pr := range g.Preds(v) {
+					if !done[pr] {
+						blocked = true
+						break
+					}
+					if tr.FinishSec[pr] > ready {
+						ready = tr.FinishSec[pr]
+					}
+				}
+				if blocked {
+					break
+				}
+				lvl := opts.Level
+				cycles := float64(g.Weight(v))
+				if opts.Speedup != nil {
+					sp := opts.Speedup[v]
+					if sp <= 0 || sp > 1 {
+						return nil, fmt.Errorf("%w: speedup %g for task %d", ErrBadInput, sp, v)
+					}
+					cycles *= sp
+				}
+				if opts.Reclaim {
+					lvl = reclaimLevel(m, opts, ready, cycles, wcetFinish[v])
+				}
+				// A level other than the machine's common one requires a
+				// switch before the task and a switch back after it, both
+				// reserved inside the task's own WCET window (reclaimLevel
+				// accounts for them), so the static guarantees survive.
+				switchTime := 0.0
+				if lvl.Index != opts.Level.Index {
+					switchTime = opts.TransitionTime
+				}
+				runStart := ready + switchTime
+				fin := runStart + cycles/lvl.Freq
+				free := fin + switchTime
+				if lvl.Index != opts.Level.Index && (opts.TransitionTime > 0 || opts.TransitionEnergy > 0) {
+					addTransition(tr, m, opts, p, ready, runStart)
+					addTransition(tr, m, opts, p, fin, free)
+				}
+				addRun(p, v, runStart, fin, lvl)
+				tr.FinishSec[v] = fin
+				tr.LevelOf[v] = lvl
+				done[v] = true
+				cur.free = free
+				cur.next++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed && remaining > 0 {
+			return nil, fmt.Errorf("%w: dispatch deadlock (schedule order inconsistent with precedence)", ErrBadInput)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if tr.FinishSec[v] > tr.MakespanSec {
+			tr.MakespanSec = tr.FinishSec[v]
+		}
+	}
+	tr.DeadlineMet = tr.MakespanSec <= opts.DeadlineSec*(1+1e-12)
+
+	// Fill the gaps of each employed processor with idle/sleep segments.
+	if err := fillGaps(tr, s, m, opts); err != nil {
+		return nil, err
+	}
+	sort.Slice(tr.Segments, func(i, j int) bool {
+		if tr.Segments[i].Proc != tr.Segments[j].Proc {
+			return tr.Segments[i].Proc < tr.Segments[j].Proc
+		}
+		return tr.Segments[i].Begin < tr.Segments[j].Begin
+	})
+	return tr, nil
+}
+
+// reclaimLevel picks the slowest level that still finishes the task by its
+// static WCET finish time (and not below the critical level when PS is on).
+// Deviating from the common level costs two voltage transitions — one down,
+// one back up — both of which must fit the task's window.
+func reclaimLevel(m *power.Model, opts Options, start, cycles float64, bound float64) power.Level {
+	minIdx := len(m.Levels()) - 1
+	if opts.PS {
+		minIdx = m.CriticalLevel().Index
+	}
+	chosen := opts.Level
+	for idx := opts.Level.Index + 1; idx <= minIdx; idx++ {
+		l := m.Level(idx)
+		if start+2*opts.TransitionTime+cycles/l.Freq <= bound*(1+1e-12) {
+			chosen = l
+		} else {
+			break
+		}
+	}
+	return chosen
+}
+
+// addTransition records one voltage/frequency switch interval.
+func addTransition(tr *Trace, m *power.Model, opts Options, p int, begin, end float64) {
+	e := opts.TransitionEnergy
+	if end > begin {
+		// While switching, the processor still leaks at (conservatively)
+		// the common level's idle power.
+		e += (end - begin) * m.IdlePower(opts.Level)
+	}
+	tr.Segments = append(tr.Segments, Segment{
+		Proc: p, State: StateTransition, Begin: begin, End: end, Task: -1,
+		Level: opts.Level, EnergyJ: e,
+	})
+	tr.Breakdown.Overhead += e
+	tr.Transitions++
+}
+
+// fillGaps inserts idle/sleep segments between runs and up to the horizon.
+func fillGaps(tr *Trace, s *sched.Schedule, m *power.Model, opts Options) error {
+	horizon := opts.DeadlineSec
+	if tr.MakespanSec > horizon {
+		horizon = tr.MakespanSec
+	}
+	// Idle gaps are charged at the operating point the machine is set to;
+	// for reclaim runs that is still the common level (the paper's single-
+	// frequency machine model).
+	pIdle := m.IdlePower(opts.Level)
+	breakeven := m.BreakevenTime(opts.Level)
+
+	perProc := make([][]Segment, s.NumProcs)
+	for _, seg := range tr.Segments {
+		perProc[seg.Proc] = append(perProc[seg.Proc], seg)
+	}
+	for p := 0; p < s.NumProcs; p++ {
+		segs := perProc[p]
+		if len(segs) == 0 {
+			continue // off
+		}
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Begin < segs[j].Begin })
+		cursor := 0.0
+		emit := func(begin, end float64) {
+			t := end - begin
+			if t <= 0 {
+				return
+			}
+			if opts.PS && t > breakeven {
+				e := m.EOverhead + t*m.PSleep
+				tr.Segments = append(tr.Segments, Segment{
+					Proc: p, State: StateSleeping, Begin: begin, End: end, Task: -1,
+					Level: opts.Level, EnergyJ: e,
+				})
+				tr.Breakdown.Sleep += t * m.PSleep
+				tr.Breakdown.SleepTime += t
+				tr.Breakdown.Overhead += m.EOverhead
+				tr.Breakdown.Shutdowns++
+			} else {
+				tr.Segments = append(tr.Segments, Segment{
+					Proc: p, State: StateIdle, Begin: begin, End: end, Task: -1,
+					Level: opts.Level, EnergyJ: t * pIdle,
+				})
+				tr.Breakdown.Idle += t * pIdle
+				tr.Breakdown.IdleTime += t
+			}
+		}
+		for _, seg := range segs {
+			if seg.Begin > cursor {
+				emit(cursor, seg.Begin)
+			}
+			if seg.End > cursor {
+				cursor = seg.End
+			}
+		}
+		emit(cursor, horizon)
+	}
+	return nil
+}
+
+// TotalEnergy returns the summed energy of all segments; it must equal
+// Breakdown.Total().
+func (t *Trace) TotalEnergy() float64 {
+	var sum float64
+	for _, s := range t.Segments {
+		sum += s.EnergyJ
+	}
+	return sum
+}

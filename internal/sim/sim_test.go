@@ -1,0 +1,440 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lamps/internal/dag"
+	"lamps/internal/energy"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+func randomSchedule(rng *rand.Rand, n, nprocs int) *sched.Schedule {
+	b := dag.NewBuilder("sim")
+	for i := 0; i < n; i++ {
+		b.AddTask(int64(rng.Intn(5_000_000) + 100_000))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.15 {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	s, err := sched.ListEDF(g, nprocs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestCrossValidationAgainstClosedForm is the simulator's raison d'être:
+// executed at WCET, the integrated timeline energy must match the
+// closed-form accounting of the energy package.
+func TestCrossValidationAgainstClosedForm(t *testing.T) {
+	m := power.Default70nm()
+	f := func(seed int64, rawN, rawProcs, rawLvl uint8, ps bool, slackPct uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchedule(rng, int(rawN%25)+1, int(rawProcs%6)+1)
+		lvl := m.Level(int(rawLvl) % len(m.Levels()))
+		deadline := float64(s.Makespan) / lvl.Freq * (1 + float64(slackPct%150)/100)
+
+		want, err1 := energy.Evaluate(s, m, lvl, deadline, energy.Options{PS: ps})
+		tr, err2 := Run(s, m, Options{Level: lvl, PS: ps, DeadlineSec: deadline})
+		if err1 != nil || err2 != nil {
+			t.Logf("errors: %v / %v", err1, err2)
+			return false
+		}
+		// The closed form truncates the horizon to whole cycles; allow the
+		// sub-cycle difference.
+		tol := 2.0 / lvl.Freq * m.IdlePower(lvl) * float64(s.NumProcs+1)
+		if math.Abs(want.Total()-tr.Breakdown.Total()) > tol+1e-9*want.Total() {
+			t.Logf("closed form %.9g J, simulated %.9g J", want.Total(), tr.Breakdown.Total())
+			return false
+		}
+		if want.Shutdowns != tr.Breakdown.Shutdowns {
+			// A gap can straddle the break-even boundary due to the horizon
+			// truncation; accept a difference only for the trailing gap.
+			if abs(want.Shutdowns-tr.Breakdown.Shutdowns) > s.NumProcs {
+				t.Logf("shutdowns: closed form %d, simulated %d", want.Shutdowns, tr.Breakdown.Shutdowns)
+				return false
+			}
+		}
+		if math.Abs(tr.TotalEnergy()-tr.Breakdown.Total()) > 1e-9*tr.Breakdown.Total() {
+			t.Logf("segment sum %.9g != breakdown %.9g", tr.TotalEnergy(), tr.Breakdown.Total())
+			return false
+		}
+		return tr.DeadlineMet
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestWCETReplayMatchesStaticTimes: at WCET and the common level, the
+// simulator reproduces the static schedule's start and finish times.
+func TestWCETReplayMatchesStaticTimes(t *testing.T) {
+	m := power.Default70nm()
+	rng := rand.New(rand.NewSource(11))
+	s := randomSchedule(rng, 40, 4)
+	lvl := m.Level(3)
+	deadline := float64(s.Makespan) / lvl.Freq
+	tr, err := Run(s, m, Options{Level: lvl, DeadlineSec: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < s.Graph.NumTasks(); v++ {
+		want := float64(s.Finish[v]) / lvl.Freq
+		if math.Abs(tr.FinishSec[v]-want) > 1e-9*want+1e-12 {
+			t.Errorf("task %d finish %.9g, static %.9g", v, tr.FinishSec[v], want)
+		}
+	}
+	if !tr.DeadlineMet {
+		t.Error("deadline not met at exact fit")
+	}
+}
+
+// TestSpeedupNeverDelays: finishing tasks early can only move completions
+// earlier (no scheduling anomalies in replay mode, because assignment and
+// order are pinned).
+func TestSpeedupNeverDelays(t *testing.T) {
+	m := power.Default70nm()
+	f := func(seed int64, rawN, rawProcs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%30) + 1
+		s := randomSchedule(rng, n, int(rawProcs%4)+1)
+		lvl := m.MaxLevel()
+		deadline := float64(s.Makespan)/lvl.Freq + 0.001
+		speedup := make([]float64, n)
+		for v := range speedup {
+			speedup[v] = 0.3 + 0.7*rng.Float64()
+		}
+		base, err1 := Run(s, m, Options{Level: lvl, DeadlineSec: deadline})
+		fast, err2 := Run(s, m, Options{Level: lvl, DeadlineSec: deadline, Speedup: speedup})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if fast.FinishSec[v] > base.FinishSec[v]*(1+1e-12) {
+				t.Logf("task %d delayed by early finishes", v)
+				return false
+			}
+		}
+		return fast.MakespanSec <= base.MakespanSec*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReclaimSavesEnergyAndMeetsDeadline: with early finishes, greedy slack
+// reclamation must not exceed the non-reclaiming energy and must still meet
+// the static deadline.
+func TestReclaimSavesEnergyAndMeetsDeadline(t *testing.T) {
+	m := power.Default70nm()
+	f := func(seed int64, rawN, rawProcs uint8, ps bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%25) + 2
+		s := randomSchedule(rng, n, int(rawProcs%4)+1)
+		lvl := m.MaxLevel()
+		deadline := float64(s.Makespan) / lvl.Freq * 1.05
+		speedup := make([]float64, n)
+		for v := range speedup {
+			speedup[v] = 0.4 + 0.5*rng.Float64()
+		}
+		plain, err1 := Run(s, m, Options{Level: lvl, PS: ps, DeadlineSec: deadline, Speedup: speedup})
+		reclaim, err2 := Run(s, m, Options{Level: lvl, PS: ps, DeadlineSec: deadline, Speedup: speedup, Reclaim: true})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !reclaim.DeadlineMet {
+			t.Logf("reclaim missed the deadline")
+			return false
+		}
+		// Reclaim trades active time for lower voltage; it must not lose
+		// to plain execution by more than float noise.
+		return reclaim.Breakdown.Total() <= plain.Breakdown.Total()*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReclaimRespectsWCETBound: a reclaimed task never finishes later than
+// its static WCET finish time, the property that preserves the deadline
+// guarantee.
+func TestReclaimRespectsWCETBound(t *testing.T) {
+	m := power.Default70nm()
+	rng := rand.New(rand.NewSource(4))
+	s := randomSchedule(rng, 30, 3)
+	lvl := m.MaxLevel()
+	deadline := float64(s.Makespan) / lvl.Freq * 2
+	speedup := make([]float64, 30)
+	for v := range speedup {
+		speedup[v] = 0.5
+	}
+	tr, err := Run(s, m, Options{Level: lvl, DeadlineSec: deadline, Speedup: speedup, Reclaim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowed := 0
+	for v := 0; v < 30; v++ {
+		bound := float64(s.Finish[v]) / lvl.Freq
+		if tr.FinishSec[v] > bound*(1+1e-9) {
+			t.Errorf("task %d finishes at %.9g past WCET bound %.9g", v, tr.FinishSec[v], bound)
+		}
+		if tr.LevelOf[v].Index > lvl.Index {
+			slowed++
+		}
+	}
+	if slowed == 0 {
+		t.Error("reclaim slowed down no task despite 50% early finishes")
+	}
+}
+
+func TestSegmentsTile(t *testing.T) {
+	m := power.Default70nm()
+	rng := rand.New(rand.NewSource(21))
+	s := randomSchedule(rng, 20, 3)
+	lvl := m.CriticalLevel()
+	deadline := float64(s.Makespan) / lvl.Freq * 1.7
+	tr, err := Run(s, m, Options{Level: lvl, PS: true, DeadlineSec: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per processor: segments are contiguous from 0 to the horizon.
+	perProc := map[int][]Segment{}
+	for _, seg := range tr.Segments {
+		perProc[seg.Proc] = append(perProc[seg.Proc], seg)
+	}
+	for p, segs := range perProc {
+		cursor := 0.0
+		for i, seg := range segs {
+			if math.Abs(seg.Begin-cursor) > 1e-12 {
+				t.Errorf("proc %d segment %d begins at %g, cursor %g", p, i, seg.Begin, cursor)
+			}
+			if seg.End < seg.Begin {
+				t.Errorf("proc %d segment %d negative", p, i)
+			}
+			cursor = seg.End
+		}
+		if math.Abs(cursor-deadline) > 1e-9 {
+			t.Errorf("proc %d timeline ends at %g, horizon %g", p, cursor, deadline)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m := power.Default70nm()
+	rng := rand.New(rand.NewSource(2))
+	s := randomSchedule(rng, 5, 2)
+	lvl := m.MaxLevel()
+	good := float64(s.Makespan) / lvl.Freq
+
+	if _, err := Run(nil, m, Options{Level: lvl, DeadlineSec: 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil schedule: %v", err)
+	}
+	if _, err := Run(s, m, Options{DeadlineSec: 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero level: %v", err)
+	}
+	if _, err := Run(s, m, Options{Level: lvl}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero deadline: %v", err)
+	}
+	if _, err := Run(s, m, Options{Level: lvl, DeadlineSec: good, Speedup: []float64{1}}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad speedup length: %v", err)
+	}
+	bad := make([]float64, 5)
+	if _, err := Run(s, m, Options{Level: lvl, DeadlineSec: good, Speedup: bad}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero speedup: %v", err)
+	}
+	over := []float64{1, 1, 2, 1, 1}
+	if _, err := Run(s, m, Options{Level: lvl, DeadlineSec: good, Speedup: over}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("speedup > 1: %v", err)
+	}
+}
+
+func TestDeadlineMissReported(t *testing.T) {
+	m := power.Default70nm()
+	rng := rand.New(rand.NewSource(3))
+	s := randomSchedule(rng, 10, 2)
+	lvl := m.MinLevel()
+	deadline := float64(s.Makespan) / m.FMax() // only feasible at fmax
+	tr, err := Run(s, m, Options{Level: lvl, DeadlineSec: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DeadlineMet {
+		t.Error("deadline reported met at the slowest level")
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	m := power.Default70nm()
+	rng := rand.New(rand.NewSource(5))
+	s := randomSchedule(rng, 8, 2)
+	lvl := m.CriticalLevel()
+	tr, err := Run(s, m, Options{Level: lvl, PS: true, DeadlineSec: float64(s.Makespan) / lvl.Freq * 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"traceEvents"`, `"ph":"X"`, `"T0"`, `"total_energy"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateOff: "off", StateIdle: "idle", StateRunning: "running", StateSleeping: "sleeping",
+		State(9): "state(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func BenchmarkSimulate200(b *testing.B) {
+	m := power.Default70nm()
+	rng := rand.New(rand.NewSource(6))
+	s := randomSchedule(rng, 200, 8)
+	lvl := m.CriticalLevel()
+	deadline := float64(s.Makespan) / lvl.Freq * 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s, m, Options{Level: lvl, PS: true, DeadlineSec: deadline}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestTransitionCosts: with transition overheads, reclaim still meets every
+// WCET bound (switches are reserved inside each task's window), pays the
+// configured energy per switch, and downshifts less than with free
+// transitions.
+func TestTransitionCosts(t *testing.T) {
+	m := power.Default70nm()
+	rng := rand.New(rand.NewSource(13))
+	s := randomSchedule(rng, 30, 3)
+	lvl := m.MaxLevel()
+	deadline := float64(s.Makespan) / lvl.Freq * 1.2
+	speedup := make([]float64, 30)
+	for v := range speedup {
+		speedup[v] = 0.5
+	}
+	base := Options{Level: lvl, DeadlineSec: deadline, Speedup: speedup, Reclaim: true}
+
+	free, err := Run(s, m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly := base
+	costly.TransitionTime = 50e-6 // 50 us per switch
+	costly.TransitionEnergy = 100e-6
+	paid, err := Run(s, m, costly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Transitions != 0 {
+		t.Errorf("free transitions counted: %d", free.Transitions)
+	}
+	if paid.Transitions%2 != 0 {
+		t.Errorf("odd transition count %d (must be down+up pairs)", paid.Transitions)
+	}
+	// Every task still respects its WCET bound.
+	for v := 0; v < 30; v++ {
+		bound := float64(s.Finish[v]) / lvl.Freq
+		if paid.FinishSec[v] > bound*(1+1e-9) {
+			t.Errorf("task %d finish %.9g past bound %.9g with transitions", v, paid.FinishSec[v], bound)
+		}
+	}
+	// Costed transitions can only reduce the number of downshifted tasks.
+	downFree, downPaid := 0, 0
+	for v := 0; v < 30; v++ {
+		if free.LevelOf[v].Index > lvl.Index {
+			downFree++
+		}
+		if paid.LevelOf[v].Index > lvl.Index {
+			downPaid++
+		}
+	}
+	if downPaid > downFree {
+		t.Errorf("more downshifts with costed transitions: %d > %d", downPaid, downFree)
+	}
+	// Overhead accounting: at least TransitionEnergy per switch.
+	if paid.Transitions > 0 && paid.Breakdown.Overhead < float64(paid.Transitions)*costly.TransitionEnergy {
+		t.Errorf("overhead %g below %d transitions x %g",
+			paid.Breakdown.Overhead, paid.Transitions, costly.TransitionEnergy)
+	}
+	if !paid.DeadlineMet {
+		t.Error("deadline missed with transition costs")
+	}
+}
+
+// TestTransitionSegmentsTile: transition segments participate in the
+// per-processor tiling like any other state.
+func TestTransitionSegmentsTile(t *testing.T) {
+	m := power.Default70nm()
+	rng := rand.New(rand.NewSource(14))
+	s := randomSchedule(rng, 15, 2)
+	lvl := m.MaxLevel()
+	deadline := float64(s.Makespan) / lvl.Freq * 1.5
+	speedup := make([]float64, 15)
+	for v := range speedup {
+		speedup[v] = 0.6
+	}
+	tr, err := Run(s, m, Options{
+		Level: lvl, DeadlineSec: deadline, Speedup: speedup, Reclaim: true,
+		TransitionTime: 20e-6, TransitionEnergy: 50e-6, PS: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perProc := map[int][]Segment{}
+	for _, seg := range tr.Segments {
+		perProc[seg.Proc] = append(perProc[seg.Proc], seg)
+	}
+	sawTransition := false
+	for p, segs := range perProc {
+		cursor := 0.0
+		for i, seg := range segs {
+			if seg.State == StateTransition {
+				sawTransition = true
+			}
+			if math.Abs(seg.Begin-cursor) > 1e-12 {
+				t.Errorf("proc %d segment %d begins at %g, cursor %g", p, i, seg.Begin, cursor)
+			}
+			cursor = seg.End
+		}
+	}
+	if tr.Transitions > 0 && !sawTransition {
+		t.Error("transitions counted but no transition segments emitted")
+	}
+	if math.Abs(tr.TotalEnergy()-tr.Breakdown.Total()) > 1e-9*tr.Breakdown.Total() {
+		t.Errorf("segment sum %g != breakdown %g", tr.TotalEnergy(), tr.Breakdown.Total())
+	}
+}

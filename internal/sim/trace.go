@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one complete event ("ph":"X") of the Chrome trace-viewer
+// JSON format (chrome://tracing, Perfetto).
+type chromeEvent struct {
+	Name     string         `json:"name"`
+	Category string         `json:"cat"`
+	Phase    string         `json:"ph"`
+	TimeUs   float64        `json:"ts"`
+	DurUs    float64        `json:"dur"`
+	PID      int            `json:"pid"`
+	TID      int            `json:"tid"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace in Chrome trace-viewer JSON so
+// schedules can be inspected visually (chrome://tracing or
+// https://ui.perfetto.dev). Each processor becomes a thread row; running
+// segments carry the task id and operating point, idle and sleeping
+// segments are emitted in their own categories.
+func (t *Trace) WriteChromeTrace(w io.Writer, label string) error {
+	events := make([]chromeEvent, 0, len(t.Segments))
+	for _, seg := range t.Segments {
+		name := seg.State.String()
+		if seg.State == StateRunning {
+			name = fmt.Sprintf("T%d", seg.Task)
+		}
+		events = append(events, chromeEvent{
+			Name:     name,
+			Category: seg.State.String(),
+			Phase:    "X",
+			TimeUs:   seg.Begin * 1e6,
+			DurUs:    (seg.End - seg.Begin) * 1e6,
+			PID:      1,
+			TID:      seg.Proc + 1,
+			Args: map[string]any{
+				"vdd":      seg.Level.Vdd,
+				"f/fmax":   seg.Level.Norm,
+				"energy_J": seg.EnergyJ,
+			},
+		})
+	}
+	doc := map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]any{
+			"label":        label,
+			"total_energy": t.Breakdown.Total(),
+			"makespan_s":   t.MakespanSec,
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

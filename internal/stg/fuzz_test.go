@@ -1,0 +1,41 @@
+package stg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the STG parser: it must never panic,
+// and whenever it accepts an input, the resulting graph must satisfy every
+// structural invariant and survive a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("0\n0 0 0\n1 0 1 0\n")
+	f.Add("1\n0 0 0\n1 5 1 0\n2 0 1 1\n")
+	f.Add("2\n 0 0 0\n 1 7 1 0\n 2 0 1 1\n 3 9 1 2\n")
+	f.Add("# only a comment\n")
+	f.Add("3 4\n")
+	f.Add("9999999999999999999999\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Parse(strings.NewReader(in), "fuzz")
+		if err != nil {
+			return // rejection is always fine
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails validation: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("cannot re-serialise accepted graph: %v", err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()), "fuzz2")
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.NumTasks() != g.NumTasks() || back.TotalWork() != g.TotalWork() ||
+			back.CriticalPathLength() != g.CriticalPathLength() {
+			t.Fatalf("round trip changed the graph")
+		}
+	})
+}

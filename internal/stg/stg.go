@@ -1,0 +1,227 @@
+// Package stg reads and writes task graphs in the Standard Task Graph Set
+// format of Kasahara et al. (http://www.kasahara.elec.waseda.ac.jp/schedule/),
+// the public benchmark set used in the paper's evaluation.
+//
+// An STG file describes a graph of n tasks plus two dummy tasks (an entry
+// task 0 and an exit task n+1, both with processing time 0):
+//
+//	n
+//	taskno  processing-time  #predecessors  pred1 pred2 ...
+//	...     (n+2 such lines)
+//
+// Lines whose first non-blank character is '#' are comments. The dummy
+// entry/exit tasks (and any other zero-weight task) are spliced out on read,
+// because they only encode precedence, and are re-added on write.
+package stg
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lamps/internal/dag"
+)
+
+// ErrFormat is returned for malformed STG input.
+var ErrFormat = errors.New("stg: malformed input")
+
+// Parse reads one task graph in STG format. The name is attached to the
+// returned graph.
+func Parse(r io.Reader, name string) (*dag.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	fields, err := nextRecord(sc)
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) != 1 {
+		return nil, fmt.Errorf("%w: header line %q", ErrFormat, strings.Join(fields, " "))
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: task count %q", ErrFormat, fields[0])
+	}
+	// Bound the declared count before allocating anything proportional to
+	// it: a corrupt or hostile header must not exhaust memory. The largest
+	// graphs in the Standard Task Graph Set have 5000 tasks.
+	const maxTasks = 2_000_000
+	if n > maxTasks {
+		return nil, fmt.Errorf("%w: task count %d exceeds the %d limit", ErrFormat, n, maxTasks)
+	}
+	total := n + 2 // including dummy entry and exit
+
+	weights := make([]int64, total)
+	preds := make([][]int, total)
+	seen := make([]bool, total)
+	for i := 0; i < total; i++ {
+		fields, err := nextRecord(sc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: expected %d task records, got %d", ErrFormat, total, i)
+		}
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%w: short task record %q", ErrFormat, strings.Join(fields, " "))
+		}
+		id, err1 := strconv.Atoi(fields[0])
+		w, err2 := strconv.ParseInt(fields[1], 10, 64)
+		np, err3 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%w: task record %q", ErrFormat, strings.Join(fields, " "))
+		}
+		if id < 0 || id >= total {
+			return nil, fmt.Errorf("%w: task id %d out of range [0,%d)", ErrFormat, id, total)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("%w: duplicate task id %d", ErrFormat, id)
+		}
+		seen[id] = true
+		if w < 0 {
+			return nil, fmt.Errorf("%w: negative weight on task %d", ErrFormat, id)
+		}
+		if np < 0 || len(fields) != 3+np {
+			return nil, fmt.Errorf("%w: task %d declares %d predecessors but lists %d",
+				ErrFormat, id, np, len(fields)-3)
+		}
+		weights[id] = w
+		for _, pf := range fields[3:] {
+			p, err := strconv.Atoi(pf)
+			if err != nil || p < 0 || p >= total {
+				return nil, fmt.Errorf("%w: predecessor %q of task %d", ErrFormat, pf, id)
+			}
+			preds[id] = append(preds[id], p)
+		}
+	}
+	return assemble(name, weights, preds)
+}
+
+// assemble splices out zero-weight tasks (connecting their predecessors to
+// their successors) and builds the dag.Graph.
+func assemble(name string, weights []int64, preds [][]int) (*dag.Graph, error) {
+	total := len(weights)
+	succs := make([][]int, total)
+	for v, ps := range preds {
+		for _, p := range ps {
+			succs[p] = append(succs[p], v)
+		}
+	}
+	// Splice zero-weight tasks in an order that handles chains of dummies:
+	// repeatedly rewire until no zero-weight task has edges. Since the graph
+	// is a DAG, processing in any order and re-deriving adjacency works.
+	id := make([]int, total) // STG id -> dag index, -1 for dummies
+	b := dag.NewBuilder(name)
+	for v := 0; v < total; v++ {
+		if weights[v] > 0 {
+			id[v] = b.AddTask(weights[v])
+		} else {
+			id[v] = -1
+		}
+	}
+	if b.NumTasks() == 0 {
+		return nil, fmt.Errorf("%w: graph has no non-dummy tasks", ErrFormat)
+	}
+	// For every real task, find its real predecessors by walking through
+	// dummy chains.
+	edgeSeen := make(map[[2]int]bool)
+	var realPreds func(v int, out map[int]bool, visiting map[int]bool) error
+	realPreds = func(v int, out map[int]bool, visiting map[int]bool) error {
+		for _, p := range preds[v] {
+			if weights[p] > 0 {
+				out[p] = true
+				continue
+			}
+			if visiting[p] {
+				return fmt.Errorf("%w: cycle through dummy task %d", ErrFormat, p)
+			}
+			visiting[p] = true
+			if err := realPreds(p, out, visiting); err != nil {
+				return err
+			}
+			delete(visiting, p)
+		}
+		return nil
+	}
+	for v := 0; v < total; v++ {
+		if weights[v] == 0 {
+			continue
+		}
+		out := make(map[int]bool)
+		if err := realPreds(v, out, map[int]bool{}); err != nil {
+			return nil, err
+		}
+		ps := make([]int, 0, len(out))
+		for p := range out {
+			ps = append(ps, p)
+		}
+		sort.Ints(ps)
+		for _, p := range ps {
+			key := [2]int{id[p], id[v]}
+			if !edgeSeen[key] {
+				edgeSeen[key] = true
+				b.AddEdge(id[p], id[v])
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("stg: %w", err)
+	}
+	return g, nil
+}
+
+// nextRecord returns the fields of the next non-empty, non-comment line.
+func nextRecord(sc *bufio.Scanner) ([]string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strings.Fields(line), nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("%w: unexpected end of input", ErrFormat)
+}
+
+// Write emits the graph in STG format, adding the conventional dummy entry
+// and exit tasks: the entry precedes every source and every sink precedes
+// the exit.
+func Write(w io.Writer, g *dag.Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumTasks()
+	fmt.Fprintf(bw, "%d\n", n)
+	// Dummy entry: id 0, no predecessors.
+	fmt.Fprintf(bw, "%6d %7d %5d\n", 0, 0, 0)
+	for v := 0; v < n; v++ {
+		preds := g.Preds(v)
+		fmt.Fprintf(bw, "%6d %7d %5d", v+1, g.Weight(v), max(1, len(preds)))
+		if len(preds) == 0 {
+			fmt.Fprintf(bw, " %5d", 0) // the dummy entry
+		}
+		for _, p := range preds {
+			fmt.Fprintf(bw, " %5d", p+1)
+		}
+		fmt.Fprintln(bw)
+	}
+	// Dummy exit: id n+1, preceded by every sink.
+	sinks := g.Sinks()
+	fmt.Fprintf(bw, "%6d %7d %5d", n+1, 0, len(sinks))
+	for _, s := range sinks {
+		fmt.Fprintf(bw, " %5d", s+1)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "# generated by lamps (critical path %d, total work %d)\n",
+		g.CriticalPathLength(), g.TotalWork())
+	return bw.Flush()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package stg
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lamps/internal/dag"
+)
+
+const sample = `
+# A small STG graph: 3 real tasks in a chain plus a parallel one.
+3
+     0       0     0
+     1      10     1      0
+     2      20     1      1
+     3       5     1      0
+     4       0     2      2  3
+`
+
+func TestParseSample(t *testing.T) {
+	g, err := Parse(strings.NewReader(sample), "sample")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.Name() != "sample" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if g.NumTasks() != 3 {
+		t.Fatalf("NumTasks = %d, want 3 (dummies spliced)", g.NumTasks())
+	}
+	// Dummy-derived edges must be gone; only 1->2 remains (STG ids), i.e.
+	// dag ids 0->1.
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.TotalWork() != 35 {
+		t.Errorf("TotalWork = %d, want 35", g.TotalWork())
+	}
+	if g.CriticalPathLength() != 30 {
+		t.Errorf("CPL = %d, want 30", g.CriticalPathLength())
+	}
+}
+
+func TestParseDummyChainSplice(t *testing.T) {
+	// A zero-weight task in the middle: 1 -> dummy(2) -> 3 must become a
+	// direct edge 1 -> 3.
+	const in = `
+2
+ 0 0 0
+ 1 7 1 0
+ 2 0 1 1
+ 3 9 1 2
+`
+	g, err := Parse(strings.NewReader(in), "chain")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.NumTasks() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %d tasks, %d edges; want 2 and 1", g.NumTasks(), g.NumEdges())
+	}
+	if g.CriticalPathLength() != 16 {
+		t.Errorf("CPL = %d, want 16", g.CriticalPathLength())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "x\n"},
+		{"negative count", "-1\n"},
+		{"multi-field header", "3 4\n"},
+		{"truncated", "2\n0 0 0\n"},
+		{"short record", "0\n0 0\n1 0 0\n"},
+		{"bad id", "0\n9 0 0\n0 0 0\n"},
+		{"dup id", "0\n0 0 0\n0 0 0\n"},
+		{"negative weight", "0\n0 -5 0\n1 0 1 0\n"},
+		{"pred count mismatch", "0\n0 0 2 1\n1 0 1 0\n"},
+		{"pred out of range", "0\n0 0 0\n1 0 1 9\n"},
+		{"all dummies", "0\n0 0 0\n1 0 1 0\n"},
+		{"self pred cycle", "1\n0 0 0\n1 5 1 1\n2 0 1 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.in), tc.name)
+			if err == nil {
+				t.Errorf("Parse succeeded on malformed input")
+			}
+		})
+	}
+}
+
+func TestParseRejectsCycleThroughRealTasks(t *testing.T) {
+	const in = `
+2
+ 0 0 0
+ 1 5 1 2
+ 2 5 1 1
+ 3 0 1 2
+`
+	_, err := Parse(strings.NewReader(in), "cyc")
+	if err == nil {
+		t.Fatal("Parse accepted a cyclic graph")
+	}
+	if !errors.Is(err, dag.ErrCycle) {
+		t.Errorf("err = %v, want dag.ErrCycle", err)
+	}
+}
+
+func randomGraph(rng *rand.Rand, n int) *dag.Graph {
+	b := dag.NewBuilder("roundtrip")
+	for i := 0; i < n; i++ {
+		b.AddTask(int64(rng.Intn(300) + 1))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.2 {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, int(rawN%40)+1)
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()), "roundtrip")
+		if err != nil {
+			t.Logf("Parse: %v\n%s", err, buf.String())
+			return false
+		}
+		if back.NumTasks() != g.NumTasks() ||
+			back.NumEdges() != g.NumEdges() ||
+			back.TotalWork() != g.TotalWork() ||
+			back.CriticalPathLength() != g.CriticalPathLength() {
+			t.Logf("round trip mismatch: tasks %d/%d edges %d/%d",
+				back.NumTasks(), g.NumTasks(), back.NumEdges(), g.NumEdges())
+			return false
+		}
+		for v := 0; v < g.NumTasks(); v++ {
+			if back.Weight(v) != g.Weight(v) {
+				return false
+			}
+			bp, gp := back.Preds(v), g.Preds(v)
+			if len(bp) != len(gp) {
+				return false
+			}
+			for i := range bp {
+				if bp[i] != gp[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteFormatHasDummies(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(1)), 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if strings.TrimSpace(lines[0]) != "5" {
+		t.Errorf("header = %q, want 5", lines[0])
+	}
+	// 1 header + 7 task lines + 1 comment.
+	if len(lines) != 9 {
+		t.Errorf("got %d lines, want 9:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "#") {
+		t.Errorf("missing trailing comment")
+	}
+}
+
+func TestParseRejectsHugeTaskCount(t *testing.T) {
+	// Regression for a fuzzing find: an absurd header count must be
+	// rejected before any proportional allocation happens.
+	if _, err := Parse(strings.NewReader("999999999999\n"), "huge"); !errors.Is(err, ErrFormat) {
+		t.Errorf("err = %v, want ErrFormat", err)
+	}
+}

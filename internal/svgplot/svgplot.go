@@ -1,0 +1,335 @@
+// Package svgplot renders the experiment results as static SVG figures, so
+// `cmd/experiments -svg` regenerates the paper's artwork and not just its
+// numbers. It is a deliberately small chart kit: line charts (Figs. 2, 3
+// and 6), grouped bar charts (Figs. 10 and 11) and scatter plots (Figs. 12
+// and 13), one y-axis each.
+//
+// Styling follows a validated data-viz palette: categorical hues are
+// assigned in a fixed slot order (never cycled), marks are thin (2 px
+// lines, 8 px scatter dots with a surface ring, bars with rounded data
+// ends and surface gaps), grid and axes are recessive, text wears text
+// colors rather than series colors, and every multi-series figure carries
+// a legend. The figures complement — never replace — the text/CSV tables,
+// which double as the accessible data view.
+package svgplot
+
+import (
+	"bufio"
+	"fmt"
+	"html"
+	"io"
+	"math"
+)
+
+// Categorical palette, fixed slot order (validated: worst adjacent CVD
+// ΔE 24.2 on the light surface; aqua and yellow rely on the table view for
+// contrast relief).
+var seriesColors = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+// Surface and ink roles (light mode).
+const (
+	surface       = "#fcfcfb"
+	textPrimary   = "#0b0b0b"
+	textSecondary = "#52514e"
+	gridColor     = "#e8e7e3"
+	axisColor     = "#b5b4ae"
+	fontFamily    = "system-ui, -apple-system, 'Segoe UI', sans-serif"
+)
+
+// Series is one plotted series; for bar charts X is the group index.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a renderable chart.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // default 760
+	Height int // default 440
+
+	// Kind selects the mark: "line", "scatter" or "bars".
+	Kind string
+
+	Series []Series
+
+	// Groups labels the x axis categorically (bars only); for bars,
+	// Series[i].Y[g] is series i's value in group g.
+	Groups []string
+}
+
+const (
+	marginLeft   = 64
+	marginRight  = 18
+	marginTop    = 46
+	marginBottom = 52
+	legendRowH   = 18
+)
+
+// Render writes the figure as a standalone SVG document.
+func (f *Figure) Render(w io.Writer) error {
+	if f.Width <= 0 {
+		f.Width = 760
+	}
+	if f.Height <= 0 {
+		f.Height = 440
+	}
+	if len(f.Series) == 0 {
+		return fmt.Errorf("svgplot: figure %q has no series", f.Title)
+	}
+	if len(f.Series) > len(seriesColors) {
+		return fmt.Errorf("svgplot: %d series exceed the %d palette slots; fold the tail into 'Other'",
+			len(f.Series), len(seriesColors))
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="%s">`+"\n",
+		f.Width, f.Height, f.Width, f.Height, html.EscapeString(f.Title))
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="%s"/>`+"\n", f.Width, f.Height, surface)
+	fmt.Fprintf(bw, `<text x="%d" y="24" font-family="%s" font-size="14" font-weight="600" fill="%s">%s</text>`+"\n",
+		marginLeft, fontFamily, textPrimary, html.EscapeString(f.Title))
+
+	plotW := float64(f.Width - marginLeft - marginRight)
+	plotH := float64(f.Height - marginTop - marginBottom)
+
+	var err error
+	switch f.Kind {
+	case "bars":
+		err = f.renderBars(bw, plotW, plotH)
+	case "scatter", "line":
+		err = f.renderXY(bw, plotW, plotH)
+	default:
+		err = fmt.Errorf("svgplot: unknown kind %q", f.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	if len(f.Series) > 1 {
+		f.renderLegend(bw)
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+// renderLegend draws one swatch+name row at the top right, in secondary ink.
+func (f *Figure) renderLegend(bw *bufio.Writer) {
+	x := float64(f.Width - marginRight)
+	const itemPad = 14
+	// Right-align: walk series in reverse.
+	for i := len(f.Series) - 1; i >= 0; i-- {
+		name := html.EscapeString(f.Series[i].Name)
+		textW := 6.2 * float64(len(f.Series[i].Name)) // approximate
+		x -= textW
+		fmt.Fprintf(bw, `<text x="%.1f" y="%d" font-family="%s" font-size="11" fill="%s">%s</text>`+"\n",
+			x, marginTop-8, fontFamily, textSecondary, name)
+		x -= 14
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%d" width="10" height="10" rx="2" fill="%s"/>`+"\n",
+			x, marginTop-17, seriesColors[i])
+		x -= itemPad
+	}
+}
+
+// niceTicks returns ~n tick values covering [lo, hi] on a 1/2/5 grid.
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	first := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := first; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e6 || a < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// renderXY draws line or scatter series on linear axes.
+func (f *Figure) renderXY(bw *bufio.Writer, plotW, plotH float64) error {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("svgplot: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("svgplot: figure %q has no points", f.Title)
+	}
+	if minY > 0 && minY/math.Max(maxY, 1e-300) < 0.5 {
+		minY = 0 // anchor magnitude-like axes at zero unless zoom is warranted
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	xOf := func(v float64) float64 { return marginLeft + (v-minX)/(maxX-minX)*plotW }
+	yOf := func(v float64) float64 { return marginTop + plotH - (v-minY)/(maxY-minY)*plotH }
+
+	f.renderAxes(bw, plotW, plotH, minX, maxX, minY, maxY, xOf, yOf)
+
+	for si, s := range f.Series {
+		color := seriesColors[si]
+		if f.Kind == "line" {
+			fmt.Fprintf(bw, `<polyline fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round" points="`, color)
+			for i := range s.X {
+				fmt.Fprintf(bw, "%.1f,%.1f ", xOf(s.X[i]), yOf(s.Y[i]))
+			}
+			fmt.Fprintln(bw, `"/>`)
+		} else {
+			for i := range s.X {
+				// 8 px dot with a 2 px surface ring for overlap relief.
+				fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" stroke="%s" stroke-width="2"/>`+"\n",
+					xOf(s.X[i]), yOf(s.Y[i]), color, surface)
+			}
+		}
+	}
+	return nil
+}
+
+// renderAxes draws the recessive grid, the axis lines, ticks and labels.
+func (f *Figure) renderAxes(bw *bufio.Writer, plotW, plotH, minX, maxX, minY, maxY float64,
+	xOf, yOf func(float64) float64) {
+	bottom := marginTop + plotH
+	for _, ty := range niceTicks(minY, maxY, 5) {
+		y := yOf(ty)
+		fmt.Fprintf(bw, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y, gridColor)
+		fmt.Fprintf(bw, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle" font-family="%s" font-size="11" fill="%s">%s</text>`+"\n",
+			marginLeft-8, y, fontFamily, textSecondary, formatTick(ty))
+	}
+	for _, tx := range niceTicks(minX, maxX, 6) {
+		x := xOf(tx)
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" text-anchor="middle" font-family="%s" font-size="11" fill="%s">%s</text>`+"\n",
+			x, bottom+18, fontFamily, textSecondary, formatTick(tx))
+	}
+	fmt.Fprintf(bw, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+		marginLeft, bottom, marginLeft+plotW, bottom, axisColor)
+	f.renderAxisLabels(bw, plotW, plotH)
+}
+
+func (f *Figure) renderAxisLabels(bw *bufio.Writer, plotW, plotH float64) {
+	if f.XLabel != "" {
+		fmt.Fprintf(bw, `<text x="%.1f" y="%d" text-anchor="middle" font-family="%s" font-size="11" fill="%s">%s</text>`+"\n",
+			marginLeft+plotW/2, f.Height-12, fontFamily, textSecondary, html.EscapeString(f.XLabel))
+	}
+	if f.YLabel != "" {
+		fmt.Fprintf(bw, `<text x="16" y="%.1f" text-anchor="middle" font-family="%s" font-size="11" fill="%s" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+			marginTop+plotH/2, fontFamily, textSecondary, marginTop+plotH/2, html.EscapeString(f.YLabel))
+	}
+}
+
+// renderBars draws grouped bars with rounded data ends anchored to the
+// baseline and a 2 px surface gap between adjacent bars.
+func (f *Figure) renderBars(bw *bufio.Writer, plotW, plotH float64) error {
+	if len(f.Groups) == 0 {
+		return fmt.Errorf("svgplot: bar figure %q has no groups", f.Title)
+	}
+	maxY := 0.0
+	for _, s := range f.Series {
+		if len(s.Y) != len(f.Groups) {
+			return fmt.Errorf("svgplot: series %q has %d values for %d groups", s.Name, len(s.Y), len(f.Groups))
+		}
+		for _, v := range s.Y {
+			if v < 0 {
+				return fmt.Errorf("svgplot: bar value %g < 0 unsupported", v)
+			}
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	bottom := marginTop + plotH
+	yOf := func(v float64) float64 { return bottom - v/maxY*plotH }
+
+	// Grid + y ticks.
+	for _, ty := range niceTicks(0, maxY, 5) {
+		y := yOf(ty)
+		fmt.Fprintf(bw, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y, gridColor)
+		fmt.Fprintf(bw, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle" font-family="%s" font-size="11" fill="%s">%s</text>`+"\n",
+			marginLeft-8, y, fontFamily, textSecondary, formatTick(ty))
+	}
+
+	groupW := plotW / float64(len(f.Groups))
+	innerW := groupW * 0.82
+	barGap := 2.0
+	barW := (innerW - barGap*float64(len(f.Series)-1)) / float64(len(f.Series))
+	if barW < 2 {
+		return fmt.Errorf("svgplot: %d groups x %d series leave bars thinner than 2px; widen the figure",
+			len(f.Groups), len(f.Series))
+	}
+	round := math.Min(4, barW/2)
+	for gi, label := range f.Groups {
+		gx := marginLeft + float64(gi)*groupW + (groupW-innerW)/2
+		for si, s := range f.Series {
+			v := s.Y[gi]
+			x := gx + float64(si)*(barW+barGap)
+			top := yOf(v)
+			h := bottom - top
+			if h <= 0 {
+				continue
+			}
+			r := math.Min(round, h)
+			// Rounded corners at the data end only; square at the baseline.
+			fmt.Fprintf(bw,
+				`<path d="M%.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Z" fill="%s"/>`+"\n",
+				x, bottom,
+				x, top+r,
+				x, top, x+r, top,
+				x+barW-r, top,
+				x+barW, top, x+barW, top+r,
+				x+barW, bottom,
+				seriesColors[si])
+		}
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" text-anchor="middle" font-family="%s" font-size="11" fill="%s">%s</text>`+"\n",
+			gx+innerW/2, bottom+18, fontFamily, textSecondary, html.EscapeString(label))
+	}
+	fmt.Fprintf(bw, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+		marginLeft, bottom, marginLeft+plotW, bottom, axisColor)
+	f.renderAxisLabels(bw, plotW, plotH)
+	return nil
+}

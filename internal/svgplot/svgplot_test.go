@@ -1,0 +1,197 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func lineFig() *Figure {
+	return &Figure{
+		Title: "demo line", Kind: "line", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{1, 3, 2, 5}},
+			{Name: "b", X: []float64{0, 1, 2, 3}, Y: []float64{2, 2.5, 4, 4.5}},
+		},
+	}
+}
+
+// render returns the SVG and fails the test on error.
+func render(t *testing.T, f *Figure) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	return buf.String()
+}
+
+// TestWellFormedXML parses every rendered figure as XML — a malformed
+// attribute or unescaped title would fail here.
+func TestWellFormedXML(t *testing.T) {
+	figs := map[string]*Figure{
+		"line": lineFig(),
+		"scatter": {
+			Title: "demo <scatter> & such", Kind: "scatter",
+			Series: []Series{{Name: "s&p", X: []float64{1, 2}, Y: []float64{3, 4}}},
+		},
+		"bars": {
+			Title: "demo bars", Kind: "bars", Groups: []string{"g1", "g2"},
+			Series: []Series{
+				{Name: "u", Y: []float64{50, 80}},
+				{Name: "v", Y: []float64{30, 0}},
+			},
+		},
+	}
+	for name, f := range figs {
+		out := render(t, f)
+		dec := xml.NewDecoder(strings.NewReader(out))
+		for {
+			_, err := dec.Token()
+			if err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("%s: invalid XML: %v\n%s", name, err, out)
+			}
+		}
+	}
+}
+
+var numRe = regexp.MustCompile(`-?\d+(\.\d+)?([eE][+-]?\d+)?`)
+
+// TestCoordinatesFiniteAndInBounds scans every numeric attribute: no NaN or
+// Inf may be emitted, and polyline/circle coordinates stay inside the
+// viewBox (the substitute for a visual overflow check).
+func TestCoordinatesFiniteAndInBounds(t *testing.T) {
+	f := lineFig()
+	out := render(t, f)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("non-finite coordinates in output")
+	}
+	pointsRe := regexp.MustCompile(`points="([^"]+)"`)
+	for _, m := range pointsRe.FindAllStringSubmatch(out, -1) {
+		for _, tok := range numRe.FindAllString(m[1], -1) {
+			v, err := strconv.ParseFloat(tok, 64)
+			if err != nil || math.IsNaN(v) || v < -1 || v > float64(f.Width)+1 {
+				t.Errorf("point coordinate %q out of bounds", tok)
+			}
+		}
+	}
+}
+
+func TestLegendRules(t *testing.T) {
+	multi := render(t, lineFig())
+	if !strings.Contains(multi, ">a</text>") || !strings.Contains(multi, ">b</text>") {
+		t.Errorf("multi-series figure missing legend entries")
+	}
+	single := &Figure{
+		Title: "single", Kind: "line",
+		Series: []Series{{Name: "only", X: []float64{0, 1}, Y: []float64{1, 2}}},
+	}
+	out := render(t, single)
+	if strings.Contains(out, ">only</text>") {
+		t.Errorf("single-series figure should not draw a legend box")
+	}
+}
+
+func TestFixedSlotColors(t *testing.T) {
+	out := render(t, lineFig())
+	// Slot order is fixed: series 1 blue, series 2 aqua.
+	if !strings.Contains(out, seriesColors[0]) || !strings.Contains(out, seriesColors[1]) {
+		t.Errorf("series not painted with the fixed slot order")
+	}
+}
+
+func TestScatterDotsHaveSurfaceRing(t *testing.T) {
+	f := &Figure{
+		Title: "s", Kind: "scatter",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{2, 1}},
+		},
+	}
+	out := render(t, f)
+	if !strings.Contains(out, `r="4"`) || !strings.Contains(out, fmt.Sprintf(`stroke="%s" stroke-width="2"`, surface)) {
+		t.Errorf("scatter marks missing the 8px dot with 2px surface ring")
+	}
+}
+
+func TestBarsRoundedAtDataEndOnly(t *testing.T) {
+	f := &Figure{
+		Title: "b", Kind: "bars", Groups: []string{"x"},
+		Series: []Series{{Name: "v", Y: []float64{10}}, {Name: "w", Y: []float64{20}}},
+	}
+	out := render(t, f)
+	// Bars are paths with quadratic corners at the top and a straight
+	// baseline edge (Z closes along the bottom).
+	if !strings.Contains(out, "Q") || !strings.Contains(out, "Z") {
+		t.Errorf("bars not drawn as rounded-top paths:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []*Figure{
+		{Title: "no series", Kind: "line"},
+		{Title: "bad kind", Kind: "pie", Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1}}}},
+		{Title: "mismatch", Kind: "line", Series: []Series{{Name: "a", X: []float64{1, 2}, Y: []float64{1}}}},
+		{Title: "no groups", Kind: "bars", Series: []Series{{Name: "a", Y: []float64{1}}}},
+		{Title: "group mismatch", Kind: "bars", Groups: []string{"g"}, Series: []Series{{Name: "a", Y: []float64{1, 2}}}},
+		{Title: "negative bar", Kind: "bars", Groups: []string{"g"}, Series: []Series{{Name: "a", Y: []float64{-1}}}},
+		{Title: "empty line", Kind: "line", Series: []Series{{Name: "a"}}},
+	}
+	for _, f := range cases {
+		var buf bytes.Buffer
+		if err := f.Render(&buf); err == nil {
+			t.Errorf("%s: expected error", f.Title)
+		}
+	}
+	// Too many series must be refused, never painted with cycled hues.
+	many := &Figure{Title: "many", Kind: "line"}
+	for i := 0; i < len(seriesColors)+1; i++ {
+		many.Series = append(many.Series, Series{
+			Name: fmt.Sprintf("s%d", i), X: []float64{0, 1}, Y: []float64{0, 1},
+		})
+	}
+	var buf bytes.Buffer
+	if err := many.Render(&buf); err == nil {
+		t.Error("palette overflow not rejected")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		n      int
+	}{
+		{0, 100, 5},
+		{0.3, 0.41, 5},
+		{250000, 1840000, 5},
+		{0, 0, 5}, // degenerate
+		{-3, 7, 4},
+	}
+	for _, tc := range cases {
+		ticks := niceTicks(tc.lo, tc.hi, tc.n)
+		if len(ticks) == 0 {
+			t.Errorf("niceTicks(%g,%g) empty", tc.lo, tc.hi)
+			continue
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				t.Errorf("ticks not increasing: %v", ticks)
+			}
+		}
+		hi := tc.hi
+		if hi <= tc.lo {
+			hi = tc.lo + 1
+		}
+		if ticks[0] < tc.lo-1e-9 || ticks[len(ticks)-1] > hi+1e-6*math.Abs(hi)+1e-12 {
+			t.Errorf("ticks %v outside [%g,%g]", ticks, tc.lo, hi)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package taskgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lamps/internal/dag"
+)
+
+// Profile describes the aggregate characteristics of a task graph: the
+// generator synthesises a graph matching Nodes, CriticalPath and TotalWork
+// exactly and Edges as closely as the construction permits. The paper's
+// Table 2 lists these aggregates for the STG application graphs, and all
+// scheduling/energy behaviour studied in the paper is driven by them
+// (especially the parallelism TotalWork/CriticalPath).
+type Profile struct {
+	Name         string
+	Nodes        int
+	Edges        int
+	CriticalPath int64
+	TotalWork    int64
+
+	// Width optionally bounds the peak task concurrency (the number of
+	// processors an ASAP schedule can occupy). 0 picks twice the average
+	// parallelism TotalWork/CriticalPath, which matches the width-to-
+	// parallelism ratio of the paper's MPEG-1 graph.
+	Width int
+}
+
+// Table2Profiles reproduces the application-graph rows of Table 2.
+var Table2Profiles = []Profile{
+	{Name: "fpppp", Nodes: 334, Edges: 1196, CriticalPath: 1062, TotalWork: 7113},
+	{Name: "robot", Nodes: 88, Edges: 130, CriticalPath: 545, TotalWork: 2459},
+	{Name: "sparse", Nodes: 96, Edges: 128, CriticalPath: 122, TotalWork: 1920},
+}
+
+// Fpppp returns a synthetic stand-in for the STG 'fpppp' graph.
+func Fpppp() *dag.Graph { return mustProfile(Table2Profiles[0], 1) }
+
+// Robot returns a synthetic stand-in for the STG 'robot' graph.
+func Robot() *dag.Graph { return mustProfile(Table2Profiles[1], 1) }
+
+// Sparse returns a synthetic stand-in for the STG 'sparse' graph.
+func Sparse() *dag.Graph { return mustProfile(Table2Profiles[2], 1) }
+
+func mustProfile(p Profile, seed int64) *dag.Graph {
+	g, err := p.Generate(seed)
+	if err != nil {
+		panic("taskgen: profile generation failed: " + err.Error())
+	}
+	return g
+}
+
+// Generate synthesises a graph matching the profile. The construction lays
+// a backbone chain whose weights sum exactly to CriticalPath, then anchors
+// the remaining tasks between chain positions such that no path exceeds the
+// backbone, distributing the remaining work TotalWork − CriticalPath over
+// them. Entry/exit anchor edges are added or dropped to approach the target
+// edge count.
+func (p Profile) Generate(seed int64) (*dag.Graph, error) {
+	switch {
+	case p.Nodes < 1:
+		return nil, fmt.Errorf("taskgen: profile %q: Nodes = %d", p.Name, p.Nodes)
+	case p.CriticalPath < 1 || p.TotalWork < p.CriticalPath:
+		return nil, fmt.Errorf("taskgen: profile %q: work %d < critical path %d",
+			p.Name, p.TotalWork, p.CriticalPath)
+	case p.TotalWork < int64(p.Nodes):
+		return nil, fmt.Errorf("taskgen: profile %q: work %d cannot cover %d unit-weight tasks",
+			p.Name, p.TotalWork, p.Nodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Backbone length: enough pieces to keep each weight <= MaxWeight, and —
+	// when the node budget allows — fine-grained enough that the lane-based
+	// anchoring below can pack side-task windows with little rounding waste
+	// (windows start on backbone boundaries), keeping the graph's width
+	// close to the target.
+	k := int((p.CriticalPath + 259) / 260)
+	if pref := minInt(p.Nodes/3, int(p.CriticalPath/2)); pref > k {
+		k = pref
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > p.Nodes {
+		k = p.Nodes
+	}
+	if int64(k) > p.CriticalPath {
+		k = int(p.CriticalPath)
+	}
+	side := p.Nodes - k
+	sideWork := p.TotalWork - p.CriticalPath
+	if side == 0 && sideWork > 0 {
+		return nil, fmt.Errorf("taskgen: profile %q: backbone consumes all %d tasks but %d work remains",
+			p.Name, p.Nodes, sideWork)
+	}
+	if sideWork < int64(side) {
+		// Not enough residual work for the parallel tasks: shorten the
+		// backbone budget by moving work out of it is impossible (CPL is
+		// exact), so the profile is unrealisable with positive weights.
+		return nil, fmt.Errorf("taskgen: profile %q: residual work %d below %d side tasks",
+			p.Name, sideWork, side)
+	}
+
+	chainW := splitExact(rng, p.CriticalPath, k, 1, MaxWeight)
+	if chainW == nil {
+		return nil, fmt.Errorf("taskgen: profile %q: cannot split CPL %d into %d pieces",
+			p.Name, p.CriticalPath, k)
+	}
+	// Side weights must allow an anchoring with path <= CPL: cap them at
+	// half the CPL so an entry anchor always exists.
+	sideCap := int64(MaxWeight)
+	if c := p.CriticalPath / 2; c < sideCap {
+		sideCap = c
+	}
+	if sideCap < 1 {
+		sideCap = 1
+	}
+	var sideW []int64
+	if side > 0 {
+		sideW = splitExact(rng, sideWork, side, 1, sideCap)
+		if sideW == nil {
+			return nil, fmt.Errorf("taskgen: profile %q: cannot split side work %d into %d pieces <= %d",
+				p.Name, sideWork, side, sideCap)
+		}
+	}
+
+	b := dag.NewBuilder(p.Name)
+	chain := make([]int, k)
+	for i := range chain {
+		chain[i] = b.AddTask(chainW[i])
+	}
+	// pre[i] = sum of chain weights before position i; pre[k] = CPL.
+	pre := make([]int64, k+1)
+	for i := 0; i < k; i++ {
+		pre[i+1] = pre[i] + chainW[i]
+	}
+
+	type edge struct{ from, to int }
+	var edges []edge
+	for i := 0; i < k-1; i++ {
+		edges = append(edges, edge{chain[i], chain[i+1]})
+	}
+
+	// Anchor each side task: entry after chain[i] (so its top level is
+	// pre[i+1]) and exit before the first chain[j] with pre[j] >= top + w.
+	budget := p.Edges - len(edges)
+	type anchored struct {
+		task int
+		in   int // entry anchor chain index, -1 for none (source task)
+		out  int // exit anchor chain index, k for none (sink task)
+	}
+	// Lane-based anchoring bounds the peak concurrency: each of the W lanes
+	// holds side tasks whose ASAP windows do not overlap, so the graph's
+	// width stays near W+1 (the +1 is the backbone). Each task goes to the
+	// lane with the earliest free time.
+	lanes := p.Width - 1
+	if lanes <= 0 {
+		lanes = int(2 * float64(p.TotalWork) / float64(p.CriticalPath))
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	cursor := make([]int64, lanes)
+	anchors := make([]anchored, side)
+	for si := 0; si < side; si++ {
+		w := sideW[si]
+		v := b.AddTask(w)
+		lane := 0
+		for l := 1; l < lanes; l++ {
+			if cursor[l] < cursor[lane] {
+				lane = l
+			}
+		}
+		// The window starts at the first backbone boundary at or after the
+		// lane's free time: pre[j] with entry anchor chain[j-1] (j = 0 means
+		// no entry anchor, i.e. a source task starting at time 0).
+		in := -1
+		top := int64(-1)
+		if j := sort.Search(k, func(j int) bool { return pre[j] >= cursor[lane] }); pre[j]+w <= p.CriticalPath {
+			in = j - 1
+			top = pre[j]
+		} else {
+			// The lane is full; fall back to a random feasible anchor (the
+			// window overlaps others in this lane, slightly raising width).
+			hi := sort.Search(k, func(i int) bool { return pre[i+1]+w > p.CriticalPath })
+			if hi > 0 {
+				in = rng.Intn(hi)
+				top = pre[in+1]
+			} else {
+				top = 0
+			}
+		}
+		cursor[lane] = top + w
+		out := sort.Search(k, func(j int) bool { return pre[j] >= top+w })
+		anchors[si] = anchored{v, in, out}
+		// Spend the edge budget: prefer both anchors, then entry only.
+		wantIn := in >= 0
+		wantOut := out < k
+		need := 0
+		if wantIn {
+			need++
+		}
+		if wantOut {
+			need++
+		}
+		remainingMin := side - si - 1 // later tasks need >= 1 edge each ideally
+		if budget-need < remainingMin && need > 1 {
+			// Trim to one edge to save budget for later tasks.
+			wantOut = false
+			need = 1
+		}
+		if wantIn {
+			edges = append(edges, edge{chain[in], v})
+			budget--
+		}
+		if wantOut {
+			edges = append(edges, edge{v, chain[out]})
+			budget--
+		}
+	}
+	// Spend any leftover budget on extra anchors that cannot change the
+	// critical path: extra exits strictly after the chosen one (a later
+	// chain node is reachable whenever an earlier one is) and extra entries
+	// strictly before the chosen one (an earlier entry cannot raise the
+	// task's top level). The loop stops when no task can absorb more edges.
+	for budget > 0 && side > 0 {
+		progress := false
+		for si := 0; si < side && budget > 0; si++ {
+			a := &anchors[si]
+			if a.out+1 < k {
+				a.out++
+				edges = append(edges, edge{a.task, chain[a.out]})
+				budget--
+				progress = true
+				continue
+			}
+			if a.in > 0 {
+				a.in--
+				edges = append(edges, edge{chain[a.in], a.task})
+				budget--
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for _, e := range edges {
+		b.AddEdge(e.from, e.to)
+	}
+	return b.Build()
+}
+
+// splitExact splits total into n integer parts, each within [lo, hi],
+// summing exactly to total; nil when impossible. Parts are randomised around
+// the mean.
+func splitExact(rng *rand.Rand, total int64, n int, lo, hi int64) []int64 {
+	if n <= 0 || total < int64(n)*lo || total > int64(n)*hi {
+		return nil
+	}
+	parts := make([]int64, n)
+	remaining := total
+	for i := 0; i < n; i++ {
+		left := n - i - 1
+		// Bounds so the remainder stays satisfiable.
+		minW := remaining - int64(left)*hi
+		if minW < lo {
+			minW = lo
+		}
+		maxW := remaining - int64(left)*lo
+		if maxW > hi {
+			maxW = hi
+		}
+		w := minW
+		if maxW > minW {
+			// Bias towards the mean for a natural-looking distribution.
+			mean := remaining / int64(left+1)
+			span := maxW - minW + 1
+			w = minW + rng.Int63n(span)
+			if mean >= minW && mean <= maxW {
+				w = (w + mean) / 2
+			}
+		}
+		parts[i] = w
+		remaining -= w
+	}
+	// Shuffle so the adjusted tail is not always last.
+	rng.Shuffle(n, func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+	return parts
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

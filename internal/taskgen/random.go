@@ -1,0 +1,171 @@
+// Package taskgen generates task graphs for the experiments. It provides
+// three families of random DAG generators in the style of the Standard Task
+// Graph Set (layered, ordered-Gnp and series-parallel, all with integer
+// weights uniform in 1..300), plus a profile-matched generator that
+// synthesises graphs with a prescribed node count, critical path length and
+// total work — used to stand in for the STG application graphs fpppp, robot
+// and sparse, whose aggregate characteristics the paper lists in Table 2.
+//
+// All generators are deterministic functions of their seed.
+package taskgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lamps/internal/dag"
+)
+
+// MaxWeight is the maximum task weight of the Standard Task Graph Set;
+// weights are integers uniform in [1, MaxWeight].
+const MaxWeight = 300
+
+// CoarseGrainCycles is the paper's coarse-grain scaling: an STG weight of 1
+// corresponds to 3.1e6 cycles (1 ms at the maximum frequency of 3.1 GHz).
+const CoarseGrainCycles = 3_100_000
+
+// FineGrainCycles is the fine-grain scaling: an STG weight of 1 corresponds
+// to 3.1e4 cycles (10 µs at maximum frequency).
+const FineGrainCycles = 31_000
+
+// Layered generates a random layered DAG: tasks are distributed over layers
+// and edges connect tasks of earlier layers to tasks of strictly later
+// layers within a limited span. This mimics the dominant generation method
+// of the Standard Task Graph Set.
+type Layered struct {
+	Nodes    int     // number of tasks (>= 1)
+	Layers   int     // number of layers (0 = pick automatically)
+	EdgeProb float64 // probability of an edge between span-compatible pairs
+	Span     int     // maximum layer distance of an edge (0 = 2)
+}
+
+// Generate builds the graph with the given seed.
+func (l Layered) Generate(seed int64) (*dag.Graph, error) {
+	if l.Nodes < 1 {
+		return nil, fmt.Errorf("taskgen: Layered.Nodes = %d", l.Nodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	layers := l.Layers
+	if layers <= 0 {
+		layers = 2 + rng.Intn(maxInt(2, l.Nodes/4))
+	}
+	if layers > l.Nodes {
+		layers = l.Nodes
+	}
+	span := l.Span
+	if span <= 0 {
+		span = 2
+	}
+	prob := l.EdgeProb
+	if prob <= 0 {
+		prob = 0.5
+	}
+
+	b := dag.NewBuilder(fmt.Sprintf("layered%d-s%d", l.Nodes, seed))
+	// Assign each task to a layer; guarantee every layer is non-empty by
+	// seeding one task per layer first.
+	layerOf := make([]int, l.Nodes)
+	for i := 0; i < l.Nodes; i++ {
+		if i < layers {
+			layerOf[i] = i
+		} else {
+			layerOf[i] = rng.Intn(layers)
+		}
+	}
+	byLayer := make([][]int, layers)
+	for i := 0; i < l.Nodes; i++ {
+		b.AddTask(int64(rng.Intn(MaxWeight) + 1))
+		byLayer[layerOf[i]] = append(byLayer[layerOf[i]], i)
+	}
+	for from := 0; from < layers-1; from++ {
+		for to := from + 1; to <= from+span && to < layers; to++ {
+			for _, u := range byLayer[from] {
+				for _, v := range byLayer[to] {
+					if rng.Float64() < prob/float64(to-from) {
+						b.AddEdge(u, v)
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// OrderedGnp generates a DAG by flipping a biased coin for every ordered
+// pair (i, j) with i < j, the classic G(n, p) construction restricted to a
+// topological order.
+type OrderedGnp struct {
+	Nodes    int
+	EdgeProb float64
+}
+
+// Generate builds the graph with the given seed.
+func (o OrderedGnp) Generate(seed int64) (*dag.Graph, error) {
+	if o.Nodes < 1 {
+		return nil, fmt.Errorf("taskgen: OrderedGnp.Nodes = %d", o.Nodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("gnp%d-s%d", o.Nodes, seed))
+	for i := 0; i < o.Nodes; i++ {
+		b.AddTask(int64(rng.Intn(MaxWeight) + 1))
+	}
+	for i := 0; i < o.Nodes; i++ {
+		for j := i + 1; j < o.Nodes; j++ {
+			if rng.Float64() < o.EdgeProb {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// SeriesParallel generates a random series-parallel DAG by recursive
+// series/parallel composition, a common shape for pipelined media workloads.
+type SeriesParallel struct {
+	Nodes int
+}
+
+// Generate builds the graph with the given seed.
+func (sp SeriesParallel) Generate(seed int64) (*dag.Graph, error) {
+	if sp.Nodes < 1 {
+		return nil, fmt.Errorf("taskgen: SeriesParallel.Nodes = %d", sp.Nodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("sp%d-s%d", sp.Nodes, seed))
+
+	// compose builds a sub-DAG with n tasks and returns its entry and exit
+	// task sets (tasks with no internal preds/succs).
+	var compose func(n int) (entries, exits []int)
+	compose = func(n int) ([]int, []int) {
+		if n == 1 {
+			v := b.AddTask(int64(rng.Intn(MaxWeight) + 1))
+			return []int{v}, []int{v}
+		}
+		k := 1 + rng.Intn(n-1) // split into k and n-k
+		if rng.Intn(2) == 0 {
+			// Series: every exit of the first part precedes every entry of
+			// the second.
+			e1, x1 := compose(k)
+			e2, x2 := compose(n - k)
+			for _, u := range x1 {
+				for _, v := range e2 {
+					b.AddEdge(u, v)
+				}
+			}
+			return e1, x2
+		}
+		// Parallel: union of both parts.
+		e1, x1 := compose(k)
+		e2, x2 := compose(n - k)
+		return append(e1, e2...), append(x1, x2...)
+	}
+	compose(sp.Nodes)
+	return b.Build()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

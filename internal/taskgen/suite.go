@@ -1,0 +1,95 @@
+package taskgen
+
+import (
+	"fmt"
+
+	"lamps/internal/dag"
+)
+
+// Grain selects the paper's two weight-to-cycles scenarios.
+type Grain int
+
+const (
+	// Coarse maps an STG weight of 1 to 3.1e6 cycles (1 ms at f_max).
+	Coarse Grain = iota
+	// Fine maps an STG weight of 1 to 3.1e4 cycles (10 µs at f_max).
+	Fine
+)
+
+func (g Grain) String() string {
+	if g == Fine {
+		return "fine"
+	}
+	return "coarse"
+}
+
+// Cycles returns the weight-unit-to-cycles factor.
+func (g Grain) Cycles() int64 {
+	if g == Fine {
+		return FineGrainCycles
+	}
+	return CoarseGrainCycles
+}
+
+// Scale converts a unit-weighted graph into cycles for this grain.
+func (g Grain) Scale(graph *dag.Graph) *dag.Graph {
+	s, err := graph.ScaleWeights(g.Cycles())
+	if err != nil {
+		panic("taskgen: scale: " + err.Error()) // unit graphs always have positive weights
+	}
+	return s
+}
+
+// GroupSizes are the random-graph group sizes presented in the paper's
+// figures (Figs. 10 and 11).
+var GroupSizes = []int{50, 100, 500, 1000, 2000, 2500, 5000}
+
+// ScatterSizes are the random-graph sizes of the parallelism scatter plots
+// (Figs. 12 and 13).
+var ScatterSizes = []int{1000, 2000, 2500, 3000}
+
+// Group generates count random task graphs of the given size with
+// deterministic seeds, named "<size>-<index>". The generation method and
+// parameters rotate with the index, mirroring the STG set's mixture of
+// generation methods and densities. Weights are in abstract units; scale
+// with Grain.Scale before scheduling.
+func Group(size, count int, baseSeed int64) ([]*dag.Graph, error) {
+	graphs := make([]*dag.Graph, 0, count)
+	for i := 0; i < count; i++ {
+		seed := baseSeed + int64(i)*7919
+		g, err := Member(size, i, seed)
+		if err != nil {
+			return nil, err
+		}
+		graphs = append(graphs, g.Rename(fmt.Sprintf("%d-%02d", size, i)))
+	}
+	return graphs, nil
+}
+
+// Member generates the i-th graph of a group, rotating through the
+// generator families and parameter ranges.
+func Member(size, i int, seed int64) (*dag.Graph, error) {
+	switch i % 4 {
+	case 0:
+		return Layered{Nodes: size, EdgeProb: 0.5}.Generate(seed)
+	case 1:
+		// Narrow/deep: few wide layers, long dependences.
+		layers := maxInt(3, size/6)
+		return Layered{Nodes: size, Layers: layers, EdgeProb: 0.7, Span: 3}.Generate(seed)
+	case 2:
+		// Dense ordered Gnp with expected degree ~8.
+		p := 16.0 / float64(size)
+		if p > 0.9 {
+			p = 0.9
+		}
+		return OrderedGnp{Nodes: size, EdgeProb: p}.Generate(seed)
+	default:
+		return SeriesParallel{Nodes: size}.Generate(seed)
+	}
+}
+
+// Applications returns the three STG application stand-ins in Table 2 order
+// (fpppp, robot, sparse), in abstract weight units.
+func Applications() []*dag.Graph {
+	return []*dag.Graph{Fpppp(), Robot(), Sparse()}
+}

@@ -1,0 +1,227 @@
+package taskgen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lamps/internal/dag"
+)
+
+func TestLayeredBasic(t *testing.T) {
+	g, err := Layered{Nodes: 100, EdgeProb: 0.5}.Generate(1)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if g.NumTasks() != 100 {
+		t.Errorf("NumTasks = %d", g.NumTasks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	for v := 0; v < g.NumTasks(); v++ {
+		if w := g.Weight(v); w < 1 || w > MaxWeight {
+			t.Errorf("weight %d out of [1,%d]", w, MaxWeight)
+		}
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	if _, err := (Layered{Nodes: 0}).Generate(1); err == nil {
+		t.Error("Layered: no error for zero nodes")
+	}
+	if _, err := (OrderedGnp{Nodes: -1}).Generate(1); err == nil {
+		t.Error("OrderedGnp: no error for negative nodes")
+	}
+	if _, err := (SeriesParallel{Nodes: 0}).Generate(1); err == nil {
+		t.Error("SeriesParallel: no error for zero nodes")
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	cases := []Profile{
+		{Name: "zero nodes", Nodes: 0, CriticalPath: 10, TotalWork: 10},
+		{Name: "work below cpl", Nodes: 5, CriticalPath: 100, TotalWork: 50},
+		{Name: "work below nodes", Nodes: 50, CriticalPath: 10, TotalWork: 20},
+		{Name: "residual too small", Nodes: 400, CriticalPath: 350, TotalWork: 600},
+	}
+	for _, p := range cases {
+		if _, err := p.Generate(1); err == nil {
+			t.Errorf("%s: no error", p.Name)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := map[string]func(int64) (*dag.Graph, error){
+		"layered": Layered{Nodes: 60, EdgeProb: 0.4}.Generate,
+		"gnp":     OrderedGnp{Nodes: 60, EdgeProb: 0.1}.Generate,
+		"sp":      SeriesParallel{Nodes: 60}.Generate,
+		"profile": Profile{Name: "p", Nodes: 60, Edges: 100, CriticalPath: 500, TotalWork: 2000}.Generate,
+	}
+	for name, gen := range gens {
+		a, err := gen(42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := gen(42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.NumTasks() != b.NumTasks() || a.NumEdges() != b.NumEdges() ||
+			a.CriticalPathLength() != b.CriticalPathLength() || a.TotalWork() != b.TotalWork() {
+			t.Errorf("%s: not deterministic", name)
+		}
+	}
+}
+
+// TestTable2ProfilesExact verifies that the synthetic application graphs
+// reproduce the Table 2 aggregates: node count, critical path and total
+// work exactly, edge count within 10%.
+func TestTable2ProfilesExact(t *testing.T) {
+	for _, p := range Table2Profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			g, err := p.Generate(1)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if g.NumTasks() != p.Nodes {
+				t.Errorf("Nodes = %d, want %d", g.NumTasks(), p.Nodes)
+			}
+			if g.CriticalPathLength() != p.CriticalPath {
+				t.Errorf("CPL = %d, want %d", g.CriticalPathLength(), p.CriticalPath)
+			}
+			if g.TotalWork() != p.TotalWork {
+				t.Errorf("TotalWork = %d, want %d", g.TotalWork(), p.TotalWork)
+			}
+			lo := int(0.9 * float64(p.Edges))
+			hi := int(1.1 * float64(p.Edges))
+			if g.NumEdges() < lo || g.NumEdges() > hi {
+				t.Errorf("Edges = %d, want within [%d, %d]", g.NumEdges(), lo, hi)
+			}
+			// The parallelism (work/CPL) follows from the exact aggregates.
+			want := float64(p.TotalWork) / float64(p.CriticalPath)
+			if math.Abs(g.Parallelism()-want) > 1e-9 {
+				t.Errorf("Parallelism = %g, want %g", g.Parallelism(), want)
+			}
+		})
+	}
+}
+
+func TestApplicationsHelpers(t *testing.T) {
+	apps := Applications()
+	if len(apps) != 3 {
+		t.Fatalf("Applications returned %d graphs", len(apps))
+	}
+	names := []string{"fpppp", "robot", "sparse"}
+	for i, g := range apps {
+		if g.Name() != names[i] {
+			t.Errorf("app %d name = %q, want %q", i, g.Name(), names[i])
+		}
+	}
+}
+
+// TestPropertyProfileArbitrary fuzzes the profile generator over satisfiable
+// parameter combinations.
+func TestPropertyProfileArbitrary(t *testing.T) {
+	f := func(seed int64, rawNodes, rawPar uint8, rawEdges uint16) bool {
+		nodes := int(rawNodes%150) + 10
+		par := 1 + float64(rawPar%20)      // target parallelism
+		cpl := int64(400 + int(rawPar)*13) // comfortably above MaxWeight
+		work := int64(float64(cpl) * par)
+		if work < int64(nodes)*2 {
+			work = int64(nodes) * 2
+		}
+		// Keep the per-task average within the side cap.
+		if avg := work / int64(nodes); avg > MaxWeight/2 {
+			work = int64(nodes) * MaxWeight / 2
+		}
+		if work < cpl {
+			work = cpl + int64(nodes)
+		}
+		edges := int(rawEdges%2000) + nodes
+		p := Profile{Name: "fuzz", Nodes: nodes, Edges: edges, CriticalPath: cpl, TotalWork: work}
+		g, err := p.Generate(seed)
+		if err != nil {
+			// Some corners are legitimately unrealisable; they must fail
+			// cleanly, not panic.
+			return true
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		return g.NumTasks() == nodes &&
+			g.CriticalPathLength() == cpl &&
+			g.TotalWork() == work
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroup(t *testing.T) {
+	gs, err := Group(50, 4, 1000)
+	if err != nil {
+		t.Fatalf("Group: %v", err)
+	}
+	if len(gs) != 4 {
+		t.Fatalf("got %d graphs", len(gs))
+	}
+	for i, g := range gs {
+		if g.NumTasks() != 50 {
+			t.Errorf("graph %d has %d tasks", i, g.NumTasks())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("graph %d invalid: %v", i, err)
+		}
+	}
+	// Different generator families should give different structures.
+	if gs[0].NumEdges() == gs[1].NumEdges() && gs[1].NumEdges() == gs[2].NumEdges() {
+		t.Logf("suspicious: three families with identical edge counts")
+	}
+	if gs[0].Name() != "50-00" {
+		t.Errorf("name = %q", gs[0].Name())
+	}
+}
+
+func TestGrain(t *testing.T) {
+	if Coarse.Cycles() != 3100000 || Fine.Cycles() != 31000 {
+		t.Errorf("grain cycles wrong")
+	}
+	if Coarse.String() != "coarse" || Fine.String() != "fine" {
+		t.Errorf("grain strings wrong")
+	}
+	g, err := Layered{Nodes: 10, EdgeProb: 0.3}.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Fine.Scale(g)
+	if s.TotalWork() != g.TotalWork()*FineGrainCycles {
+		t.Errorf("Scale did not multiply work")
+	}
+}
+
+func TestSeriesParallelStructure(t *testing.T) {
+	g, err := SeriesParallel{Nodes: 80}.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 80 {
+		t.Errorf("NumTasks = %d", g.NumTasks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func BenchmarkProfileFpppp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Table2Profiles[0].Generate(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
