@@ -1,0 +1,38 @@
+# Build, test and verification entry points. `make ci` is the gate every
+# change must pass: vet, build, the full test suite under the race detector
+# (the serving layer is concurrent, so -race is not optional), and the fuzz
+# seed corpora as plain tests.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz-smoke bench serve ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector gates every serving-layer change; the whole tree runs
+# under it, not just internal/server.
+race:
+	$(GO) test -race ./...
+
+# Run the pinned fuzz seed corpora as regular tests (no fuzzing engine, no
+# new inputs — a deterministic smoke check of the parsers).
+fuzz-smoke:
+	$(GO) test -run='^Fuzz' ./internal/stg ./internal/sched
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Run the scheduling service locally.
+serve:
+	$(GO) run ./cmd/lampsd -addr :8080
+
+ci: vet build race fuzz-smoke

@@ -1,0 +1,118 @@
+// Command lampsd serves the leakage-aware scheduling heuristics over
+// HTTP/JSON: clients POST a task graph (inline JSON or STG text), a
+// deadline and an approach name to /schedule and receive the full
+// scheduling result — energy breakdown, processor count, operating point
+// and per-task placement. Results are memoised in an LRU keyed by a
+// canonical problem digest, so repeated graphs are served without
+// rescheduling; /metrics exposes request, cache and latency counters and
+// /healthz a liveness probe.
+//
+//	lampsd -addr :8080 -workers 8 -cache 4096
+//
+// The server drains gracefully on SIGINT/SIGTERM: in-flight requests get
+// up to -drain to complete before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lamps/internal/power"
+	"lamps/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lampsd:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds and serves the HTTP server until ctx is cancelled, then drains
+// it. Log output (including the "listening on" line that reports the bound
+// address) goes to logw.
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("lampsd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		workers   = fs.Int("workers", 0, "max concurrent scheduling runs (0 = GOMAXPROCS)")
+		cacheSize = fs.Int("cache", server.DefaultCacheSize, "result cache capacity in entries (negative disables)")
+		maxTasks  = fs.Int("max-tasks", server.DefaultMaxTasks, "largest accepted graph, in tasks")
+		maxBody   = fs.Int64("max-body", server.DefaultMaxBodyBytes, "largest accepted request body, in bytes")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		model     = fs.String("model", "", "load the power model from a JSON file (default: built-in 70nm)")
+	)
+	fs.SetOutput(logw)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := power.Default70nm()
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			return err
+		}
+		var perr error
+		m, perr = power.LoadJSON(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+	}
+
+	logger := slog.New(slog.NewJSONHandler(logw, nil))
+	srv := server.New(server.Options{
+		Model:        m,
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		MaxTasks:     *maxTasks,
+		MaxBodyBytes: *maxBody,
+		Logger:       logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Info("listening", "addr", ln.Addr().String(), "workers", *workers, "cache", *cacheSize)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("draining", "timeout", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		// The drain timeout elapsed with requests still in flight; close
+		// them forcibly but report a clean exit — SIGTERM handling worked.
+		logger.Warn("drain timeout exceeded, closing", "err", err)
+		hs.Close()
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("stopped")
+	return nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// logCapture tees run's log output and extracts the bound address from the
+// "listening" line.
+type logCapture struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	addr chan string
+	once sync.Once
+}
+
+func newLogCapture() *logCapture {
+	return &logCapture{addr: make(chan string, 1)}
+}
+
+func (lc *logCapture) Write(p []byte) (int, error) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	n, err := lc.buf.Write(p)
+	sc := bufio.NewScanner(bytes.NewReader(lc.buf.Bytes()))
+	for sc.Scan() {
+		var entry struct {
+			Msg  string `json:"msg"`
+			Addr string `json:"addr"`
+		}
+		if json.Unmarshal(sc.Bytes(), &entry) == nil && entry.Msg == "listening" {
+			lc.once.Do(func() { lc.addr <- entry.Addr })
+		}
+	}
+	return n, err
+}
+
+func (lc *logCapture) String() string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.buf.String()
+}
+
+// TestServeAndGracefulShutdown boots the daemon on an ephemeral port,
+// serves a scheduling request and a health check, then cancels the context
+// (the SIGTERM path) and verifies a clean drain.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lc := newLogCapture()
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain", "5s"}, lc) }()
+
+	var addr string
+	select {
+	case addr = <-lc.addr:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not report a listen address; log:\n%s", lc.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	reqBody := `{"approach":"lamps+ps","deadline_factor":2,"graph":{"tasks":[{"weight_cycles":3100000},{"weight_cycles":6200000},{"weight_cycles":4650000}],"edges":[[0,1],[0,2]]}}`
+	resp, err = http.Post(base+"/schedule", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: status %d, body %s", resp.StatusCode, body)
+	}
+	var sched struct {
+		Approach string `json:"approach"`
+		NumProcs int    `json:"num_procs"`
+	}
+	if err := json.Unmarshal(body, &sched); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if sched.Approach != "LAMPS+PS" || sched.NumProcs < 1 {
+		t.Errorf("unexpected result %+v", sched)
+	}
+
+	cancel() // the SIGTERM path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v; log:\n%s", err, lc.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not shut down; log:\n%s", lc.String())
+	}
+	log := lc.String()
+	for _, want := range []string{"draining", "stopped"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-definitely-not-a-flag"}, io.Discard)
+	if err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+}
+
+func TestBadModelFile(t *testing.T) {
+	err := run(context.Background(), []string{"-model", "/nonexistent/model.json"}, io.Discard)
+	if err == nil {
+		t.Fatal("run accepted a missing model file")
+	}
+}

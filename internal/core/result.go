@@ -33,6 +33,14 @@ type Stats struct {
 	LevelsEvaluated int // (schedule, level) energy evaluations
 }
 
+// Add accumulates another snapshot into s. Long-running callers (the
+// serving layer's metrics, sweep harnesses) use it to aggregate search
+// effort across many heuristic invocations.
+func (s *Stats) Add(o Stats) {
+	s.SchedulesBuilt += o.SchedulesBuilt
+	s.LevelsEvaluated += o.LevelsEvaluated
+}
+
 // Result is the outcome of one heuristic or bound on one task graph.
 type Result struct {
 	Approach string

@@ -6,6 +6,7 @@ import (
 	"lamps/internal/core"
 	"lamps/internal/dag"
 	"lamps/internal/taskgen"
+	"lamps/internal/workpool"
 )
 
 // relativeApproaches are the bars of Figs. 10 and 11, relative to S&S.
@@ -63,7 +64,7 @@ func relativeEnergy(cfg Config, grain taskgen.Grain, id string) ([]Table, error)
 			Header: append([]string{"benchmark"}, relativeApproaches...),
 		}
 		sub++
-		err := parallelMap(len(items), cfg.Workers, func(i int) error {
+		err := workpool.Map(len(items), cfg.Workers, func(i int) error {
 			it := items[i]
 			g := grain.Scale(it.unit)
 			ccfg := core.DeadlineFactor(g, m, factor)

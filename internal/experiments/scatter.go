@@ -6,6 +6,7 @@ import (
 	"lamps/internal/core"
 	"lamps/internal/dag"
 	"lamps/internal/taskgen"
+	"lamps/internal/workpool"
 )
 
 // scatterApproaches are the point series of Figs. 12 and 13.
@@ -51,7 +52,7 @@ func scatter(cfg Config, grain taskgen.Grain, id string) ([]Table, error) {
 		units = append(units, graphs...)
 	}
 	rows := make([][]string, len(units))
-	err := parallelMap(len(units), cfg.Workers, func(i int) error {
+	err := workpool.Map(len(units), cfg.Workers, func(i int) error {
 		unit := units[i]
 		g := grain.Scale(unit)
 		workUnits := float64(unit.TotalWork())

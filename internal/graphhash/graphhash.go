@@ -1,0 +1,104 @@
+// Package graphhash computes a canonical digest of a scheduling problem:
+// the task graph's structure, the platform power model, the deadline, the
+// processor cap and the approach name. Two problems with equal digests are
+// guaranteed to produce identical scheduling results, which makes the digest
+// safe to use as a cache key for memoising results across requests.
+//
+// Canonicality rules:
+//
+//   - The graph's name and task labels are excluded: they are presentation
+//     metadata and do not influence scheduling. Structurally identical graphs
+//     submitted under different names share one cache entry.
+//   - Weights and adjacency are encoded in task-index order with explicit
+//     length framing, so no two distinct structures share an encoding.
+//   - Every float enters the digest via its IEEE-754 bit pattern — no
+//     formatting, no rounding.
+//   - The encoding is versioned. Bump the version string whenever the
+//     encoding or any semantic input changes, so stale digests can never
+//     alias fresh ones.
+//
+// The digest is pinned by golden-file tests in testdata/: an accidental
+// change to the encoding (which would silently poison result caches keyed by
+// it) fails CI rather than surfacing as wrong serving results.
+package graphhash
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"lamps/internal/dag"
+	"lamps/internal/power"
+)
+
+// Version identifies the encoding. It is folded into every digest.
+const Version = "lamps/graphhash/v1"
+
+// Problem is one cacheable scheduling problem.
+type Problem struct {
+	Graph    *dag.Graph
+	Model    *power.Model // nil selects power.Default70nm()
+	Deadline float64      // seconds
+	MaxProcs int          // 0 = bounded only by graph parallelism
+	Approach string       // canonical approach name, e.g. "LAMPS+PS"
+}
+
+// Sum returns the hex-encoded SHA-256 digest of the problem's canonical
+// encoding.
+func Sum(p Problem) string {
+	h := sha256.New()
+	writeString(h, Version)
+
+	g := p.Graph
+	writeInt(h, int64(g.NumTasks()))
+	for v := 0; v < g.NumTasks(); v++ {
+		writeInt(h, g.Weight(v))
+	}
+	// Adjacency: successor lists are sorted by the dag builder, so iterating
+	// tasks in index order yields a canonical edge enumeration.
+	writeInt(h, int64(g.NumEdges()))
+	for v := 0; v < g.NumTasks(); v++ {
+		succs := g.Succs(v)
+		writeInt(h, int64(len(succs)))
+		for _, s := range succs {
+			writeInt(h, int64(s))
+		}
+	}
+
+	m := p.Model
+	if m == nil {
+		m = power.Default70nm()
+	}
+	for _, f := range []float64{
+		m.K1, m.K2, m.K3, m.K4, m.K5, m.K6, m.K7,
+		m.Vdd0, m.Vbs, m.Alpha, m.Vth1, m.Ij, m.Ceff, m.Ld, m.Lg,
+		m.Activity, m.POn, m.PSleep, m.EOverhead,
+		m.VddMax, m.VddMin, m.VddStep,
+	} {
+		writeFloat(h, f)
+	}
+
+	writeFloat(h, p.Deadline)
+	writeInt(h, int64(p.MaxProcs))
+	writeString(h, p.Approach)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeInt(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+func writeFloat(h hash.Hash, f float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	h.Write(buf[:])
+}
+
+func writeString(h hash.Hash, s string) {
+	writeInt(h, int64(len(s)))
+	h.Write([]byte(s))
+}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 
 	"lamps/internal/dag"
@@ -176,10 +177,10 @@ func ListScheduleReleases(g *dag.Graph, nprocs int, prio, release []int64) (*Sch
 	}
 	n := g.NumTasks()
 	if len(prio) != n {
-		return nil, ErrBadDeadlines
+		return nil, fmt.Errorf("%w: got %d priorities for %d tasks", ErrBadPriorities, len(prio), n)
 	}
 	if release != nil && len(release) != n {
-		return nil, ErrBadDeadlines
+		return nil, fmt.Errorf("%w: got %d releases for %d tasks", ErrBadReleases, len(release), n)
 	}
 	relOf := func(v int32) int64 {
 		if release == nil {

@@ -153,9 +153,16 @@ func TestErrNoProcs(t *testing.T) {
 
 func TestBadPriorityLength(t *testing.T) {
 	g := buildFig4a(t)
-	if _, err := ListSchedule(g, 2, []int64{1, 2}); !errors.Is(err, ErrBadDeadlines) {
-		t.Errorf("err = %v, want ErrBadDeadlines", err)
+	if _, err := ListSchedule(g, 2, []int64{1, 2}); !errors.Is(err, ErrBadPriorities) {
+		t.Errorf("err = %v, want ErrBadPriorities", err)
 	}
+	// A wrong-length priority slice must not be conflated with a wrong-length
+	// deadline slice: API layers map the two onto different error messages.
+	if _, err := ListSchedule(g, 2, []int64{1, 2}); errors.Is(err, ErrBadDeadlines) {
+		t.Errorf("err = %v unexpectedly wraps ErrBadDeadlines", err)
+	}
+	// ListEDFWithDeadlines takes a *deadline* slice, so its length error stays
+	// ErrBadDeadlines.
 	if _, err := ListEDFWithDeadlines(g, 2, []int64{1}); !errors.Is(err, ErrBadDeadlines) {
 		t.Errorf("err = %v, want ErrBadDeadlines", err)
 	}
@@ -488,8 +495,11 @@ func TestReleasesOnSuccessors(t *testing.T) {
 func TestReleasesBadLength(t *testing.T) {
 	g := buildFig4a(t)
 	_, err := ListScheduleReleases(g, 2, EDFPriorities(g, 0), []int64{1, 2})
-	if !errors.Is(err, ErrBadDeadlines) {
-		t.Errorf("err = %v, want ErrBadDeadlines", err)
+	if !errors.Is(err, ErrBadReleases) {
+		t.Errorf("err = %v, want ErrBadReleases", err)
+	}
+	if errors.Is(err, ErrBadDeadlines) || errors.Is(err, ErrBadPriorities) {
+		t.Errorf("err = %v wraps an unrelated sentinel", err)
 	}
 }
 

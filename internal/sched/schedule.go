@@ -18,6 +18,13 @@ import (
 var (
 	ErrNoProcs      = errors.New("sched: number of processors must be positive")
 	ErrBadDeadlines = errors.New("sched: per-task deadline slice has wrong length")
+	// ErrBadPriorities and ErrBadReleases are the analogous length errors for
+	// the priority and release slices of ListSchedule/ListScheduleReleases.
+	// They are distinct sentinels (not wrappers of ErrBadDeadlines) so callers
+	// mapping scheduler errors onto API responses can tell the three inputs
+	// apart unambiguously.
+	ErrBadPriorities = errors.New("sched: per-task priority slice has wrong length")
+	ErrBadReleases   = errors.New("sched: per-task release slice has wrong length")
 )
 
 // Schedule is the result of statically mapping a task graph onto a fixed

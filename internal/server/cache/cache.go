@@ -1,0 +1,96 @@
+// Package cache implements the scheduling-result cache of the serving
+// layer: a concurrency-safe LRU keyed by the canonical problem digest of
+// internal/graphhash and holding fully rendered response bodies. Storing
+// immutable bytes (rather than live result structs) makes cache hits
+// byte-identical to the original response and safe to write from any number
+// of goroutines without copying.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a fixed-capacity least-recently-used cache from string keys to
+// immutable byte slices. The zero value is not usable; create one with New.
+// All methods are safe for concurrent use.
+type LRU struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// New returns an empty cache holding at most capacity entries. A capacity
+// of 0 (or negative) disables caching: Put is a no-op and Get always
+// misses, which keeps the serving code free of special cases.
+func New(capacity int) *LRU {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and true on a hit, marking the entry most
+// recently used. Callers must not modify the returned slice.
+func (c *LRU) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores the value under key, replacing any existing entry and evicting
+// the least recently used entry when over capacity. The cache takes
+// ownership of val; callers must not modify it afterwards.
+func (c *LRU) Put(key string, val []byte) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats reports lifetime hit, miss and eviction counts.
+func (c *LRU) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,93 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHitMiss(t *testing.T) {
+	c := New(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("A"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "A" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Get("a")              // a becomes most recent
+	c.Put("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", c.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New(2)
+	c.Put("a", []byte("old"))
+	c.Put("a", []byte("new"))
+	if v, _ := c.Get("a"); string(v) != "new" {
+		t.Errorf("Get(a) = %q, want new", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", c.Len())
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New(0)
+	c.Put("a", []byte("A"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", c.Len())
+	}
+}
+
+// TestConcurrent hammers the cache from many goroutines; run under -race it
+// proves the locking is sound.
+func TestConcurrent(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%40)
+				if v, ok := c.Get(key); ok && string(v) != key {
+					t.Errorf("Get(%s) = %q", key, v)
+				}
+				c.Put(key, []byte(key))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("Len() = %d exceeds capacity 16", c.Len())
+	}
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"lamps/internal/core"
+	"lamps/internal/dag"
+	"lamps/internal/stg"
+)
+
+// apiError is an error with a definite HTTP status. Every request-handling
+// path converts domain errors into one of these before writing the
+// response, so clients can rely on the status code: 400 for malformed
+// input, 413 for oversized input, 422 for well-formed but unschedulable
+// problems, 503 for shed load. Anything that escapes classification is a
+// genuine server bug and surfaces as 500.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func tooLarge(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf(format, args...)}
+}
+
+func unprocessable(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, args...)}
+}
+
+// classify maps domain errors onto API errors:
+//
+//   - structurally invalid input (cycles, self edges, duplicate edges, bad
+//     weights, malformed STG text, unknown approaches, invalid configs)
+//     → 400: the request can never succeed as written;
+//   - infeasible deadlines → 422: the request is well-formed, the problem
+//     instance has no solution;
+//   - anything already classified passes through.
+func classify(err error) *apiError {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae
+	case errors.Is(err, core.ErrInfeasible):
+		return unprocessable("%v", err)
+	case errors.Is(err, core.ErrBadConfig),
+		errors.Is(err, dag.ErrCycle),
+		errors.Is(err, dag.ErrSelfEdge),
+		errors.Is(err, dag.ErrDupEdge),
+		errors.Is(err, dag.ErrBadWeight),
+		errors.Is(err, dag.ErrBadTask),
+		errors.Is(err, dag.ErrEmpty),
+		errors.Is(err, stg.ErrFormat):
+		return badRequest("%v", err)
+	default:
+		return &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// writeError renders err as a JSON error response.
+func (s *Server) writeError(w http.ResponseWriter, err error) int {
+	ae := classify(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ae.status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: ae.msg, Status: ae.status})
+	return ae.status
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"lamps/internal/core"
+)
+
+// latencyBuckets are the cumulative histogram bucket upper bounds, in
+// seconds. Scheduling runs span sub-millisecond tiny graphs to multi-second
+// 5000-task searches, so the buckets cover five decades.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket cumulative latency histogram.
+type histogram struct {
+	counts []uint64 // len(latencyBuckets)+1; last bucket = +Inf
+	sum    float64
+	count  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(sec float64) {
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	h.counts[i]++
+	h.sum += sec
+	h.count++
+}
+
+// metrics aggregates the server's observability counters. All methods are
+// safe for concurrent use.
+type metrics struct {
+	mu sync.Mutex
+
+	requests map[requestKey]uint64
+
+	coalesced uint64 // requests served by another request's in-flight run
+
+	latency map[string]*histogram // approach -> scheduling latency (cache misses only)
+
+	effort core.Stats // aggregated search effort across all runs
+}
+
+// requestKey labels one requests-total counter series.
+type requestKey struct {
+	path string
+	code int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[requestKey]uint64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) recordRequest(path string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[requestKey{path, status}]++
+}
+
+func (m *metrics) recordCoalesced() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.coalesced++
+}
+
+// recordRun records one actual scheduling run (a cache miss that executed
+// the heuristic): its latency and its search effort.
+func (m *metrics) recordRun(approach string, sec float64, stats core.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.latency[approach]
+	if h == nil {
+		h = newHistogram()
+		m.latency[approach] = h
+	}
+	h.observe(sec)
+	m.effort.Add(stats)
+}
+
+// handleMetrics renders the counters in the Prometheus text exposition
+// format (hand-rolled: the repo is standard-library only).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	m := s.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# HELP lampsd_requests_total Requests served, by path and status code.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_requests_total counter\n")
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].path != keys[j].path {
+			return keys[i].path < keys[j].path
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "lampsd_requests_total{path=%q,code=\"%d\"} %d\n", k.path, k.code, m.requests[k])
+	}
+
+	hits, misses, evictions := s.cache.Stats()
+	fmt.Fprintf(w, "# HELP lampsd_cache_hits_total Schedule results served from the LRU cache.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "lampsd_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# TYPE lampsd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "lampsd_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# TYPE lampsd_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "lampsd_cache_evictions_total %d\n", evictions)
+	fmt.Fprintf(w, "# TYPE lampsd_cache_entries gauge\n")
+	fmt.Fprintf(w, "lampsd_cache_entries %d\n", s.cache.Len())
+
+	fmt.Fprintf(w, "# HELP lampsd_coalesced_total Requests coalesced onto another request's in-flight scheduling run.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_coalesced_total counter\n")
+	fmt.Fprintf(w, "lampsd_coalesced_total %d\n", m.coalesced)
+
+	fmt.Fprintf(w, "# HELP lampsd_schedules_built_total List-scheduling invocations across all runs (core.Stats).\n")
+	fmt.Fprintf(w, "# TYPE lampsd_schedules_built_total counter\n")
+	fmt.Fprintf(w, "lampsd_schedules_built_total %d\n", m.effort.SchedulesBuilt)
+	fmt.Fprintf(w, "# HELP lampsd_levels_evaluated_total Energy evaluations of (schedule, level) pairs across all runs (core.Stats).\n")
+	fmt.Fprintf(w, "# TYPE lampsd_levels_evaluated_total counter\n")
+	fmt.Fprintf(w, "lampsd_levels_evaluated_total %d\n", m.effort.LevelsEvaluated)
+
+	fmt.Fprintf(w, "# TYPE lampsd_workers gauge\n")
+	fmt.Fprintf(w, "lampsd_workers %d\n", s.pool.Cap())
+	fmt.Fprintf(w, "# TYPE lampsd_inflight gauge\n")
+	fmt.Fprintf(w, "lampsd_inflight %d\n", s.pool.InFlight())
+
+	fmt.Fprintf(w, "# HELP lampsd_schedule_seconds Scheduling latency of cache misses, by approach.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_schedule_seconds histogram\n")
+	approaches := make([]string, 0, len(m.latency))
+	for a := range m.latency {
+		approaches = append(approaches, a)
+	}
+	sort.Strings(approaches)
+	for _, a := range approaches {
+		h := m.latency[a]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "lampsd_schedule_seconds_bucket{approach=%q,le=\"%g\"} %d\n", a, ub, cum)
+		}
+		fmt.Fprintf(w, "lampsd_schedule_seconds_bucket{approach=%q,le=\"+Inf\"} %d\n", a, h.count)
+		fmt.Fprintf(w, "lampsd_schedule_seconds_sum{approach=%q} %g\n", a, h.sum)
+		fmt.Fprintf(w, "lampsd_schedule_seconds_count{approach=%q} %d\n", a, h.count)
+	}
+}

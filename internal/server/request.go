@@ -1,0 +1,256 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"lamps/internal/core"
+	"lamps/internal/dag"
+	"lamps/internal/stg"
+)
+
+// scheduleRequest is the body of POST /schedule. Exactly one of Graph and
+// STG supplies the task graph, and exactly one of DeadlineSec and
+// DeadlineFactor supplies the deadline.
+type scheduleRequest struct {
+	// Approach selects the heuristic. Both the short forms of the API
+	// ("ss", "lamps", "ss+ps", "lamps+ps", "limit-sf", "limit-mf") and the
+	// paper's names ("S&S", "LAMPS+PS", …) are accepted, case-insensitively.
+	Approach string `json:"approach"`
+
+	// Graph is the task graph in inline JSON form.
+	Graph *graphSpec `json:"graph,omitempty"`
+	// STG is the task graph in Standard Task Graph Set text format.
+	STG string `json:"stg,omitempty"`
+
+	// DeadlineSec is the absolute deadline in seconds.
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+	// DeadlineFactor expresses the deadline as a multiple of the graph's
+	// critical path length at maximum frequency, the parametric form of the
+	// paper's evaluation.
+	DeadlineFactor float64 `json:"deadline_factor,omitempty"`
+
+	// MaxProcs optionally caps the processor count (0 = graph parallelism).
+	MaxProcs int `json:"max_procs,omitempty"`
+}
+
+// graphSpec is the inline JSON task-graph representation.
+type graphSpec struct {
+	Name  string     `json:"name,omitempty"`
+	Tasks []taskSpec `json:"tasks"`
+	Edges [][2]int   `json:"edges,omitempty"`
+}
+
+type taskSpec struct {
+	WeightCycles int64  `json:"weight_cycles"`
+	Label        string `json:"label,omitempty"`
+}
+
+// approachAliases maps lowercase API names onto canonical approach names.
+var approachAliases = map[string]string{
+	"ss":       core.ApproachSS,
+	"s&s":      core.ApproachSS,
+	"lamps":    core.ApproachLAMPS,
+	"ss+ps":    core.ApproachSSPS,
+	"s&s+ps":   core.ApproachSSPS,
+	"lamps+ps": core.ApproachLAMPSPS,
+	"limit-sf": core.ApproachLimitSF,
+	"limit-mf": core.ApproachLimitMF,
+}
+
+// canonicalApproach resolves an approach name or returns a 400 error.
+func canonicalApproach(name string) (string, error) {
+	if a, ok := approachAliases[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return a, nil
+	}
+	return "", badRequest("unknown approach %q (one of: ss, lamps, ss+ps, lamps+ps, limit-sf, limit-mf)", name)
+}
+
+// decodeRequest parses and validates the request body up to (but excluding)
+// graph construction. Size overruns from http.MaxBytesReader surface here
+// as 413.
+func decodeRequest(body io.Reader) (*scheduleRequest, error) {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req scheduleRequest
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, tooLarge("request body exceeds the %d-byte limit", mbe.Limit)
+		}
+		return nil, badRequest("decoding request: %v", err)
+	}
+	if dec.More() {
+		return nil, badRequest("trailing data after request object")
+	}
+	if (req.Graph == nil) == (req.STG == "") {
+		return nil, badRequest("exactly one of \"graph\" and \"stg\" must be set")
+	}
+	if (req.DeadlineSec > 0) == (req.DeadlineFactor > 0) {
+		return nil, badRequest("exactly one of \"deadline_sec\" and \"deadline_factor\" must be positive")
+	}
+	if req.MaxProcs < 0 {
+		return nil, badRequest("max_procs must be non-negative, got %d", req.MaxProcs)
+	}
+	return &req, nil
+}
+
+// buildGraph materialises the request's task graph, enforcing the server's
+// task-count limit. Structural errors (cycles, self edges, bad weights,
+// malformed STG) map to 400, oversized graphs to 413.
+func (s *Server) buildGraph(req *scheduleRequest) (*dag.Graph, error) {
+	if req.STG != "" {
+		if int64(len(req.STG)) > s.opts.MaxBodyBytes {
+			return nil, tooLarge("stg text exceeds the %d-byte limit", s.opts.MaxBodyBytes)
+		}
+		g, err := stg.Parse(strings.NewReader(req.STG), "stg-request")
+		if err != nil {
+			return nil, err
+		}
+		if g.NumTasks() > s.opts.MaxTasks {
+			return nil, tooLarge("graph has %d tasks, limit is %d", g.NumTasks(), s.opts.MaxTasks)
+		}
+		return g, nil
+	}
+	spec := req.Graph
+	if len(spec.Tasks) == 0 {
+		return nil, badRequest("graph has no tasks")
+	}
+	if len(spec.Tasks) > s.opts.MaxTasks {
+		return nil, tooLarge("graph has %d tasks, limit is %d", len(spec.Tasks), s.opts.MaxTasks)
+	}
+	name := spec.Name
+	if name == "" {
+		name = "request"
+	}
+	b := dag.NewBuilder(name)
+	for _, tk := range spec.Tasks {
+		b.AddLabeledTask(tk.WeightCycles, tk.Label)
+	}
+	for _, e := range spec.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// config assembles the core.Config for the request's graph.
+func (s *Server) config(req *scheduleRequest, g *dag.Graph) core.Config {
+	cfg := core.Config{Model: s.opts.Model, Deadline: req.DeadlineSec, MaxProcs: req.MaxProcs}
+	if req.DeadlineFactor > 0 {
+		cfg.Deadline = req.DeadlineFactor * float64(g.CriticalPathLength()) / s.opts.Model.FMax()
+	}
+	return cfg
+}
+
+// scheduleResponse is the body of a successful POST /schedule.
+type scheduleResponse struct {
+	Approach string       `json:"approach"`
+	Key      string       `json:"key"`
+	Graph    graphSummary `json:"graph"`
+	NumProcs int          `json:"num_procs"`
+	Level    levelJSON    `json:"level"`
+	Energy   energyJSON   `json:"energy"`
+	Deadline float64      `json:"deadline_sec"`
+	Makespan float64      `json:"makespan_sec"`
+	Tasks    []placedTask `json:"placement,omitempty"`
+	Stats    statsJSON    `json:"stats"`
+}
+
+type graphSummary struct {
+	Name        string  `json:"name"`
+	Tasks       int     `json:"tasks"`
+	Edges       int     `json:"edges"`
+	CPLCycles   int64   `json:"cpl_cycles"`
+	WorkCycles  int64   `json:"work_cycles"`
+	Parallelism float64 `json:"parallelism"`
+}
+
+type levelJSON struct {
+	Index  int     `json:"index"`
+	Vdd    float64 `json:"vdd"`
+	FreqHz float64 `json:"freq_hz"`
+	Norm   float64 `json:"f_over_fmax"`
+}
+
+type energyJSON struct {
+	TotalJ    float64 `json:"total_j"`
+	ActiveJ   float64 `json:"active_j"`
+	IdleJ     float64 `json:"idle_j"`
+	SleepJ    float64 `json:"sleep_j"`
+	OverheadJ float64 `json:"overhead_j"`
+	Shutdowns int     `json:"shutdowns"`
+}
+
+type placedTask struct {
+	Task         int    `json:"task"`
+	Label        string `json:"label,omitempty"`
+	Proc         int32  `json:"proc"`
+	StartCycles  int64  `json:"start_cycles"`
+	FinishCycles int64  `json:"finish_cycles"`
+}
+
+type statsJSON struct {
+	SchedulesBuilt  int `json:"schedules_built"`
+	LevelsEvaluated int `json:"levels_evaluated"`
+}
+
+// renderResult converts a core result into the response body. The encoding
+// is deterministic (encoding/json with fixed struct order), so equal
+// results render to identical bytes — the property the byte-cache relies
+// on.
+func renderResult(key string, cfg core.Config, r *core.Result) ([]byte, error) {
+	resp := scheduleResponse{
+		Approach: r.Approach,
+		Key:      key,
+		Graph: graphSummary{
+			Name:        r.Graph.Name(),
+			Tasks:       r.Graph.NumTasks(),
+			Edges:       r.Graph.NumEdges(),
+			CPLCycles:   r.Graph.CriticalPathLength(),
+			WorkCycles:  r.Graph.TotalWork(),
+			Parallelism: r.Graph.Parallelism(),
+		},
+		NumProcs: r.NumProcs,
+		Level: levelJSON{
+			Index:  r.Level.Index,
+			Vdd:    r.Level.Vdd,
+			FreqHz: r.Level.Freq,
+			Norm:   r.Level.Norm,
+		},
+		Energy: energyJSON{
+			TotalJ:    r.Energy.Total(),
+			ActiveJ:   r.Energy.Active,
+			IdleJ:     r.Energy.Idle,
+			SleepJ:    r.Energy.Sleep,
+			OverheadJ: r.Energy.Overhead,
+			Shutdowns: r.Energy.Shutdowns,
+		},
+		Deadline: cfg.Deadline,
+		Makespan: r.MakespanSec(),
+		Stats: statsJSON{
+			SchedulesBuilt:  r.Stats.SchedulesBuilt,
+			LevelsEvaluated: r.Stats.LevelsEvaluated,
+		},
+	}
+	if r.Schedule != nil {
+		resp.Tasks = make([]placedTask, r.Graph.NumTasks())
+		for v := 0; v < r.Graph.NumTasks(); v++ {
+			resp.Tasks[v] = placedTask{
+				Task:         v,
+				Label:        r.Graph.Label(v),
+				Proc:         r.Schedule.Proc[v],
+				StartCycles:  r.Schedule.Start[v],
+				FinishCycles: r.Schedule.Finish[v],
+			}
+		}
+	}
+	b, err := json.Marshal(&resp)
+	if err != nil {
+		return nil, fmt.Errorf("encoding response: %w", err)
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,223 @@
+// Package server implements lampsd's HTTP/JSON serving layer on top of the
+// core scheduling heuristics: request validation and typed error mapping,
+// a bounded worker pool, single-flight coalescing of identical in-flight
+// requests, an LRU result cache keyed by the canonical problem digest of
+// internal/graphhash, Prometheus-style metrics, health checking and
+// structured request logging.
+//
+// Endpoints:
+//
+//	POST /schedule  schedule one task graph (inline JSON or STG text)
+//	GET  /healthz   liveness probe
+//	GET  /metrics   Prometheus text exposition
+//
+// Caching semantics: the cache key covers the graph's structure (weights
+// and edges — not names or labels), the power model, the deadline, the
+// processor cap and the approach, so a hit is guaranteed to be the result
+// the heuristic would recompute, byte for byte. Error responses are never
+// cached.
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"lamps/internal/core"
+	"lamps/internal/graphhash"
+	"lamps/internal/power"
+	"lamps/internal/server/cache"
+	"lamps/internal/workpool"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxTasks     = 5000    // largest graphs of the Standard Task Graph Set
+	DefaultMaxBodyBytes = 8 << 20 // 8 MiB
+	DefaultCacheSize    = 1024    // result cache entries
+)
+
+// CacheHeader is the response header reporting how the result was obtained:
+// "hit" (served from cache), "miss" (scheduled by this request) or
+// "shared" (coalesced onto a concurrent identical request).
+const CacheHeader = "X-Lamps-Cache"
+
+// Options configures a Server. The zero value is usable: it selects the
+// default 70 nm power model, GOMAXPROCS workers and the default limits.
+type Options struct {
+	// Model is the platform power model. Nil selects power.Default70nm().
+	Model *power.Model
+	// Workers bounds concurrently executing scheduling runs
+	// (0 = GOMAXPROCS). Excess requests queue.
+	Workers int
+	// CacheSize is the LRU result cache capacity in entries
+	// (0 = DefaultCacheSize, negative = disable caching).
+	CacheSize int
+	// MaxTasks rejects graphs with more tasks with 413 (0 = DefaultMaxTasks).
+	MaxTasks int
+	// MaxBodyBytes rejects larger request bodies with 413
+	// (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// Logger receives structured request logs. Nil selects slog.Default().
+	Logger *slog.Logger
+}
+
+// Server is the lampsd HTTP service. Create one with New; it is safe for
+// concurrent use and carries no background goroutines of its own.
+type Server struct {
+	opts    Options
+	pool    *workpool.Pool
+	cache   *cache.LRU
+	flight  flightGroup
+	metrics *metrics
+	mux     *http.ServeMux
+	log     *slog.Logger
+}
+
+// New returns a Server with the given options.
+func New(opts Options) *Server {
+	if opts.Model == nil {
+		opts.Model = power.Default70nm()
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.MaxTasks <= 0 {
+		opts.MaxTasks = DefaultMaxTasks
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	s := &Server{
+		opts:    opts,
+		pool:    workpool.NewPool(opts.Workers),
+		cache:   cache.New(opts.CacheSize),
+		metrics: newMetrics(),
+		log:     opts.Logger,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints, wrapped with
+// request accounting and structured logging.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(sw, r)
+		s.metrics.recordRequest(r.URL.Path, sw.status)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration", time.Since(start),
+			"cache", sw.Header().Get(CacheHeader),
+		)
+	})
+}
+
+// statusWriter records the status code written to the client.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// handleSchedule serves POST /schedule: validate, hash, then cache hit /
+// coalesce / schedule, in that order of preference.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	req, err := decodeRequest(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	approach, err := canonicalApproach(req.Approach)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	g, err := s.buildGraph(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	cfg := s.config(req, g)
+	key := graphhash.Sum(graphhash.Problem{
+		Graph:    g,
+		Model:    cfg.Model,
+		Deadline: cfg.Deadline,
+		MaxProcs: cfg.MaxProcs,
+		Approach: approach,
+	})
+
+	if body, ok := s.cache.Get(key); ok {
+		writeBody(w, http.StatusOK, "hit", body)
+		return
+	}
+
+	status, body, runErr, shared := s.flight.Do(key, func() (int, []byte, error) {
+		var result *core.Result
+		var coreErr error
+		start := time.Now()
+		// The run is detached from the request context deliberately: once
+		// admitted it runs to completion so that coalesced waiters are not
+		// poisoned by the leader's client disconnecting, and so the cache
+		// still gets warmed. Backpressure comes from the bounded pool.
+		poolErr := s.pool.Do(context.WithoutCancel(r.Context()), func() {
+			result, coreErr = core.Run(approach, g, cfg)
+		})
+		if poolErr != nil {
+			return http.StatusServiceUnavailable, nil, &apiError{
+				status: http.StatusServiceUnavailable,
+				msg:    "server draining: " + poolErr.Error(),
+			}
+		}
+		if coreErr != nil {
+			return 0, nil, coreErr
+		}
+		s.metrics.recordRun(approach, time.Since(start).Seconds(), result.Stats)
+		body, err := renderResult(key, cfg, result)
+		if err != nil {
+			return 0, nil, err
+		}
+		s.cache.Put(key, body)
+		return http.StatusOK, body, nil
+	})
+	if shared {
+		s.metrics.recordCoalesced()
+	}
+	if runErr != nil {
+		s.writeError(w, runErr)
+		return
+	}
+	source := "miss"
+	if shared {
+		source = "shared"
+	}
+	writeBody(w, status, source, body)
+}
+
+func writeBody(w http.ResponseWriter, status int, source string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(CacheHeader, source)
+	w.WriteHeader(status)
+	w.Write(body)
+}

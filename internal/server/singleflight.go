@@ -1,0 +1,47 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent work with the same key: the first caller
+// runs fn, every caller that arrives while it is in flight waits and shares
+// the result. Combined with the byte cache it guarantees that a burst of
+// identical requests costs one scheduling run, not N — and, because the
+// shared value is an immutable byte slice, every waiter receives exactly
+// the same bytes. (A trimmed-down, stdlib-only take on
+// golang.org/x/sync/singleflight.)
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done   chan struct{}
+	status int
+	val    []byte
+	err    error
+}
+
+// Do returns the result of running fn for key, executing fn only if no
+// call for key is already in flight; shared reports whether the result came
+// from another caller's run.
+func (g *flightGroup) Do(key string, fn func() (int, []byte, error)) (status int, val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.status, c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.status, c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.status, c.val, c.err, false
+}

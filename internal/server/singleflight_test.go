@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupCoalesces proves that calls arriving while a flight is in
+// progress run fn once and share its bytes. Synchronisation follows the
+// pattern of golang.org/x/sync/singleflight's own tests: the leader blocks
+// inside fn until every waiter has announced itself (plus a scheduling
+// grace period), so the waiters coalesce onto the in-flight call.
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	var execs, sharedCount, entered int32
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	const waiters = 10
+	results := make([][]byte, waiters+1)
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		status, val, err, shared := g.Do("k", func() (int, []byte, error) {
+			atomic.AddInt32(&execs, 1)
+			close(started)
+			<-gate
+			return 200, []byte("payload"), nil
+		})
+		if err != nil || status != 200 || shared {
+			t.Errorf("leader: status %d, err %v, shared %v", status, err, shared)
+		}
+		results[0] = val
+	}()
+	<-started
+
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			atomic.AddInt32(&entered, 1)
+			_, val, err, shared := g.Do("k", func() (int, []byte, error) {
+				atomic.AddInt32(&execs, 1)
+				return 200, []byte("payload"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if shared {
+				atomic.AddInt32(&sharedCount, 1)
+			}
+			results[slot] = val
+		}(i)
+	}
+	for atomic.LoadInt32(&entered) != waiters {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(25 * time.Millisecond) // let the announced waiters reach Do's mutex
+	close(gate)
+	wg.Wait()
+
+	if got := atomic.LoadInt32(&execs); got != 1 {
+		t.Errorf("fn executed %d times, want 1", got)
+	}
+	for i, r := range results {
+		if string(r) != "payload" {
+			t.Errorf("slot %d got %q", i, r)
+		}
+	}
+	if sharedCount != waiters {
+		t.Errorf("%d shared results, want %d", sharedCount, waiters)
+	}
+}
+
+// TestFlightGroupDistinctKeys ensures no coalescing across keys.
+func TestFlightGroupDistinctKeys(t *testing.T) {
+	var g flightGroup
+	var execs int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, val, err, _ := g.Do(string(rune('a'+i)), func() (int, []byte, error) {
+				atomic.AddInt32(&execs, 1)
+				return 200, []byte{byte(i)}, nil
+			})
+			if err != nil || len(val) != 1 || val[0] != byte(i) {
+				t.Errorf("key %d: val %v, err %v", i, val, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if execs != 4 {
+		t.Errorf("fn executed %d times, want 4", execs)
+	}
+}

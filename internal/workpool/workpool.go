@@ -1,0 +1,95 @@
+// Package workpool provides bounded-concurrency primitives shared by the
+// batch experiment harness and the serving layer: Map runs a fixed index
+// range on a bounded number of goroutines (the batch shape), and Pool
+// bounds the number of concurrently executing submissions over the lifetime
+// of a long-running process (the serving shape).
+package workpool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Map runs fn(i) for every i in [0, n) on up to workers goroutines
+// (0 = GOMAXPROCS) and returns the first error. Callers write result slot i
+// from fn(i) only, so no further synchronisation is needed and output order
+// stays deterministic regardless of scheduling.
+func Map(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// Pool bounds the number of concurrently executing submissions. Unlike Map,
+// which owns a whole index range, a Pool serves independent callers arriving
+// over time — HTTP requests, queue consumers — and applies backpressure by
+// making them wait for a slot. The zero value is not usable; create one with
+// NewPool. A Pool never shuts down on its own: it holds no goroutines, only
+// permits.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool admitting at most workers concurrent submissions
+// (0 or negative = GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Cap returns the maximum number of concurrent submissions.
+func (p *Pool) Cap() int { return cap(p.sem) }
+
+// InFlight returns the number of currently executing submissions.
+func (p *Pool) InFlight() int { return len(p.sem) }
+
+// Do runs fn as soon as a worker slot is free, blocking until then. It
+// returns ctx.Err() without running fn when the context is cancelled first —
+// the caller's deadline bounds the queueing time, not only the run time.
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	fn()
+	return nil
+}

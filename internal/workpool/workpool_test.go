@@ -1,0 +1,103 @@
+package workpool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 57
+		var hits [57]int32
+		err := Map(n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestMapReturnsError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Map(10, 4, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	if err := Map(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Errorf("err = %v on empty range", err)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	if p.Cap() != workers {
+		t.Fatalf("Cap() = %d, want %d", p.Cap(), workers)
+	}
+	var cur, peak int32
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Do(context.Background(), func() {
+				c := atomic.AddInt32(&cur, 1)
+				for {
+					old := atomic.LoadInt32(&peak)
+					if c <= old || atomic.CompareAndSwapInt32(&peak, old, c) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				atomic.AddInt32(&cur, -1)
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&peak); got > workers {
+		t.Errorf("peak concurrency %d exceeds pool cap %d", got, workers)
+	}
+	if p.InFlight() != 0 {
+		t.Errorf("InFlight() = %d after drain", p.InFlight())
+	}
+}
+
+func TestPoolRespectsContext(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() {
+		close(started)
+		<-release
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.Do(ctx, func() { t.Error("fn ran despite cancelled context") })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
