@@ -28,8 +28,11 @@ race:
 fuzz-smoke:
 	$(GO) test -run='^Fuzz' ./internal/stg ./internal/sched
 
+# Micro-benchmarks plus the sweep-engine benchmark, which writes per-cell
+# latency percentiles and cold/warm sweep wall times to BENCH_sweep.json.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) run ./cmd/sweepbench -out BENCH_sweep.json
 
 # Run the scheduling service locally.
 serve:

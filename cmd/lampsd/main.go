@@ -1,16 +1,21 @@
 // Command lampsd serves the leakage-aware scheduling heuristics over
 // HTTP/JSON: clients POST a task graph (inline JSON or STG text), a
-// deadline and an approach name to /schedule and receive the full
-// scheduling result — energy breakdown, processor count, operating point
-// and per-task placement. Results are memoised in an LRU keyed by a
-// canonical problem digest, so repeated graphs are served without
-// rescheduling; /metrics exposes request, cache and latency counters and
-// /healthz a liveness probe.
+// deadline and an approach name to /schedule (alias /v1/schedule) and
+// receive the full scheduling result — energy breakdown, processor count,
+// operating point and per-task placement — or a whole grid of
+// {approaches × deadlines × processor caps} to /v1/sweep and receive one
+// NDJSON line per cell. Results are memoised in an LRU keyed by a canonical
+// problem digest, so repeated graphs are served without rescheduling;
+// /metrics exposes request, cache and latency counters and /healthz a
+// liveness probe.
 //
-//	lampsd -addr :8080 -workers 8 -cache 4096
+//	lampsd -addr :8080 -workers 8 -cache 4096 -request-timeout 60s
 //
-// The server drains gracefully on SIGINT/SIGTERM: in-flight requests get
-// up to -drain to complete before the process exits.
+// Every request is bounded by -request-timeout end to end (queueing plus
+// scheduling time): requests shed before execution return 503, runs that
+// outlive the deadline return 504, both with Retry-After. The server drains
+// gracefully on SIGINT/SIGTERM: in-flight requests get up to -drain to
+// complete before the process exits.
 package main
 
 import (
@@ -53,6 +58,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		maxBody   = fs.Int64("max-body", server.DefaultMaxBodyBytes, "largest accepted request body, in bytes")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 		model     = fs.String("model", "", "load the power model from a JSON file (default: built-in 70nm)")
+		reqTO     = fs.Duration("request-timeout", 60*time.Second, "end-to-end per-request deadline covering queueing and scheduling (0 disables)")
+		maxCells  = fs.Int("sweep-max-cells", server.DefaultSweepMaxCells, "largest accepted /v1/sweep grid, in cells")
 	)
 	fs.SetOutput(logw)
 	if err := fs.Parse(args); err != nil {
@@ -75,12 +82,14 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 
 	logger := slog.New(slog.NewJSONHandler(logw, nil))
 	srv := server.New(server.Options{
-		Model:        m,
-		Workers:      *workers,
-		CacheSize:    *cacheSize,
-		MaxTasks:     *maxTasks,
-		MaxBodyBytes: *maxBody,
-		Logger:       logger,
+		Model:          m,
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		MaxTasks:       *maxTasks,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *reqTO,
+		SweepMaxCells:  *maxCells,
+		Logger:         logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -97,6 +97,32 @@ func TestServeAndGracefulShutdown(t *testing.T) {
 		t.Errorf("unexpected result %+v", sched)
 	}
 
+	sweepBody := `{"approaches":["ss","lamps"],"deadline_factors":[2,4],"graph":{"tasks":[{"weight_cycles":3100000},{"weight_cycles":6200000},{"weight_cycles":4650000}],"edges":[[0,1],[0,2]]}}`
+	resp, err = http.Post(base+"/v1/sweep", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("sweep Content-Type %q, want application/x-ndjson", ct)
+	}
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	if len(lines) != 5 { // 4 cells + summary
+		t.Fatalf("sweep returned %d lines, want 5:\n%s", len(lines), body)
+	}
+	var sum struct {
+		Summary *struct {
+			OK int `json:"ok"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &sum); err != nil || sum.Summary == nil || sum.Summary.OK != 4 {
+		t.Errorf("sweep summary line %s (err %v), want 4 ok cells", lines[len(lines)-1], err)
+	}
+
 	cancel() // the SIGTERM path
 	select {
 	case err := <-done:

@@ -1,0 +1,209 @@
+// Command sweepbench measures the lampsd sweep engine in-process: it boots
+// a server.Server (no sockets), evaluates a 48-cell grid — every approach ×
+// eight deadline extension factors — over the MPEG-4 decoder graph, and
+// reports per-cell scheduling latency percentiles plus cold and warm
+// /v1/sweep wall times as JSON.
+//
+//	sweepbench -out BENCH_sweep.json
+//
+// Per-cell latencies are taken against a cache-disabled server so every
+// sample is a real scheduling run; the sweep wall times use a separate
+// cache-enabled server, so the warm number shows the fully memoised path.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"lamps/internal/mpeg"
+	"lamps/internal/server"
+)
+
+type cell struct {
+	approach string
+	factor   float64
+	maxProcs int
+}
+
+type report struct {
+	Graph          string  `json:"graph"`
+	Cells          int     `json:"cells"`
+	CellsPerSec    float64 `json:"cells_per_sec"`
+	CellP50Ms      float64 `json:"cell_p50_ms"`
+	CellP99Ms      float64 `json:"cell_p99_ms"`
+	CellMeanMs     float64 `json:"cell_mean_ms"`
+	SweepColdMs    float64 `json:"sweep_cold_ms"`
+	SweepWarmMs    float64 `json:"sweep_warm_ms"`
+	WarmSpeedup    float64 `json:"warm_speedup"`
+	GeneratedAtUTC string  `json:"generated_at_utc"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sweep.json", "write the JSON report to this file (- for stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	graph := mpegSpec()
+	// 48 cells: every approach × the paper's deadline-extension axis, with
+	// the processor count left to the heuristics (a cap tight enough to
+	// matter makes the tightest deadlines infeasible on this graph).
+	approaches := []string{"ss", "lamps", "ss+ps", "lamps+ps", "limit-sf", "limit-mf"}
+	factors := []float64{1.5, 2, 2.5, 3, 4, 5, 6, 8}
+	procs := []int{0}
+	var cells []cell
+	for _, a := range approaches {
+		for _, f := range factors {
+			for _, p := range procs {
+				cells = append(cells, cell{a, f, p})
+			}
+		}
+	}
+
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// Per-cell latencies: cache off, so each sample is a scheduling run.
+	cold := server.New(server.Options{CacheSize: -1, Logger: quiet}).Handler()
+	latencies := make([]time.Duration, 0, len(cells))
+	var total time.Duration
+	for _, c := range cells {
+		body, _ := json.Marshal(map[string]any{
+			"approach":        c.approach,
+			"graph":           graph,
+			"deadline_factor": c.factor,
+			"max_procs":       c.maxProcs,
+		})
+		start := time.Now()
+		rec := do(cold, "/v1/schedule", body)
+		d := time.Since(start)
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("cell %+v: status %d: %s", c, rec.Code, rec.Body)
+		}
+		latencies = append(latencies, d)
+		total += d
+	}
+
+	// Sweep wall times: cache on, cold then fully memoised.
+	sweepBody, _ := json.Marshal(map[string]any{
+		"approaches":       approaches,
+		"graph":            graph,
+		"deadline_factors": factors,
+		"max_procs":        procs,
+	})
+	cached := server.New(server.Options{Logger: quiet}).Handler()
+	coldWall, err := timeSweep(cached, sweepBody, len(cells))
+	if err != nil {
+		return err
+	}
+	warmWall, err := timeSweep(cached, sweepBody, len(cells))
+	if err != nil {
+		return err
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	r := report{
+		Graph:          "mpeg-fig9",
+		Cells:          len(cells),
+		CellsPerSec:    float64(len(cells)) / total.Seconds(),
+		CellP50Ms:      ms(percentile(latencies, 50)),
+		CellP99Ms:      ms(percentile(latencies, 99)),
+		CellMeanMs:     ms(total / time.Duration(len(cells))),
+		SweepColdMs:    ms(coldWall),
+		SweepWarmMs:    ms(warmWall),
+		WarmSpeedup:    coldWall.Seconds() / warmWall.Seconds(),
+		GeneratedAtUTC: time.Now().UTC().Format(time.RFC3339),
+	}
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweepbench: %d cells, %.1f cells/s cold, sweep %.1fms cold / %.1fms warm -> %s\n",
+		r.Cells, r.CellsPerSec, r.SweepColdMs, r.SweepWarmMs, out)
+	return nil
+}
+
+// do serves one in-process request.
+func do(h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// timeSweep runs one /v1/sweep request and verifies every cell succeeded.
+func timeSweep(h http.Handler, body []byte, wantCells int) (time.Duration, error) {
+	start := time.Now()
+	rec := do(h, "/v1/sweep", body)
+	wall := time.Since(start)
+	if rec.Code != http.StatusOK {
+		return 0, fmt.Errorf("sweep: status %d: %s", rec.Code, rec.Body)
+	}
+	var ok int
+	for _, line := range bytes.Split(bytes.TrimSpace(rec.Body.Bytes()), []byte("\n")) {
+		var l struct {
+			Summary *struct {
+				OK int `json:"ok"`
+			} `json:"summary"`
+		}
+		if json.Unmarshal(line, &l) == nil && l.Summary != nil {
+			ok = l.Summary.OK
+		}
+	}
+	if ok != wantCells {
+		return 0, fmt.Errorf("sweep completed %d/%d cells ok", ok, wantCells)
+	}
+	return wall, nil
+}
+
+// percentile returns the pth percentile of sorted durations (nearest rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (p*len(sorted) + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+// mpegSpec converts the paper's MPEG-4 decoder graph into the inline JSON
+// graph form the API accepts.
+func mpegSpec() map[string]any {
+	g := mpeg.Fig9()
+	tasks := make([]map[string]any, g.NumTasks())
+	var edges [][2]int
+	for v := 0; v < g.NumTasks(); v++ {
+		tasks[v] = map[string]any{"weight_cycles": g.Weight(v), "label": g.Label(v)}
+		for _, s := range g.Succs(v) {
+			edges = append(edges, [2]int{v, int(s)})
+		}
+	}
+	return map[string]any{"name": "mpeg-fig9", "tasks": tasks, "edges": edges}
+}

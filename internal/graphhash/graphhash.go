@@ -24,6 +24,7 @@ package graphhash
 
 import (
 	"crypto/sha256"
+	"encoding"
 	"encoding/binary"
 	"encoding/hex"
 	"hash"
@@ -49,9 +50,16 @@ type Problem struct {
 // encoding.
 func Sum(p Problem) string {
 	h := sha256.New()
+	writePrefix(h, p.Graph, p.Model)
+	writeCell(h, p.Deadline, p.MaxProcs, p.Approach)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writePrefix encodes the cell-independent part of a problem: the version
+// string, the graph structure and the power model.
+func writePrefix(h hash.Hash, g *dag.Graph, m *power.Model) {
 	writeString(h, Version)
 
-	g := p.Graph
 	writeInt(h, int64(g.NumTasks()))
 	for v := 0; v < g.NumTasks(); v++ {
 		writeInt(h, g.Weight(v))
@@ -67,7 +75,6 @@ func Sum(p Problem) string {
 		}
 	}
 
-	m := p.Model
 	if m == nil {
 		m = power.Default70nm()
 	}
@@ -79,10 +86,56 @@ func Sum(p Problem) string {
 	} {
 		writeFloat(h, f)
 	}
+}
 
-	writeFloat(h, p.Deadline)
-	writeInt(h, int64(p.MaxProcs))
-	writeString(h, p.Approach)
+// writeCell encodes the per-cell suffix of a problem: deadline, processor
+// cap and approach.
+func writeCell(h hash.Hash, deadline float64, maxProcs int, approach string) {
+	writeFloat(h, deadline)
+	writeInt(h, int64(maxProcs))
+	writeString(h, approach)
+}
+
+// Hasher derives the digests of many problems sharing one graph and power
+// model — the cells of a sweep grid. The shared prefix (version, graph
+// structure, model constants) is hashed once and its state snapshot reused,
+// so each cell key costs O(1) instead of re-encoding the whole graph.
+// Hasher.Cell and Sum are guaranteed to agree: both write through the same
+// encoder functions.
+type Hasher struct {
+	graph *dag.Graph
+	model *power.Model
+	state []byte // marshaled sha256 state after the prefix; nil = recompute
+}
+
+// NewHasher returns a Hasher for problems over the given graph and model
+// (nil model selects power.Default70nm()).
+func NewHasher(g *dag.Graph, m *power.Model) *Hasher {
+	hr := &Hasher{graph: g, model: m}
+	h := sha256.New()
+	writePrefix(h, g, m)
+	if mb, ok := h.(encoding.BinaryMarshaler); ok {
+		if st, err := mb.MarshalBinary(); err == nil {
+			hr.state = st
+		}
+	}
+	return hr
+}
+
+// Cell returns the digest of the problem {graph, model, deadline, maxProcs,
+// approach}, identical to Sum of the equivalent Problem.
+func (hr *Hasher) Cell(deadline float64, maxProcs int, approach string) string {
+	h := sha256.New()
+	restored := false
+	if hr.state != nil {
+		if ub, ok := h.(encoding.BinaryUnmarshaler); ok {
+			restored = ub.UnmarshalBinary(hr.state) == nil
+		}
+	}
+	if !restored {
+		writePrefix(h, hr.graph, hr.model)
+	}
+	writeCell(h, deadline, maxProcs, approach)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

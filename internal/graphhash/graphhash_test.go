@@ -231,3 +231,38 @@ func TestFraming(t *testing.T) {
 		t.Error("independent pair and chain hash identically")
 	}
 }
+
+// TestHasherMatchesSum pins the sweep fast path to the canonical encoding:
+// for every corpus problem, the per-cell digest derived from the shared
+// graph+model prefix must equal Sum of the full problem. A divergence here
+// would silently split the result cache between the schedule and sweep
+// endpoints.
+func TestHasherMatchesSum(t *testing.T) {
+	for name, p := range corpus(t) {
+		h := NewHasher(p.Graph, p.Model)
+		if got, want := h.Cell(p.Deadline, p.MaxProcs, p.Approach), Sum(p); got != want {
+			t.Errorf("%s: Hasher.Cell = %s, Sum = %s", name, got, want)
+		}
+		// Deriving more cells from the same hasher must not corrupt the
+		// shared prefix state.
+		for i, d := range []float64{0.001, 0.5, 8} {
+			q := p
+			q.Deadline, q.MaxProcs = d, i
+			if got, want := h.Cell(d, i, p.Approach), Sum(q); got != want {
+				t.Errorf("%s cell %d: Hasher.Cell = %s, Sum = %s", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestHasherWithoutSnapshot exercises the recompute fallback used when the
+// hash state cannot be marshaled.
+func TestHasherWithoutSnapshot(t *testing.T) {
+	for name, p := range corpus(t) {
+		h := NewHasher(p.Graph, p.Model)
+		h.state = nil // force the slow path
+		if got, want := h.Cell(p.Deadline, p.MaxProcs, p.Approach), Sum(p); got != want {
+			t.Errorf("%s: fallback Cell = %s, Sum = %s", name, got, want)
+		}
+	}
+}

@@ -23,12 +23,33 @@ const NoDeadline = int64(math.MaxInt64)
 // the resulting order — and hence the schedule — is independent of D; EDF
 // with a global deadline coincides with highest-bottom-level-first list
 // scheduling.
+//
+// The subtraction saturates at the int64 bounds instead of wrapping, so the
+// EDF order survives any deadline: priorities are exact for deadlines in
+// [MinInt64 + CPL, MaxInt64] (which covers NoDeadline); below that range
+// priorities clamp to MinInt64 and ties collapse onto task-index order
+// rather than inverting.
 func EDFPriorities(g *dag.Graph, deadline int64) []int64 {
 	prio := make([]int64, g.NumTasks())
 	for v := range prio {
-		prio[v] = deadline - (g.BottomLevel(v) - g.Weight(v))
+		prio[v] = subSat(deadline, g.BottomLevel(v)-g.Weight(v))
 	}
 	return prio
+}
+
+// subSat returns a − b, saturating at math.MinInt64/math.MaxInt64 instead of
+// wrapping. Wrapping would be fatal here: a deadline near either int64 bound
+// (NoDeadline being the everyday case) would flip the sign of the priority
+// and invert the EDF dispatch order.
+func subSat(a, b int64) int64 {
+	d := a - b
+	if (a >= 0) != (b >= 0) && (d >= 0) != (a >= 0) {
+		if a >= 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return d
 }
 
 // DeadlinePriorities returns EDF priorities for per-task absolute deadlines
@@ -52,7 +73,7 @@ func DeadlinePriorities(g *dag.Graph, dl []int64) ([]int64, error) {
 			if eff[s] == NoDeadline {
 				continue
 			}
-			if d := eff[s] - g.Weight(int(s)); d < eff[v] {
+			if d := subSat(eff[s], g.Weight(int(s))); d < eff[v] {
 				eff[v] = d
 			}
 		}

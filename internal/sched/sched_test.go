@@ -3,6 +3,7 @@ package sched
 import (
 	"bytes"
 	"errors"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -611,5 +612,55 @@ func TestPropertyScheduleJSONRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestEDFPrioritiesSaturates is the regression test for the wraparound bug:
+// priorities computed from deadlines at either int64 extreme must saturate
+// instead of wrapping, so the EDF dispatch order is never inverted.
+func TestEDFPrioritiesSaturates(t *testing.T) {
+	g := buildFig4a(t)
+
+	// NoDeadline (MaxInt64) is the everyday extreme: the order must match
+	// the deadline-0 order exactly (priorities are shift-invariant in the
+	// exact range), and no priority may have wrapped negative.
+	base := EDFPriorities(g, 0)
+	nd := EDFPriorities(g, NoDeadline)
+	for v := range nd {
+		if nd[v] < 0 {
+			t.Errorf("prio[%d] = %d wrapped negative for NoDeadline", v, nd[v])
+		}
+		for u := range nd {
+			if (base[v] < base[u]) != (nd[v] < nd[u]) {
+				t.Errorf("NoDeadline inverts order of tasks %d and %d", v, u)
+			}
+		}
+	}
+
+	// At the bottom extreme, deadline - slack would wrap positive (turning
+	// the most urgent task into the least urgent); saturation clamps to
+	// MinInt64 instead.
+	lo := EDFPriorities(g, math.MinInt64)
+	for v, p := range lo {
+		if p > 0 {
+			t.Errorf("prio[%d] = %d wrapped positive for MinInt64 deadline", v, p)
+		}
+	}
+}
+
+func TestSubSat(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{10, 3, 7},
+		{math.MaxInt64, 5, math.MaxInt64 - 5},
+		{math.MaxInt64, -1, math.MaxInt64}, // would wrap negative
+		{math.MinInt64, 1, math.MinInt64},  // would wrap positive
+		{math.MinInt64, -5, math.MinInt64 + 5},
+		{-3, math.MaxInt64, math.MinInt64}, // true value is below MinInt64
+		{0, math.MinInt64, math.MaxInt64},  // true value is above MaxInt64
+	}
+	for _, c := range cases {
+		if got := subSat(c.a, c.b); got != c.want {
+			t.Errorf("subSat(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
 	}
 }

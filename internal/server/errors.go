@@ -1,10 +1,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"lamps/internal/core"
 	"lamps/internal/dag"
@@ -15,11 +17,13 @@ import (
 // path converts domain errors into one of these before writing the
 // response, so clients can rely on the status code: 400 for malformed
 // input, 413 for oversized input, 422 for well-formed but unschedulable
-// problems, 503 for shed load. Anything that escapes classification is a
-// genuine server bug and surfaces as 500.
+// problems, 503 for shed load, 504 for runs that exceeded the request
+// deadline. Anything that escapes classification is a genuine server bug
+// and surfaces as 500.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int // seconds; > 0 adds a Retry-After header
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -36,6 +40,25 @@ func unprocessable(format string, args ...any) *apiError {
 	return &apiError{status: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, args...)}
 }
 
+// overloaded is the 503 for requests shed before execution (queue timeout,
+// draining). Retryable: the same request succeeds once load subsides.
+func overloaded(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf(format, args...), retryAfter: 1}
+}
+
+// timedOut is the 504 for requests whose scheduling run outlived the
+// server-side request deadline. The run keeps going and warms the cache, so
+// a retry after a short backoff typically hits.
+func timedOut(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusGatewayTimeout, msg: fmt.Sprintf(format, args...), retryAfter: 1}
+}
+
+// internalPanic is the 500 reported when a scheduling run panicked. The
+// panic value is included; the stack goes to the log only.
+func internalPanic(p any) *apiError {
+	return &apiError{status: http.StatusInternalServerError, msg: fmt.Sprintf("internal error: scheduling run panicked: %v", p)}
+}
+
 // classify maps domain errors onto API errors:
 //
 //   - structurally invalid input (cycles, self edges, duplicate edges, bad
@@ -43,6 +66,8 @@ func unprocessable(format string, args ...any) *apiError {
 //     → 400: the request can never succeed as written;
 //   - infeasible deadlines → 422: the request is well-formed, the problem
 //     instance has no solution;
+//   - context deadline expiry → 504, cancellation → 503, both retryable;
+//   - a coalesced run that panicked → 500 (the waiters' view of the panic);
 //   - anything already classified passes through.
 func classify(err error) *apiError {
 	var ae *apiError
@@ -51,6 +76,12 @@ func classify(err error) *apiError {
 		return ae
 	case errors.Is(err, core.ErrInfeasible):
 		return unprocessable("%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return timedOut("request deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		return overloaded("request cancelled: %v", err)
+	case errors.Is(err, errFlightPanic):
+		return &apiError{status: http.StatusInternalServerError, msg: err.Error()}
 	case errors.Is(err, core.ErrBadConfig),
 		errors.Is(err, dag.ErrCycle),
 		errors.Is(err, dag.ErrSelfEdge),
@@ -75,6 +106,9 @@ type errorBody struct {
 func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	ae := classify(err)
 	w.Header().Set("Content-Type", "application/json")
+	if ae.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+	}
 	w.WriteHeader(ae.status)
 	_ = json.NewEncoder(w).Encode(errorBody{Error: ae.msg, Status: ae.status})
 	return ae.status

@@ -44,6 +44,11 @@ type metrics struct {
 
 	coalesced uint64 // requests served by another request's in-flight run
 
+	panics uint64 // recovered panics in request/cell execution paths
+
+	sweepCellsOK  uint64 // sweep cells that produced a result
+	sweepCellsErr uint64 // sweep cells that produced an error
+
 	latency map[string]*histogram // approach -> scheduling latency (cache misses only)
 
 	effort core.Stats // aggregated search effort across all runs
@@ -72,6 +77,26 @@ func (m *metrics) recordCoalesced() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.coalesced++
+}
+
+// recordPanic counts one recovered panic. Each actual panic is counted
+// exactly once, by the goroutine that recovered it — coalesced waiters that
+// merely observe the failure do not count again.
+func (m *metrics) recordPanic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
+}
+
+// recordSweepCell counts one evaluated sweep cell by outcome.
+func (m *metrics) recordSweepCell(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.sweepCellsOK++
+	} else {
+		m.sweepCellsErr++
+	}
 }
 
 // recordRun records one actual scheduling run (a cache miss that executed
@@ -131,6 +156,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP lampsd_coalesced_total Requests coalesced onto another request's in-flight scheduling run.\n")
 	fmt.Fprintf(w, "# TYPE lampsd_coalesced_total counter\n")
 	fmt.Fprintf(w, "lampsd_coalesced_total %d\n", m.coalesced)
+
+	fmt.Fprintf(w, "# HELP lampsd_panics_total Panics recovered in request and sweep-cell execution paths.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_panics_total counter\n")
+	fmt.Fprintf(w, "lampsd_panics_total %d\n", m.panics)
+
+	fmt.Fprintf(w, "# HELP lampsd_sweep_cells_total Sweep grid cells evaluated, by outcome.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_sweep_cells_total counter\n")
+	fmt.Fprintf(w, "lampsd_sweep_cells_total{outcome=\"ok\"} %d\n", m.sweepCellsOK)
+	fmt.Fprintf(w, "lampsd_sweep_cells_total{outcome=\"error\"} %d\n", m.sweepCellsErr)
 
 	fmt.Fprintf(w, "# HELP lampsd_schedules_built_total List-scheduling invocations across all runs (core.Stats).\n")
 	fmt.Fprintf(w, "# TYPE lampsd_schedules_built_total counter\n")

@@ -99,15 +99,16 @@ func decodeRequest(body io.Reader) (*scheduleRequest, error) {
 	return &req, nil
 }
 
-// buildGraph materialises the request's task graph, enforcing the server's
-// task-count limit. Structural errors (cycles, self edges, bad weights,
-// malformed STG) map to 400, oversized graphs to 413.
-func (s *Server) buildGraph(req *scheduleRequest) (*dag.Graph, error) {
-	if req.STG != "" {
-		if int64(len(req.STG)) > s.opts.MaxBodyBytes {
+// buildGraph materialises a task graph from exactly one of an inline spec
+// and STG text, enforcing the server's task-count limit. Structural errors
+// (cycles, self edges, bad weights, malformed STG) map to 400, oversized
+// graphs to 413. Shared by the schedule and sweep decoders.
+func (s *Server) buildGraph(spec *graphSpec, stgText string) (*dag.Graph, error) {
+	if stgText != "" {
+		if int64(len(stgText)) > s.opts.MaxBodyBytes {
 			return nil, tooLarge("stg text exceeds the %d-byte limit", s.opts.MaxBodyBytes)
 		}
-		g, err := stg.Parse(strings.NewReader(req.STG), "stg-request")
+		g, err := stg.Parse(strings.NewReader(stgText), "stg-request")
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +117,6 @@ func (s *Server) buildGraph(req *scheduleRequest) (*dag.Graph, error) {
 		}
 		return g, nil
 	}
-	spec := req.Graph
 	if len(spec.Tasks) == 0 {
 		return nil, badRequest("graph has no tasks")
 	}
@@ -139,11 +139,23 @@ func (s *Server) buildGraph(req *scheduleRequest) (*dag.Graph, error) {
 
 // config assembles the core.Config for the request's graph.
 func (s *Server) config(req *scheduleRequest, g *dag.Graph) core.Config {
-	cfg := core.Config{Model: s.opts.Model, Deadline: req.DeadlineSec, MaxProcs: req.MaxProcs}
-	if req.DeadlineFactor > 0 {
-		cfg.Deadline = req.DeadlineFactor * float64(g.CriticalPathLength()) / s.opts.Model.FMax()
+	return core.Config{
+		Model:    s.opts.Model,
+		Deadline: s.resolveDeadline(g, req.DeadlineSec, req.DeadlineFactor),
+		MaxProcs: req.MaxProcs,
 	}
-	return cfg
+}
+
+// resolveDeadline converts the two request deadline forms onto absolute
+// seconds: sec is used as-is; a positive factor takes precedence and is
+// interpreted as a multiple of the graph's critical path length at maximum
+// frequency (the paper's parametric form). Shared by the schedule and sweep
+// paths so the two agree bit-for-bit on derived deadlines.
+func (s *Server) resolveDeadline(g *dag.Graph, sec, factor float64) float64 {
+	if factor > 0 {
+		return factor * float64(g.CriticalPathLength()) / s.opts.Model.FMax()
+	}
+	return sec
 }
 
 // scheduleResponse is the body of a successful POST /schedule.

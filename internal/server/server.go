@@ -2,29 +2,42 @@
 // core scheduling heuristics: request validation and typed error mapping,
 // a bounded worker pool, single-flight coalescing of identical in-flight
 // requests, an LRU result cache keyed by the canonical problem digest of
-// internal/graphhash, Prometheus-style metrics, health checking and
-// structured request logging.
+// internal/graphhash, end-to-end request deadlines, panic isolation,
+// Prometheus-style metrics, health checking and structured request logging.
 //
 // Endpoints:
 //
-//	POST /schedule  schedule one task graph (inline JSON or STG text)
-//	GET  /healthz   liveness probe
-//	GET  /metrics   Prometheus text exposition
+//	POST /v1/schedule  schedule one task graph (inline JSON or STG text)
+//	POST /v1/sweep     evaluate a grid of {approaches × deadlines × procs}
+//	                   over one graph, streaming per-cell results (NDJSON)
+//	POST /schedule     legacy alias of /v1/schedule
+//	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text exposition
 //
 // Caching semantics: the cache key covers the graph's structure (weights
 // and edges — not names or labels), the power model, the deadline, the
 // processor cap and the approach, so a hit is guaranteed to be the result
-// the heuristic would recompute, byte for byte. Error responses are never
-// cached.
+// the heuristic would recompute, byte for byte. Sweep cells share the same
+// key space, so a sweep warms the cache for single-shot requests and vice
+// versa. Error responses are never cached.
+//
+// Robustness: every scheduling run executes behind a recover barrier — a
+// panicking heuristic yields a 500 (counted in lampsd_panics_total) for the
+// requester and a 500 for every coalesced waiter, never a deadlock. With
+// Options.RequestTimeout set, a server-side deadline bounds queueing for a
+// worker slot (503 + Retry-After on expiry) and the client-observed run
+// time (504 + Retry-After; the run itself completes and warms the cache).
 package server
 
 import (
 	"context"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"lamps/internal/core"
+	"lamps/internal/dag"
 	"lamps/internal/graphhash"
 	"lamps/internal/power"
 	"lamps/internal/server/cache"
@@ -33,9 +46,10 @@ import (
 
 // Defaults for Options fields left zero.
 const (
-	DefaultMaxTasks     = 5000    // largest graphs of the Standard Task Graph Set
-	DefaultMaxBodyBytes = 8 << 20 // 8 MiB
-	DefaultCacheSize    = 1024    // result cache entries
+	DefaultMaxTasks      = 5000    // largest graphs of the Standard Task Graph Set
+	DefaultMaxBodyBytes  = 8 << 20 // 8 MiB
+	DefaultCacheSize     = 1024    // result cache entries
+	DefaultSweepMaxCells = 256     // largest /v1/sweep grid
 )
 
 // CacheHeader is the response header reporting how the result was obtained:
@@ -59,6 +73,19 @@ type Options struct {
 	// MaxBodyBytes rejects larger request bodies with 413
 	// (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// RequestTimeout bounds one request end to end: waiting for a worker
+	// slot (503 on expiry) and the scheduling run itself as observed by the
+	// client (504 on expiry; the run completes in the background and warms
+	// the cache). For sweeps the deadline covers the whole grid. Zero
+	// disables the timeout.
+	RequestTimeout time.Duration
+	// SweepMaxCells rejects /v1/sweep grids with more cells with 413
+	// (0 = DefaultSweepMaxCells).
+	SweepMaxCells int
+	// Runner executes one scheduling problem. Nil selects core.Run. Tests
+	// substitute slow or panicking runners to exercise the timeout and
+	// panic-isolation paths.
+	Runner func(approach string, g *dag.Graph, cfg core.Config) (*core.Result, error)
 	// Logger receives structured request logs. Nil selects slog.Default().
 	Logger *slog.Logger
 }
@@ -89,6 +116,12 @@ func New(opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if opts.SweepMaxCells <= 0 {
+		opts.SweepMaxCells = DefaultSweepMaxCells
+	}
+	if opts.Runner == nil {
+		opts.Runner = core.Run
+	}
 	if opts.Logger == nil {
 		opts.Logger = slog.Default()
 	}
@@ -101,38 +134,75 @@ func New(opts Options) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
 // Handler returns the HTTP handler serving all endpoints, wrapped with
-// request accounting and structured logging.
+// request accounting, structured logging and a last-resort panic barrier:
+// a panic escaping any handler is logged with its stack, counted in
+// lampsd_panics_total and converted to a 500 if the response has not
+// started yet.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				s.metrics.recordPanic()
+				s.log.Error("panic serving request",
+					"path", r.URL.Path, "panic", p, "stack", string(debug.Stack()))
+				if !sw.wrote {
+					sw.status = s.writeError(sw, internalPanic(p))
+				}
+			}
+			s.metrics.recordRequest(r.URL.Path, sw.status)
+			s.log.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration", time.Since(start),
+				"cache", sw.Header().Get(CacheHeader),
+			)
+		}()
 		s.mux.ServeHTTP(sw, r)
-		s.metrics.recordRequest(r.URL.Path, sw.status)
-		s.log.Info("request",
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"duration", time.Since(start),
-			"cache", sw.Header().Get(CacheHeader),
-		)
 	})
 }
 
-// statusWriter records the status code written to the client.
+// statusWriter records the status code written to the client and whether
+// the response has started (after which a recovered panic can no longer be
+// converted into an error response).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
+	if !w.wrote {
+		w.wrote = true
+		w.status = code
+	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so the sweep stream can push
+// cell lines as they complete.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -140,8 +210,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Write([]byte("{\"status\":\"ok\"}\n"))
 }
 
-// handleSchedule serves POST /schedule: validate, hash, then cache hit /
-// coalesce / schedule, in that order of preference.
+// requestCtx derives the execution context for one request: detached from
+// the client's cancellation — once admitted, work runs to completion so
+// coalesced waiters are not poisoned by the leader's client disconnecting
+// and the cache still gets warmed — but bounded by the server-side request
+// timeout when one is configured.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := context.WithoutCancel(r.Context())
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.opts.RequestTimeout)
+	}
+	return ctx, func() {}
+}
+
+// handleSchedule serves POST /schedule and /v1/schedule: validate, hash,
+// then cache hit / coalesce / schedule, in that order of preference.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	req, err := decodeRequest(r.Body)
@@ -154,7 +237,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	g, err := s.buildGraph(req)
+	g, err := s.buildGraph(req.Graph, req.STG)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -168,51 +251,98 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		Approach: approach,
 	})
 
-	if body, ok := s.cache.Get(key); ok {
-		writeBody(w, http.StatusOK, "hit", body)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res := s.execute(ctx, key, approach, g, cfg)
+	if res.err != nil {
+		s.writeError(w, res.err)
 		return
 	}
+	writeBody(w, res.status, res.source, res.body)
+}
 
-	status, body, runErr, shared := s.flight.Do(key, func() (int, []byte, error) {
-		var result *core.Result
-		var coreErr error
-		start := time.Now()
-		// The run is detached from the request context deliberately: once
-		// admitted it runs to completion so that coalesced waiters are not
-		// poisoned by the leader's client disconnecting, and so the cache
-		// still gets warmed. Backpressure comes from the bounded pool.
-		poolErr := s.pool.Do(context.WithoutCancel(r.Context()), func() {
-			result, coreErr = core.Run(approach, g, cfg)
-		})
-		if poolErr != nil {
-			return http.StatusServiceUnavailable, nil, &apiError{
-				status: http.StatusServiceUnavailable,
-				msg:    "server draining: " + poolErr.Error(),
+// execResult is the outcome of executing one scheduling problem.
+type execResult struct {
+	status int
+	body   []byte
+	source string // "hit", "miss" or "shared"
+	err    error
+}
+
+// execute resolves one scheduling problem end to end: cache lookup, then a
+// single-flight coalesced run on the bounded pool, isolated behind a
+// recover barrier and bounded by ctx. Both the single-shot endpoints and
+// every sweep cell go through this one path, which is what guarantees that
+// a sweep cell and an individual request for the same problem produce
+// byte-identical results.
+//
+// The run executes in its own goroutine: if ctx expires first, execute
+// returns a timeout error while the run finishes in the background, warming
+// the cache for the retry. A panicking run is recovered there, counted in
+// lampsd_panics_total and reported as a 500.
+func (s *Server) execute(ctx context.Context, key, approach string, g *dag.Graph, cfg core.Config) execResult {
+	if body, ok := s.cache.Get(key); ok {
+		return execResult{http.StatusOK, body, "hit", nil}
+	}
+	ch := make(chan execResult, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.recordPanic()
+				s.log.Error("panic in scheduling run",
+					"approach", approach, "key", key, "panic", p, "stack", string(debug.Stack()))
+				ch <- execResult{err: internalPanic(p)}
 			}
+		}()
+		status, body, err, shared := s.flight.Do(ctx, key, func() (int, []byte, error) {
+			return s.runProblem(ctx, key, approach, g, cfg)
+		})
+		source := "miss"
+		if shared {
+			source = "shared"
+			s.metrics.recordCoalesced()
 		}
-		if coreErr != nil {
-			return 0, nil, coreErr
+		ch <- execResult{status, body, source, err}
+	}()
+	select {
+	case res := <-ch:
+		return res
+	case <-ctx.Done():
+		// Grace window: a run that finished in the same instant the
+		// deadline fired (or a queue timeout that classified itself) beats
+		// the generic 504.
+		select {
+		case res := <-ch:
+			return res
+		case <-time.After(20 * time.Millisecond):
+			return execResult{err: timedOut("scheduling run exceeded the request deadline")}
 		}
-		s.metrics.recordRun(approach, time.Since(start).Seconds(), result.Stats)
-		body, err := renderResult(key, cfg, result)
-		if err != nil {
-			return 0, nil, err
-		}
-		s.cache.Put(key, body)
-		return http.StatusOK, body, nil
+	}
+}
+
+// runProblem is the single-flight leader body: acquire a pool slot (ctx
+// bounds the queueing time), run the heuristic, record metrics, render and
+// cache the result.
+func (s *Server) runProblem(ctx context.Context, key, approach string, g *dag.Graph, cfg core.Config) (int, []byte, error) {
+	var result *core.Result
+	var coreErr error
+	start := time.Now()
+	poolErr := s.pool.Do(ctx, func() {
+		result, coreErr = s.opts.Runner(approach, g, cfg)
 	})
-	if shared {
-		s.metrics.recordCoalesced()
+	if poolErr != nil {
+		return 0, nil, overloaded("no worker slot within the request deadline: %v", poolErr)
 	}
-	if runErr != nil {
-		s.writeError(w, runErr)
-		return
+	if coreErr != nil {
+		return 0, nil, coreErr
 	}
-	source := "miss"
-	if shared {
-		source = "shared"
+	s.metrics.recordRun(approach, time.Since(start).Seconds(), result.Stats)
+	body, err := renderResult(key, cfg, result)
+	if err != nil {
+		return 0, nil, err
 	}
-	writeBody(w, status, source, body)
+	s.cache.Put(key, body)
+	return http.StatusOK, body, nil
 }
 
 func writeBody(w http.ResponseWriter, status int, source string, body []byte) {

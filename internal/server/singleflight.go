@@ -1,6 +1,15 @@
 package server
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errFlightPanic is recorded as the result of a flight whose fn panicked:
+// the panic itself propagates to the initiating caller, while every
+// coalesced waiter receives this error instead of blocking forever.
+var errFlightPanic = errors.New("server: coalesced scheduling run panicked")
 
 // flightGroup coalesces concurrent work with the same key: the first caller
 // runs fn, every caller that arrives while it is in flight waits and shares
@@ -24,24 +33,45 @@ type flightCall struct {
 // Do returns the result of running fn for key, executing fn only if no
 // call for key is already in flight; shared reports whether the result came
 // from another caller's run.
-func (g *flightGroup) Do(key string, fn func() (int, []byte, error)) (status int, val []byte, err error, shared bool) {
+//
+// Waiters give up when ctx is done and return ctx.Err(); the in-flight run
+// is unaffected. If fn panics, the panic propagates to the initiating
+// caller after the call has been removed from the group and every waiter
+// has been failed with errFlightPanic — a panicking run can never wedge
+// later requests for the same key.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (int, []byte, error)) (status int, val []byte, err error, shared bool) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*flightCall)
 	}
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
-		<-c.done
-		return c.status, c.val, c.err, true
+		select {
+		case <-c.done:
+			return c.status, c.val, c.err, true
+		case <-ctx.Done():
+			return 0, nil, ctx.Err(), true
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.calls[key] = c
 	g.mu.Unlock()
 
+	// Cleanup must run even when fn panics: leaving the dead call in the
+	// map with done never closed would block every later request for the
+	// key forever (the pre-fix deadlock). The ordering matters — record the
+	// failure, unregister the call, then release the waiters.
+	finished := false
+	defer func() {
+		if !finished {
+			c.status, c.val, c.err = 0, nil, errFlightPanic
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
 	c.status, c.val, c.err = fn()
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(c.done)
+	finished = true
 	return c.status, c.val, c.err, false
 }

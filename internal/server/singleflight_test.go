@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -14,6 +16,7 @@ import (
 // grace period), so the waiters coalesce onto the in-flight call.
 func TestFlightGroupCoalesces(t *testing.T) {
 	var g flightGroup
+	ctx := context.Background()
 	var execs, sharedCount, entered int32
 	gate := make(chan struct{})
 	started := make(chan struct{})
@@ -25,7 +28,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		status, val, err, shared := g.Do("k", func() (int, []byte, error) {
+		status, val, err, shared := g.Do(ctx, "k", func() (int, []byte, error) {
 			atomic.AddInt32(&execs, 1)
 			close(started)
 			<-gate
@@ -43,7 +46,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		go func(slot int) {
 			defer wg.Done()
 			atomic.AddInt32(&entered, 1)
-			_, val, err, shared := g.Do("k", func() (int, []byte, error) {
+			_, val, err, shared := g.Do(ctx, "k", func() (int, []byte, error) {
 				atomic.AddInt32(&execs, 1)
 				return 200, []byte("payload"), nil
 			})
@@ -79,13 +82,14 @@ func TestFlightGroupCoalesces(t *testing.T) {
 // TestFlightGroupDistinctKeys ensures no coalescing across keys.
 func TestFlightGroupDistinctKeys(t *testing.T) {
 	var g flightGroup
+	ctx := context.Background()
 	var execs int32
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, val, err, _ := g.Do(string(rune('a'+i)), func() (int, []byte, error) {
+			_, val, err, _ := g.Do(ctx, string(rune('a'+i)), func() (int, []byte, error) {
 				atomic.AddInt32(&execs, 1)
 				return 200, []byte{byte(i)}, nil
 			})
@@ -97,5 +101,119 @@ func TestFlightGroupDistinctKeys(t *testing.T) {
 	wg.Wait()
 	if execs != 4 {
 		t.Errorf("fn executed %d times, want 4", execs)
+	}
+}
+
+// TestFlightGroupPanic is the regression test for the panic deadlock: a
+// panicking fn must (1) propagate the panic to the initiating caller,
+// (2) fail concurrent waiters with errFlightPanic instead of hanging them
+// on the never-closed done channel, and (3) leave the group clean so the
+// next call for the same key executes afresh. Every wait is guarded by a
+// timeout so a regression fails instead of wedging the suite.
+func TestFlightGroupPanic(t *testing.T) {
+	var g flightGroup
+	ctx := context.Background()
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan any, 1)
+	go func() {
+		var recovered any
+		defer func() { leaderDone <- recovered }()
+		defer func() { recovered = recover() }()
+		g.Do(ctx, "k", func() (int, []byte, error) {
+			close(inFn)
+			<-release
+			panic("scheduler exploded")
+		})
+	}()
+	<-inFn
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err, shared := g.Do(ctx, "k", func() (int, []byte, error) {
+			t.Error("waiter executed fn despite an in-flight call")
+			return 0, nil, nil
+		})
+		if !shared {
+			t.Error("waiter was not marked shared")
+		}
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block on done
+	close(release)
+
+	select {
+	case rec := <-leaderDone:
+		if rec == nil || rec.(string) != "scheduler exploded" {
+			t.Errorf("leader recovered %v, want the original panic value", rec)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never returned: cleanup did not run")
+	}
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, errFlightPanic) {
+			t.Errorf("waiter err = %v, want errFlightPanic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung: done channel was never closed after the panic")
+	}
+
+	// The key must be usable again: a fresh call runs its own fn.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		status, val, err, shared := g.Do(ctx, "k", func() (int, []byte, error) {
+			return 200, []byte("recovered"), nil
+		})
+		if status != 200 || string(val) != "recovered" || err != nil || shared {
+			t.Errorf("post-panic call: status %d, val %q, err %v, shared %v", status, val, err, shared)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-panic call hung: the dead call was left in the map")
+	}
+}
+
+// TestFlightGroupWaiterContext verifies a waiter gives up with ctx.Err()
+// when its context expires while the flight is still running, without
+// disturbing the flight itself.
+func TestFlightGroupWaiterContext(t *testing.T) {
+	var g flightGroup
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		g.Do(context.Background(), "k", func() (int, []byte, error) {
+			close(inFn)
+			<-release
+			return 200, []byte("late"), nil
+		})
+	}()
+	<-inFn
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err, shared := g.Do(ctx, "k", func() (int, []byte, error) {
+		t.Error("waiter executed fn despite an in-flight call")
+		return 0, nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) || !shared {
+		t.Errorf("waiter: err %v, shared %v; want DeadlineExceeded, true", err, shared)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Errorf("waiter blocked %v past its deadline", waited)
+	}
+
+	close(release)
+	select {
+	case <-leaderDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never finished")
 	}
 }

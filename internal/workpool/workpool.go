@@ -12,10 +12,20 @@ import (
 )
 
 // Map runs fn(i) for every i in [0, n) on up to workers goroutines
-// (0 = GOMAXPROCS) and returns the first error. Callers write result slot i
-// from fn(i) only, so no further synchronisation is needed and output order
-// stays deterministic regardless of scheduling.
+// (0 = GOMAXPROCS) and returns the first error. After the first error no new
+// indices are dispatched; indices already handed to a worker still run to
+// completion. Callers write result slot i from fn(i) only, so no further
+// synchronisation is needed and output order stays deterministic regardless
+// of scheduling.
 func Map(n, workers int, fn func(i int) error) error {
+	return MapCtx(context.Background(), n, workers, fn)
+}
+
+// MapCtx is Map with context cancellation: the feed loop stops dispatching
+// new indices as soon as ctx is done (or fn returns an error), waits for the
+// in-flight indices to finish, and returns ctx.Err() (or the first fn
+// error, whichever came first). fn itself is never interrupted mid-call.
+func MapCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -24,6 +34,9 @@ func Map(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -35,20 +48,45 @@ func Map(n, workers int, fn func(i int) error) error {
 		errOnce  sync.Once
 		firstErr error
 		next     = make(chan int)
+		stop     = make(chan struct{})
 	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(stop)
+		})
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
 				if err := fn(i); err != nil {
-					errOnce.Do(func() { firstErr = err })
+					fail(err)
 				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		// Check for a recorded error or cancellation before blocking on a
+		// send: a worker may have failed while the feed was parked.
+		select {
+		case <-stop:
+			break feed
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		default:
+		}
+		select {
+		case next <- i:
+		case <-stop:
+			break feed
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -41,6 +41,84 @@ func TestMapReturnsError(t *testing.T) {
 	}
 }
 
+// TestMapStopsDispatchingAfterError is the regression test for the
+// keep-feeding bug: after the first error the feed loop must stop handing
+// out new indices rather than burning through the whole range. fn(0) fails
+// immediately while every other index costs a millisecond, so a regression
+// (all 64 indices dispatched) is clearly separated from the fixed behaviour
+// (the few indices already in flight).
+func TestMapStopsDispatchingAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	const n = 64
+	var ran int32
+	err := Map(n, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := atomic.LoadInt32(&ran); got > n/2 {
+		t.Errorf("%d indices ran after an immediate error, want far fewer than %d", got, n)
+	}
+}
+
+func TestMapCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 100
+	var ran int32
+	err := MapCtx(ctx, n, 2, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			cancel() // cancel mid-flight: the feed must stop
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got > n/2 {
+		t.Errorf("%d indices ran after cancellation, want far fewer than %d", got, n)
+	}
+}
+
+// TestMapCtxPreCancelled: a context that is already done must prevent any
+// dispatch, on both the serial and the parallel path.
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := MapCtx(ctx, 10, workers, func(i int) error {
+			t.Errorf("workers=%d: fn(%d) ran despite a cancelled context", workers, i)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestMapCtxCompletesWithoutCancellation(t *testing.T) {
+	var hits [40]int32
+	err := MapCtx(context.Background(), len(hits), 8, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("index %d ran %d times", i, h)
+		}
+	}
+}
+
 func TestMapZeroItems(t *testing.T) {
 	if err := Map(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
 		t.Errorf("err = %v on empty range", err)
