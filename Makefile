@@ -28,11 +28,15 @@ race:
 fuzz-smoke:
 	$(GO) test -run='^Fuzz' ./internal/stg ./internal/sched
 
-# Micro-benchmarks plus the sweep-engine benchmark, which writes per-cell
-# latency percentiles and cold/warm sweep wall times to BENCH_sweep.json.
+# Micro-benchmarks plus the two benchmark harnesses: sweepbench writes
+# per-cell latency percentiles and cold/warm sweep wall times to
+# BENCH_sweep.json; corebench writes serial-vs-parallel engine wall times
+# and speedups to BENCH_core.json (and fails if the parallel engine's
+# results diverge from the serial ones).
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/core
 	$(GO) run ./cmd/sweepbench -out BENCH_sweep.json
+	$(GO) run ./cmd/corebench -out BENCH_core.json
 
 # Run the scheduling service locally.
 serve:

@@ -1,0 +1,164 @@
+// Command corebench measures the core scheduling engine in-process: for
+// each benchmark graph and approach it times the serial engine against the
+// parallel one (same Config, a shared worker pool), verifies the two return
+// identical energy and Stats — the determinism contract — and writes wall
+// times plus speedups as JSON.
+//
+//	corebench -out BENCH_core.json -workers 8 -repeat 5
+//
+// Wall times are best-of -repeat, so the numbers approximate the machine's
+// capability rather than its scheduling jitter. The reported speedup is
+// honest for the machine it ran on: on a single-core host serial and
+// parallel coincide (within noise) and the speedup hovers around 1.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"lamps/internal/core"
+	"lamps/internal/dag"
+	"lamps/internal/power"
+	"lamps/internal/taskgen"
+	"lamps/internal/workpool"
+)
+
+type caseReport struct {
+	Graph      string  `json:"graph"`
+	Tasks      int     `json:"tasks"`
+	Approach   string  `json:"approach"`
+	Factor     float64 `json:"deadline_factor"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	EnergyJ    float64 `json:"energy_j"`
+	Schedules  int     `json:"schedules_built"`
+	Levels     int     `json:"levels_evaluated"`
+}
+
+type report struct {
+	Workers        int          `json:"workers"`
+	GOMAXPROCS     int          `json:"gomaxprocs"`
+	Repeat         int          `json:"repeat"`
+	Cases          []caseReport `json:"cases"`
+	GeomeanSpeedup float64      `json:"geomean_speedup"`
+	GeneratedAtUTC string       `json:"generated_at_utc"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_core.json", "write the JSON report to this file (- for stdout)")
+		workers = flag.Int("workers", 0, "parallel engine pool size (0 = GOMAXPROCS)")
+		repeat  = flag.Int("repeat", 5, "timed runs per case; best-of wins")
+		factor  = flag.Float64("factor", 2, "deadline as a multiple of the critical path length")
+	)
+	flag.Parse()
+	if err := run(*out, *workers, *repeat, *factor); err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(1)
+	}
+}
+
+// graphs assembles the benchmark workloads: the paper's application graphs
+// at coarse grain plus one 1000-task random member for scale.
+func graphs() ([]*dag.Graph, error) {
+	var out []*dag.Graph
+	for _, g := range taskgen.Applications() {
+		out = append(out, taskgen.Coarse.Scale(g))
+	}
+	r, err := taskgen.Member(1000, 0, 42)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, taskgen.Coarse.Scale(r)), nil
+}
+
+// timeEngine returns the best-of-n wall time of eng.Run and the last result.
+func timeEngine(eng *core.Engine, approach string, g *dag.Graph, n int) (time.Duration, *core.Result, error) {
+	best := time.Duration(math.MaxInt64)
+	var last *core.Result
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		r, err := eng.Run(context.Background(), approach, g)
+		if err != nil {
+			return 0, nil, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		last = r
+	}
+	return best, last, nil
+}
+
+func run(out string, workers, repeat int, factor float64) error {
+	gs, err := graphs()
+	if err != nil {
+		return err
+	}
+	pool := workpool.NewPool(workers)
+	m := power.Default70nm()
+	rep := report{
+		Workers:        pool.Cap(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Repeat:         repeat,
+		GeneratedAtUTC: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	logGeo := 0.0
+	for _, g := range gs {
+		cfg := core.DeadlineFactor(g, m, factor)
+		for _, approach := range []string{core.ApproachLAMPS, core.ApproachLAMPSPS} {
+			serial := core.Engine{Config: cfg}
+			parallel := core.Engine{Config: cfg, Pool: pool}
+			sd, sr, err := timeEngine(&serial, approach, g, repeat)
+			if err != nil {
+				return fmt.Errorf("%s on %s (serial): %w", approach, g.Name(), err)
+			}
+			pd, pr, err := timeEngine(&parallel, approach, g, repeat)
+			if err != nil {
+				return fmt.Errorf("%s on %s (parallel): %w", approach, g.Name(), err)
+			}
+			if sr.TotalEnergy() != pr.TotalEnergy() || sr.Stats != pr.Stats {
+				return fmt.Errorf("%s on %s: parallel result diverged from serial (%.9g J %+v vs %.9g J %+v)",
+					approach, g.Name(), pr.TotalEnergy(), pr.Stats, sr.TotalEnergy(), sr.Stats)
+			}
+			speedup := sd.Seconds() / pd.Seconds()
+			logGeo += math.Log(speedup)
+			rep.Cases = append(rep.Cases, caseReport{
+				Graph:      g.Name(),
+				Tasks:      g.NumTasks(),
+				Approach:   approach,
+				Factor:     factor,
+				SerialMs:   1e3 * sd.Seconds(),
+				ParallelMs: 1e3 * pd.Seconds(),
+				Speedup:    speedup,
+				EnergyJ:    sr.TotalEnergy(),
+				Schedules:  sr.Stats.SchedulesBuilt,
+				Levels:     sr.Stats.LevelsEvaluated,
+			})
+			fmt.Fprintf(os.Stderr, "%-8s %-9s serial %8.2fms  parallel(%d) %8.2fms  speedup %.2fx\n",
+				g.Name(), approach, 1e3*sd.Seconds(), pool.Cap(), 1e3*pd.Seconds(), speedup)
+		}
+	}
+	rep.GeomeanSpeedup = math.Exp(logGeo / float64(len(rep.Cases)))
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

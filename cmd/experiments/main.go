@@ -17,9 +17,42 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
+	"lamps/internal/energy"
 	"lamps/internal/experiments"
+	"lamps/internal/power"
 )
+
+// searchProgress is a concurrency-safe core.Observer that reports the
+// suite's cumulative search effort on stderr about once a second (-v).
+// Experiments evaluate graphs in parallel, so unlike a single engine's
+// observer it locks.
+type searchProgress struct {
+	mu        sync.Mutex
+	schedules int
+	levels    int
+	lastPrint time.Time
+}
+
+func (p *searchProgress) OnPhase(string) {}
+
+func (p *searchProgress) OnScheduleBuilt(int, int64) { p.bump(1, 0) }
+
+func (p *searchProgress) OnLevelEvaluated(power.Level, energy.Breakdown) { p.bump(0, 1) }
+
+func (p *searchProgress) bump(schedules, levels int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.schedules += schedules
+	p.levels += levels
+	if time.Since(p.lastPrint) >= time.Second {
+		p.lastPrint = time.Now()
+		fmt.Fprintf(os.Stderr, "experiments: %d schedules built, %d (schedule, level) evaluations\n",
+			p.schedules, p.levels)
+	}
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -41,6 +74,7 @@ func run(args []string) error {
 		quick   = fs.Bool("quick", false, "use the reduced smoke-test configuration")
 		verify  = fs.Bool("verify", false, "run the reproduction scorecard (checks the paper's claims) and exit")
 		svgDir  = fs.String("svg", "", "additionally render each figure as SVG into this directory")
+		verbose = fs.Bool("v", false, "report experiment and search progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +102,10 @@ func run(args []string) error {
 		}
 	}
 
+	if *verbose {
+		cfg.Observer = &searchProgress{}
+	}
+
 	if *verify {
 		_, failed, err := experiments.VerifyClaims(os.Stdout, cfg)
 		if err != nil {
@@ -84,6 +122,9 @@ func run(args []string) error {
 		names = []string{*runName}
 	}
 	for _, name := range names {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "experiments: running %s\n", name)
+		}
 		tables, err := experiments.Run(name, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,12 +24,44 @@ import (
 
 	"lamps/internal/core"
 	"lamps/internal/dag"
+	"lamps/internal/energy"
 	"lamps/internal/mpeg"
 	"lamps/internal/power"
 	"lamps/internal/sim"
 	"lamps/internal/stg"
 	"lamps/internal/taskgen"
 )
+
+// progressObserver narrates the engine's search on stderr (-v): each phase
+// transition, each fresh schedule build, and a running count of energy
+// evaluations.
+type progressObserver struct {
+	w        io.Writer
+	approach string
+	levels   int
+}
+
+func (p *progressObserver) OnPhase(name string) {
+	if p.levels > 0 {
+		fmt.Fprintf(p.w, "lamps: %s:   %d (schedule, level) evaluations\n", p.approach, p.levels)
+		p.levels = 0
+	}
+	fmt.Fprintf(p.w, "lamps: %s: phase %s\n", p.approach, name)
+}
+
+func (p *progressObserver) OnScheduleBuilt(nprocs int, makespanCycles int64) {
+	fmt.Fprintf(p.w, "lamps: %s:   schedule on %d proc(s), makespan %d cycles\n", p.approach, nprocs, makespanCycles)
+}
+
+func (p *progressObserver) OnLevelEvaluated(power.Level, energy.Breakdown) { p.levels++ }
+
+// finish flushes the trailing evaluation count after a run completes.
+func (p *progressObserver) finish() {
+	if p.levels > 0 {
+		fmt.Fprintf(p.w, "lamps: %s:   %d (schedule, level) evaluations\n", p.approach, p.levels)
+		p.levels = 0
+	}
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -56,6 +89,7 @@ func run(args []string, out io.Writer) error {
 		ext       = fs.Bool("extensions", false, "also compare the multiple-frequency extensions (voltage islands, per-task DVS)")
 		model     = fs.String("model", "", "load the power model from a JSON file (see -dump-model)")
 		dumpModel = fs.Bool("dump-model", false, "print the default 70nm power model as JSON and exit")
+		verbose   = fs.Bool("v", false, "narrate the search progress (phases, schedule builds, evaluations) on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,10 +137,22 @@ func run(args []string, out io.Writer) error {
 	}
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "approach\tenergy[J]\t#procs\tVdd\tf/fmax\tmakespan[s]\tshutdowns\tsavings vs S&S")
+	var progress *progressObserver
+	eng := core.Engine{Config: cfg}
+	if *verbose {
+		progress = &progressObserver{w: os.Stderr}
+		eng.Observer = progress
+	}
 	var base float64
 	var best *core.Result
 	for _, a := range approaches {
-		r, err := core.Run(a, g, cfg)
+		if progress != nil {
+			progress.approach = a
+		}
+		r, err := eng.Run(context.Background(), a, g)
+		if progress != nil {
+			progress.finish()
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", a, err)
 		}

@@ -53,6 +53,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
 		workers   = fs.Int("workers", 0, "max concurrent scheduling runs (0 = GOMAXPROCS)")
+		searchers = fs.Int("search-workers", 0, "workers parallelising each run's candidate search (0 = GOMAXPROCS, negative = serial)")
 		cacheSize = fs.Int("cache", server.DefaultCacheSize, "result cache capacity in entries (negative disables)")
 		maxTasks  = fs.Int("max-tasks", server.DefaultMaxTasks, "largest accepted graph, in tasks")
 		maxBody   = fs.Int64("max-body", server.DefaultMaxBodyBytes, "largest accepted request body, in bytes")
@@ -84,6 +85,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	srv := server.New(server.Options{
 		Model:          m,
 		Workers:        *workers,
+		SearchWorkers:  *searchers,
 		CacheSize:      *cacheSize,
 		MaxTasks:       *maxTasks,
 		MaxBodyBytes:   *maxBody,

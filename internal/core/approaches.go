@@ -1,94 +1,30 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"lamps/internal/dag"
 	"lamps/internal/energy"
-	"lamps/internal/power"
-	"lamps/internal/sched"
 )
 
-// evalConfig stretches one schedule to the deadline and evaluates its
-// energy. When sweep is false only the slowest feasible level (the full S&S
-// stretch) is evaluated; when sweep is true every feasible level from the
-// maximum frequency down to the slowest feasible one is evaluated — the
-// DVS-versus-shutdown balance of the +PS heuristics — and the cheapest is
-// returned.
-func evalConfig(s *sched.Schedule, m *power.Model, deadline float64, ps bool, sweep bool, stats *Stats) (power.Level, energy.Breakdown, error) {
-	opts := energy.Options{PS: ps}
-	if !sweep {
-		lvl, err := energy.MinFeasibleLevel(s, m, deadline)
-		if err != nil {
-			return power.Level{}, energy.Breakdown{}, err
-		}
-		b, err := energy.Evaluate(s, m, lvl, deadline, opts)
-		stats.LevelsEvaluated++
-		return lvl, b, err
-	}
-	levels, err := energy.FeasibleLevels(s, m, deadline)
-	if err != nil {
-		return power.Level{}, energy.Breakdown{}, err
-	}
-	var bestLvl power.Level
-	var bestB energy.Breakdown
-	found := false
-	for _, lvl := range levels {
-		b, err := energy.Evaluate(s, m, lvl, deadline, opts)
-		stats.LevelsEvaluated++
-		if err != nil {
-			return power.Level{}, energy.Breakdown{}, err
-		}
-		if !found || b.Total() < bestB.Total() {
-			bestLvl, bestB, found = lvl, b, true
-		}
-	}
-	return bestLvl, bestB, nil
-}
-
-// ssCommon implements the shared S&S structure: schedule on as many
-// processors as the graph can occupy — the machine is assumed to have at
-// least as many processors as the maximum task concurrency, so the EDF
-// schedule dispatches every task at its earliest start — then trade the
-// remaining slack for DVS (and, with ps, processor shutdown). Every
-// processor that executes at least one task is employed and stays on, which
-// is precisely the wastefulness LAMPS improves upon: in the paper's Fig. 4
-// example S&S employs 3 processors although 2 would reach the same makespan.
-func ssCommon(approach string, g *dag.Graph, cfg Config, ps bool) (*Result, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
-	m := cfg.model()
-	var stats Stats
-	sc := newScheduler(g, &cfg, &stats)
-
-	s, err := sc.at(cfg.maxUsefulProcs(g))
-	if err != nil {
-		return nil, err
-	}
-	n := s.ProcsUsed()
-	lvl, b, err := evalConfig(s, m, cfg.Deadline, ps, ps, &stats)
-	if err != nil {
-		return nil, wrapInfeasible(err)
-	}
-	return &Result{
-		Approach: approach,
-		Graph:    g,
-		NumProcs: n,
-		Level:    lvl,
-		Schedule: s,
-		Energy:   b,
-		Stats:    stats,
-	}, nil
-}
+// The package-level heuristic functions are thin wrappers over Engine: they
+// run a serial engine with no observer under context.Background(). Callers
+// that need cancellation, progress hooks or parallel search use the ...Ctx
+// forms or an Engine directly.
 
 // ScheduleAndStretch implements the S&S baseline (Section 4.1): schedule
 // with LS-EDF on as many processors as reduce the makespan, then scale the
 // common frequency down so the schedule finishes as close as possible to
 // the deadline. Idle processors stay on.
 func ScheduleAndStretch(g *dag.Graph, cfg Config) (*Result, error) {
-	return ssCommon(ApproachSS, g, cfg, false)
+	return ScheduleAndStretchCtx(context.Background(), g, cfg)
+}
+
+// ScheduleAndStretchCtx is ScheduleAndStretch with cooperative cancellation.
+func ScheduleAndStretchCtx(ctx context.Context, g *dag.Graph, cfg Config) (*Result, error) {
+	return (&Engine{Config: cfg}).Run(ctx, ApproachSS, g)
 }
 
 // ScheduleAndStretchPS implements S&S+PS (Section 4.3): like S&S, but the
@@ -97,81 +33,13 @@ func ScheduleAndStretch(g *dag.Graph, cfg Config) (*Result, error) {
 // as at its end — is used to shut processors down whenever an idle period
 // exceeds the break-even time. The cheapest balance wins.
 func ScheduleAndStretchPS(g *dag.Graph, cfg Config) (*Result, error) {
-	return ssCommon(ApproachSSPS, g, cfg, true)
+	return ScheduleAndStretchPSCtx(context.Background(), g, cfg)
 }
 
-// lampsCommon implements the shared LAMPS structure (Fig. 5 and Fig. 8 of
-// the paper): a binary search for the minimal feasible processor count
-// followed by a linear search upwards — linear because the energy as a
-// function of the processor count has local minima (Fig. 6) — evaluating
-// each configuration's energy, until adding processors stops reducing the
-// makespan.
-func lampsCommon(approach string, g *dag.Graph, cfg Config, ps bool) (*Result, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
-	m := cfg.model()
-	var stats Stats
-	sc := newScheduler(g, &cfg, &stats)
-
-	deadlineCycles := cfg.Deadline * m.FMax()
-	hi := cfg.maxUsefulProcs(g)
-	nmin, err := sc.minProcsForDeadline(deadlineCycles, hi)
-	if err != nil {
-		return nil, err
-	}
-
-	var best *Result
-	consider := func(n int) error {
-		s, err := sc.at(n)
-		if err != nil {
-			return err
-		}
-		lvl, b, err := evalConfig(s, m, cfg.Deadline, ps, ps, &stats)
-		if err != nil {
-			return wrapInfeasible(err)
-		}
-		if best == nil || b.Total() < best.Energy.Total() {
-			best = &Result{
-				Approach: approach,
-				Graph:    g,
-				NumProcs: n,
-				Level:    lvl,
-				Schedule: s,
-				Energy:   b,
-			}
-		}
-		return nil
-	}
-	// Linear scan from the minimal feasible count until adding processors
-	// can no longer reduce the makespan (it has reached the critical path
-	// length, its absolute minimum). The scan is linear, not binary, because
-	// the energy as a function of the processor count has local minima
-	// (Fig. 6).
-	last := nmin
-	for n := nmin; n <= hi; n++ {
-		if err := consider(n); err != nil {
-			return nil, err
-		}
-		last = n
-		if mk, err := sc.makespan(n); err != nil {
-			return nil, err
-		} else if mk <= g.CriticalPathLength() {
-			break
-		}
-	}
-	// Also consider N_max, the "as many processors as can be employed
-	// efficiently" configuration that S&S uses, so the LAMPS search space
-	// always contains the S&S(+PS) solution: with shutdown available, wider
-	// schedules can consolidate idle time into fewer, longer, sleepable
-	// gaps, so skipping it could make LAMPS+PS worse than S&S+PS.
-	if last < hi {
-		if err := consider(hi); err != nil {
-			return nil, err
-		}
-	}
-	best.Stats = stats
-	return best, nil
+// ScheduleAndStretchPSCtx is ScheduleAndStretchPS with cooperative
+// cancellation.
+func ScheduleAndStretchPSCtx(ctx context.Context, g *dag.Graph, cfg Config) (*Result, error) {
+	return (&Engine{Config: cfg}).Run(ctx, ApproachSSPS, g)
 }
 
 // LAMPS implements Leakage-Aware MultiProcessor Scheduling (Section 4.2):
@@ -179,14 +47,41 @@ func lampsCommon(approach string, g *dag.Graph, cfg Config, ps bool) (*Result, e
 // depth of voltage scaling that minimises total energy; the remaining
 // processors are turned off.
 func LAMPS(g *dag.Graph, cfg Config) (*Result, error) {
-	return lampsCommon(ApproachLAMPS, g, cfg, false)
+	return LAMPSCtx(context.Background(), g, cfg)
+}
+
+// LAMPSCtx is LAMPS with cooperative cancellation.
+func LAMPSCtx(ctx context.Context, g *dag.Graph, cfg Config) (*Result, error) {
+	return (&Engine{Config: cfg}).Run(ctx, ApproachLAMPS, g)
 }
 
 // LAMPSPS implements LAMPS+PS (Section 4.3): LAMPS extended with the option
 // to shut employed processors down temporarily, choosing for every
 // processor count the frequency that best balances DVS against shutdown.
 func LAMPSPS(g *dag.Graph, cfg Config) (*Result, error) {
-	return lampsCommon(ApproachLAMPSPS, g, cfg, true)
+	return LAMPSPSCtx(context.Background(), g, cfg)
+}
+
+// LAMPSPSCtx is LAMPSPS with cooperative cancellation.
+func LAMPSPSCtx(ctx context.Context, g *dag.Graph, cfg Config) (*Result, error) {
+	return (&Engine{Config: cfg}).Run(ctx, ApproachLAMPSPS, g)
+}
+
+// LimitSFCtx is LimitSF with cooperative cancellation.
+func LimitSFCtx(ctx context.Context, g *dag.Graph, cfg Config) (*Result, error) {
+	return (&Engine{Config: cfg}).Run(ctx, ApproachLimitSF, g)
+}
+
+// LimitMFCtx is LimitMF with cooperative cancellation.
+func LimitMFCtx(ctx context.Context, g *dag.Graph, cfg Config) (*Result, error) {
+	return (&Engine{Config: cfg}).Run(ctx, ApproachLimitMF, g)
+}
+
+// lampsCommon runs the shared LAMPS structure with an explicit approach
+// label and sweep choice; the voltage-island extension (and its tests) use
+// it to obtain the uniform-frequency baseline under either sweep mode.
+func lampsCommon(approach string, g *dag.Graph, cfg Config, ps bool) (*Result, error) {
+	return (&Engine{Config: cfg}).lamps(context.Background(), approach, g, ps)
 }
 
 // wrapInfeasible maps a deadline violation at the maximum level — meaning

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"lamps/internal/dag"
+	"lamps/internal/power"
+	"lamps/internal/taskgen"
+	"lamps/internal/workpool"
+)
+
+// benchGraph returns one of the paper's application graphs at coarse grain
+// — fpppp (334 tasks) is the heaviest and the usual benchmark subject.
+func benchGraph(b *testing.B, name string) *dag.Graph {
+	b.Helper()
+	for _, g := range taskgen.Applications() {
+		if g.Name() == name {
+			return taskgen.Coarse.Scale(g)
+		}
+	}
+	b.Fatalf("unknown application graph %q", name)
+	return nil
+}
+
+// benchEngine measures one approach on one graph with a serial or parallel
+// engine. Parallel workers follow GOMAXPROCS; on a single-core machine the
+// two variants coincide.
+func benchEngine(b *testing.B, approach string, g *dag.Graph, factor float64, parallel bool) {
+	m := power.Default70nm()
+	cfg := DeadlineFactor(g, m, factor)
+	var pool *workpool.Pool
+	if parallel {
+		pool = workpool.NewPool(0)
+	}
+	eng := Engine{Config: cfg, Pool: pool}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), approach, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineFpppp(b *testing.B) {
+	g := benchGraph(b, "fpppp")
+	for _, approach := range []string{ApproachLAMPS, ApproachLAMPSPS} {
+		for _, parallel := range []bool{false, true} {
+			mode := "serial"
+			if parallel {
+				mode = "parallel"
+			}
+			b.Run(fmt.Sprintf("%s/%s", approach, mode), func(b *testing.B) {
+				benchEngine(b, approach, g, 2, parallel)
+			})
+		}
+	}
+}
+
+func BenchmarkEngineRobot(b *testing.B) {
+	g := benchGraph(b, "robot")
+	for _, parallel := range []bool{false, true} {
+		mode := "serial"
+		if parallel {
+			mode = "parallel"
+		}
+		b.Run(fmt.Sprintf("%s/%s", ApproachLAMPSPS, mode), func(b *testing.B) {
+			benchEngine(b, ApproachLAMPSPS, g, 4, parallel)
+		})
+	}
+}

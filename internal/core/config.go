@@ -53,6 +53,15 @@ type Config struct {
 	// the policy used throughout the paper. Exposed for the ablation
 	// experiments suggested in the paper's Section 6.
 	Priorities func(*dag.Graph) []int64
+
+	// PruneSweep stops each +PS level sweep at the first operating point
+	// whose total energy strictly exceeds the sweep's running minimum,
+	// relying on the total energy of a fixed schedule being unimodal in the
+	// supply voltage. The default (false) sweeps every feasible level
+	// exhaustively, exactly as the paper does, so paper-fidelity results are
+	// unchanged unless this is opted into. Levels skipped by the pruned walk
+	// are counted in Stats.LevelsSkipped.
+	PruneSweep bool
 }
 
 // DeadlineFactor returns a Config whose deadline is factor times the

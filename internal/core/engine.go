@@ -1,0 +1,458 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"lamps/internal/dag"
+	"lamps/internal/energy"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+	"lamps/internal/workpool"
+)
+
+// Observer receives progress callbacks from a running Engine. Callbacks are
+// serialised — the engine never invokes two hooks concurrently — so
+// implementations need no locking of their own. Under a parallel engine the
+// hooks run on worker goroutines inside the search; keep them fast. The
+// *order* of OnScheduleBuilt/OnLevelEvaluated calls within a phase is the
+// execution order and therefore not deterministic under parallelism; the
+// totals are.
+type Observer interface {
+	// OnPhase marks the transition into a named phase of the search (see the
+	// Phase* constants).
+	OnPhase(name string)
+	// OnScheduleBuilt reports one fresh list-scheduling invocation: the
+	// processor count and the resulting makespan in cycles at maximum
+	// frequency. Memoised re-uses are not reported.
+	OnScheduleBuilt(nprocs int, makespanCycles int64)
+	// OnLevelEvaluated reports one successful (schedule, level) energy
+	// evaluation.
+	OnLevelEvaluated(lvl power.Level, b energy.Breakdown)
+}
+
+// Phase names reported through Observer.OnPhase, in the order a full LAMPS
+// run emits them.
+const (
+	PhaseMinProcs   = "min-procs"  // phase-1 binary search for the minimal feasible count
+	PhaseSaturation = "saturation" // phase-2 binary search for the saturation count
+	PhaseBuild      = "build"      // list-scheduling the candidate processor counts
+	PhaseEvaluate   = "evaluate"   // energy evaluation / +PS level sweeps
+	PhaseReclaim    = "reclaim"    // per-task DVS slack reclamation
+	PhaseRefine     = "refine"     // voltage-island greedy descent
+)
+
+// Engine runs the heuristics with cooperative cancellation, progress
+// observation and optional parallel search. The zero value plus a Config is
+// a valid serial engine; the package-level LAMPS/ScheduleAndStretch/...
+// functions are thin wrappers around it.
+//
+// Cancellation: Run returns ctx.Err() as soon as the current leaf work item
+// — at most one ListSchedule call or one energy sweep step — completes after
+// ctx is done. All internal goroutines have exited by the time Run returns,
+// so a cancelled run holds no pool slots afterwards.
+//
+// Parallelism: with a non-nil Pool, phase 2 of the LAMPS-family searches
+// builds its candidate schedules and evaluates its (schedule, level) sweeps
+// on the pool's workers. The candidate set is fixed up front — the
+// saturation count is located by binary search under the same makespan
+// monotonicity assumption phase 1 already makes — and results are reduced in
+// the paper's deterministic tie-break order (lowest processor count first,
+// the N_max fallback last, fastest level first), so a parallel engine
+// returns results, including Stats, identical to the serial one.
+type Engine struct {
+	// Config carries the problem parameters, exactly as for the wrappers.
+	Config Config
+	// Observer, when non-nil, receives serialised progress callbacks.
+	Observer Observer
+	// Pool, when non-nil, supplies bounded parallelism for the candidate
+	// builds and level sweeps. The engine holds at most one pool slot per
+	// leaf work item and never nests acquisitions, so a single pool can be
+	// shared by many engines (and by concurrent runs of one engine) without
+	// deadlock at any pool size.
+	Pool *workpool.Pool
+}
+
+// Run dispatches an approach by name under ctx.
+func (e *Engine) Run(ctx context.Context, approach string, g *dag.Graph) (*Result, error) {
+	switch approach {
+	case ApproachSS:
+		return e.ss(ctx, ApproachSS, g, false)
+	case ApproachSSPS:
+		return e.ss(ctx, ApproachSSPS, g, true)
+	case ApproachLAMPS:
+		return e.lamps(ctx, ApproachLAMPS, g, false)
+	case ApproachLAMPSPS:
+		return e.lamps(ctx, ApproachLAMPSPS, g, true)
+	case ApproachLimitSF:
+		return e.limit(ctx, g, LimitSF)
+	case ApproachLimitMF:
+		return e.limit(ctx, g, LimitMF)
+	}
+	return nil, fmt.Errorf("%w: unknown approach %q", ErrBadConfig, approach)
+}
+
+// obsHub serialises Observer callbacks: engine phases may run on many
+// goroutines, but hooks are delivered one at a time. A hub with a nil
+// Observer is free to call into.
+type obsHub struct {
+	mu sync.Mutex
+	o  Observer
+}
+
+func (h *obsHub) phase(name string) {
+	if h.o == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.o.OnPhase(name)
+}
+
+func (h *obsHub) scheduleBuilt(nprocs int, makespanCycles int64) {
+	if h.o == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.o.OnScheduleBuilt(nprocs, makespanCycles)
+}
+
+func (h *obsHub) levelEvaluated(lvl power.Level, b energy.Breakdown) {
+	if h.o == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.o.OnLevelEvaluated(lvl, b)
+}
+
+// run is the per-invocation state shared by the engine's phases.
+type run struct {
+	ctx  context.Context
+	cfg  *Config
+	m    *power.Model
+	pool *workpool.Pool
+	obs  obsHub
+	sc   *scheduler
+}
+
+func (e *Engine) newRun(ctx context.Context, g *dag.Graph) (*run, error) {
+	if err := e.Config.validate(g); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := &run{ctx: ctx, cfg: &e.Config, m: e.Config.model(), pool: e.Pool}
+	r.obs.o = e.Observer
+	r.sc = newScheduler(ctx, g, &e.Config, &r.obs)
+	return r, nil
+}
+
+// each runs fn(i) for every i in [0, n): serially without a pool, otherwise
+// concurrently with one pool slot per item. fn must confine its writes to
+// slot i and must begin with a context check — a denied pool admission
+// (context done while queued) falls back to calling fn inline and relies on
+// that check to bail out, so no result slot is ever silently skipped. each
+// returns only after every fn call has finished.
+func (r *run) each(n int, fn func(i int)) {
+	if r.pool == nil || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			if err := r.pool.Do(r.ctx, func() { fn(i) }); err != nil {
+				fn(i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// candidate is one processor count under evaluation in phase 2.
+type candidate struct {
+	n       int
+	s       *sched.Schedule
+	lvl     power.Level
+	b       energy.Breakdown
+	levels  int // (schedule, level) evaluations charged to this candidate
+	skipped int // sweep levels pruned by Config.PruneSweep
+	err     error
+}
+
+// buildAll list-schedules every candidate, in parallel when a pool is set.
+func (r *run) buildAll(cands []*candidate) error {
+	r.obs.phase(PhaseBuild)
+	r.each(len(cands), func(i int) {
+		c := cands[i]
+		c.s, c.err = r.sc.at(c.n)
+	})
+	for _, c := range cands {
+		if c.err != nil {
+			return c.err
+		}
+	}
+	return nil
+}
+
+// evalAll picks each candidate's operating point and energy. With sweep
+// (the +PS heuristics) every feasible level is evaluated — in parallel as
+// flat (candidate, level) pairs when a pool is set — unless
+// Config.PruneSweep cuts each walk at the first energy rise.
+func (r *run) evalAll(cands []*candidate, ps bool) {
+	r.obs.phase(PhaseEvaluate)
+	switch {
+	case !ps:
+		r.each(len(cands), func(i int) { r.evalMin(cands[i], ps) })
+	case r.cfg.PruneSweep:
+		r.each(len(cands), func(i int) { r.evalPruned(cands[i]) })
+	default:
+		r.evalPairs(cands)
+	}
+}
+
+// evalMin evaluates one candidate at its slowest feasible level — the full
+// S&S stretch, used by the non-PS heuristics.
+func (r *run) evalMin(c *candidate, ps bool) {
+	if err := r.ctx.Err(); err != nil {
+		c.err = err
+		return
+	}
+	lvl, err := energy.MinFeasibleLevel(c.s, r.m, r.cfg.Deadline)
+	if err != nil {
+		c.err = err
+		return
+	}
+	b, err := energy.Evaluate(c.s, r.m, lvl, r.cfg.Deadline, energy.Options{PS: ps})
+	c.levels = 1
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.lvl, c.b = lvl, b
+	r.obs.levelEvaluated(lvl, b)
+}
+
+// evalPairs evaluates every (candidate, feasible level) pair of the +PS
+// sweep, flattened so that each pair is one leaf work item on the pool — a
+// candidate's sweep never blocks holding a slot — then reduces each
+// candidate's sweep in fastest-level-first order, matching the serial walk
+// exactly.
+func (r *run) evalPairs(cands []*candidate) {
+	type pair struct {
+		c   *candidate
+		lvl power.Level
+		b   energy.Breakdown
+		err error
+	}
+	var pairs []*pair
+	for _, c := range cands {
+		if err := r.ctx.Err(); err != nil {
+			c.err = err
+			return
+		}
+		levels, err := energy.FeasibleLevels(c.s, r.m, r.cfg.Deadline)
+		if err != nil {
+			c.err = err
+			continue
+		}
+		for _, lvl := range levels {
+			pairs = append(pairs, &pair{c: c, lvl: lvl})
+		}
+	}
+	r.each(len(pairs), func(i int) {
+		p := pairs[i]
+		if err := r.ctx.Err(); err != nil {
+			p.err = err
+			return
+		}
+		p.b, p.err = energy.Evaluate(p.c.s, r.m, p.lvl, r.cfg.Deadline, energy.Options{PS: true})
+		if p.err == nil {
+			r.obs.levelEvaluated(p.lvl, p.b)
+		}
+	})
+	// Pairs are enumerated per candidate fastest→slowest, so reducing in
+	// slice order with a strict < reproduces the serial sweep's first-wins
+	// tie-break.
+	for _, p := range pairs {
+		c := p.c
+		c.levels++
+		if c.err != nil {
+			continue
+		}
+		if p.err != nil {
+			c.err = p.err
+			continue
+		}
+		if c.levels == 1 || p.b.Total() < c.b.Total() {
+			c.lvl, c.b = p.lvl, p.b
+		}
+	}
+}
+
+// evalPruned walks one candidate's feasible levels fastest→slowest and stops
+// at the first level whose total energy strictly exceeds the running
+// minimum. This relies on the total energy being unimodal in the supply
+// voltage for a fixed schedule — DVS savings shrink monotonically towards
+// the critical level while the idle/leakage cost of the stretch grows — an
+// assumption the default exhaustive sweep does not make.
+func (r *run) evalPruned(c *candidate) {
+	if err := r.ctx.Err(); err != nil {
+		c.err = err
+		return
+	}
+	levels, err := energy.FeasibleLevels(c.s, r.m, r.cfg.Deadline)
+	if err != nil {
+		c.err = err
+		return
+	}
+	for i, lvl := range levels {
+		b, err := energy.Evaluate(c.s, r.m, lvl, r.cfg.Deadline, energy.Options{PS: true})
+		c.levels++
+		if err != nil {
+			c.err = err
+			return
+		}
+		r.obs.levelEvaluated(lvl, b)
+		switch {
+		case c.levels == 1 || b.Total() < c.b.Total():
+			c.lvl, c.b = lvl, b
+		case b.Total() > c.b.Total():
+			c.skipped = len(levels) - i - 1
+			return
+		}
+	}
+}
+
+// stats assembles the run's Stats: fresh schedules from the memo, level
+// counts summed over candidates in slice order — both independent of the
+// execution interleaving, so serial and parallel runs report identical
+// Stats.
+func (r *run) stats(cands []*candidate) Stats {
+	s := Stats{SchedulesBuilt: r.sc.builtCount()}
+	for _, c := range cands {
+		s.LevelsEvaluated += c.levels
+		s.LevelsSkipped += c.skipped
+	}
+	return s
+}
+
+// reduce picks the winning candidate in the paper's deterministic order:
+// strictly lower total energy wins, ties keep the earlier candidate (lower
+// processor count, the N_max fallback last). Any candidate error — the
+// first in candidate order — fails the whole run, as the serial walk did.
+func reduce(approach string, g *dag.Graph, cands []*candidate) (*Result, error) {
+	for _, c := range cands {
+		if c.err != nil {
+			return nil, wrapInfeasible(c.err)
+		}
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.b.Total() < best.b.Total() {
+			best = c
+		}
+	}
+	return &Result{
+		Approach: approach,
+		Graph:    g,
+		NumProcs: best.n,
+		Level:    best.lvl,
+		Schedule: best.s,
+		Energy:   best.b,
+	}, nil
+}
+
+// ss implements the shared S&S structure: schedule on as many processors as
+// the graph can occupy — the machine is assumed to have at least as many
+// processors as the maximum task concurrency, so the EDF schedule dispatches
+// every task at its earliest start — then trade the remaining slack for DVS
+// (and, with ps, processor shutdown). Every processor that executes at least
+// one task is employed and stays on, which is precisely the wastefulness
+// LAMPS improves upon: in the paper's Fig. 4 example S&S employs 3
+// processors although 2 would reach the same makespan.
+func (e *Engine) ss(ctx context.Context, approach string, g *dag.Graph, ps bool) (*Result, error) {
+	r, err := e.newRun(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	cands := []*candidate{{n: r.cfg.maxUsefulProcs(g)}}
+	if err := r.buildAll(cands); err != nil {
+		return nil, err
+	}
+	r.evalAll(cands, ps)
+	best, err := reduce(approach, g, cands)
+	if err != nil {
+		return nil, err
+	}
+	best.NumProcs = cands[0].s.ProcsUsed()
+	best.Stats = r.stats(cands)
+	return best, nil
+}
+
+// lamps implements the shared LAMPS structure (Fig. 5 and Fig. 8 of the
+// paper): a binary search for the minimal feasible processor count, then an
+// evaluation of every count up to the saturation point — where adding
+// processors stops reducing the makespan — because the energy as a function
+// of the processor count has local minima (Fig. 6), so no count in that
+// range can be skipped.
+func (e *Engine) lamps(ctx context.Context, approach string, g *dag.Graph, ps bool) (*Result, error) {
+	r, err := e.newRun(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	r.obs.phase(PhaseMinProcs)
+	deadlineCycles := r.cfg.Deadline * r.m.FMax()
+	hi := r.cfg.maxUsefulProcs(g)
+	nmin, err := r.sc.minProcsForDeadline(deadlineCycles, hi)
+	if err != nil {
+		return nil, err
+	}
+	r.obs.phase(PhaseSaturation)
+	nstop, err := r.sc.saturationPoint(nmin, hi)
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]*candidate, 0, nstop-nmin+2)
+	for n := nmin; n <= nstop; n++ {
+		cands = append(cands, &candidate{n: n})
+	}
+	if nstop < hi {
+		// Also consider N_max, the "as many processors as can be employed
+		// efficiently" configuration that S&S uses, so the LAMPS search space
+		// always contains the S&S(+PS) solution: with shutdown available,
+		// wider schedules can consolidate idle time into fewer, longer,
+		// sleepable gaps, so skipping it could make LAMPS+PS worse than
+		// S&S+PS.
+		cands = append(cands, &candidate{n: hi})
+	}
+	if err := r.buildAll(cands); err != nil {
+		return nil, err
+	}
+	r.evalAll(cands, ps)
+	best, err := reduce(approach, g, cands)
+	if err != nil {
+		return nil, err
+	}
+	best.Stats = r.stats(cands)
+	return best, nil
+}
+
+// limit wraps the closed-form LIMIT-SF/MF bounds with the engine's context
+// and observer conventions.
+func (e *Engine) limit(ctx context.Context, g *dag.Graph, fn func(*dag.Graph, Config) (*Result, error)) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	hub := obsHub{o: e.Observer}
+	hub.phase(PhaseEvaluate)
+	return fn(g, e.Config)
+}

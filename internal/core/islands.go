@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -61,10 +62,26 @@ func (r *IslandsResult) String() string {
 // gaps longer than each processor's own break-even time are served by
 // sleep, and no island descends below the critical level.
 func VoltageIslands(g *dag.Graph, cfg Config, ps bool) (*IslandsResult, error) {
-	base, err := lampsCommon(ApproachLAMPSPS, g, cfg, ps)
+	return VoltageIslandsCtx(context.Background(), g, cfg, ps)
+}
+
+// VoltageIslandsCtx is VoltageIslands with cooperative cancellation.
+func VoltageIslandsCtx(ctx context.Context, g *dag.Graph, cfg Config, ps bool) (*IslandsResult, error) {
+	return (&Engine{Config: cfg}).Islands(ctx, g, ps)
+}
+
+// Islands runs the voltage-island extension on the engine: the LAMPS(+PS)
+// base search benefits from the engine's pool, then the greedy per-island
+// descent runs serially (each step depends on the previous acceptance) with
+// a context check per candidate evaluation.
+func (e *Engine) Islands(ctx context.Context, g *dag.Graph, ps bool) (*IslandsResult, error) {
+	base, err := e.lamps(ctx, ApproachLAMPSPS, g, ps)
 	if err != nil {
 		return nil, err
 	}
+	hub := obsHub{o: e.Observer}
+	hub.phase(PhaseRefine)
+	cfg := e.Config
 	m := cfg.model()
 	s := base.Schedule
 	stats := base.Stats
@@ -88,6 +105,9 @@ func VoltageIslands(g *dag.Graph, cfg Config, ps bool) (*IslandsResult, error) {
 	for improved := true; improved; {
 		improved = false
 		for p := 0; p < s.NumProcs; p++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if len(s.TasksOn(p)) == 0 || levels[p].Index >= minIdx {
 				continue
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,58 +72,79 @@ func (r *PerTaskResult) String() string {
 // the critical level's idle power — the processor parks at an efficient
 // voltage — and may be served by sleep exactly as in the +PS heuristics.
 func SlackReclaimDVS(g *dag.Graph, cfg Config, ps bool) (*PerTaskResult, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
-	m := cfg.model()
-	var stats Stats
-	sc := newScheduler(g, &cfg, &stats)
+	return SlackReclaimDVSCtx(context.Background(), g, cfg, ps)
+}
 
-	deadlineCycles := cfg.Deadline * m.FMax()
-	hi := cfg.maxUsefulProcs(g)
-	nmin, err := sc.minProcsForDeadline(deadlineCycles, hi)
+// SlackReclaimDVSCtx is SlackReclaimDVS with cooperative cancellation.
+func SlackReclaimDVSCtx(ctx context.Context, g *dag.Graph, cfg Config, ps bool) (*PerTaskResult, error) {
+	return (&Engine{Config: cfg}).PerTask(ctx, g, ps)
+}
+
+// PerTask runs the SlackReclaimDVS extension on the engine: the same
+// phase-1/phase-2 candidate search as LAMPS, with each candidate schedule
+// reclaimed per task (in parallel across candidates when a pool is set) and
+// the cheapest kept, ties to the lower processor count.
+func (e *Engine) PerTask(ctx context.Context, g *dag.Graph, ps bool) (*PerTaskResult, error) {
+	r, err := e.newRun(ctx, g)
 	if err != nil {
 		return nil, err
 	}
+	r.obs.phase(PhaseMinProcs)
+	deadlineCycles := r.cfg.Deadline * r.m.FMax()
+	hi := r.cfg.maxUsefulProcs(g)
+	nmin, err := r.sc.minProcsForDeadline(deadlineCycles, hi)
+	if err != nil {
+		return nil, err
+	}
+	r.obs.phase(PhaseSaturation)
+	nstop, err := r.sc.saturationPoint(nmin, hi)
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]*candidate, 0, nstop-nmin+2)
+	for n := nmin; n <= nstop; n++ {
+		cands = append(cands, &candidate{n: n})
+	}
+	if nstop < hi {
+		cands = append(cands, &candidate{n: hi})
+	}
+	if err := r.buildAll(cands); err != nil {
+		return nil, err
+	}
+
+	r.obs.phase(PhaseReclaim)
+	type slot struct {
+		res   *PerTaskResult
+		stats Stats
+		err   error
+	}
+	slots := make([]slot, len(cands))
+	r.each(len(cands), func(i int) {
+		slots[i].res, slots[i].err = reclaimSchedule(r.ctx, cands[i].s, r.m, r.cfg.Deadline, ps, &slots[i].stats)
+	})
 
 	var best *PerTaskResult
-	consider := func(n int) error {
-		s, err := sc.at(n)
-		if err != nil {
-			return err
+	stats := Stats{SchedulesBuilt: r.sc.builtCount()}
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, slots[i].err
 		}
-		r, err := reclaimSchedule(s, m, cfg.Deadline, ps, &stats)
-		if err != nil {
-			return err
-		}
-		if best == nil || r.TotalEnergy() < best.TotalEnergy() {
-			best = r
-		}
-		return nil
-	}
-	last := nmin
-	for n := nmin; n <= hi; n++ {
-		if err := consider(n); err != nil {
-			return nil, err
-		}
-		last = n
-		if mk, err := sc.makespan(n); err != nil {
-			return nil, err
-		} else if mk <= g.CriticalPathLength() {
-			break
-		}
-	}
-	if last < hi {
-		if err := consider(hi); err != nil {
-			return nil, err
+		stats.Add(slots[i].stats)
+		if best == nil || slots[i].res.TotalEnergy() < best.TotalEnergy() {
+			best = slots[i].res
 		}
 	}
 	best.Stats = stats
 	return best, nil
 }
 
-// reclaimSchedule applies per-task DVS to one fixed schedule.
-func reclaimSchedule(s *sched.Schedule, m *power.Model, deadline float64, ps bool, stats *Stats) (*PerTaskResult, error) {
+// reclaimSchedule applies per-task DVS to one fixed schedule. It checks ctx
+// once up front: one reclamation pass is the same order of work as one
+// ListSchedule call, the engine's cancellation granularity.
+func reclaimSchedule(ctx context.Context, s *sched.Schedule, m *power.Model, deadline float64, ps bool, stats *Stats) (*PerTaskResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := s.Graph
 	n := g.NumTasks()
 	fmax := m.FMax()

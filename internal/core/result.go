@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lamps/internal/dag"
@@ -31,6 +32,7 @@ var Approaches = []string{
 type Stats struct {
 	SchedulesBuilt  int // list-scheduling invocations
 	LevelsEvaluated int // (schedule, level) energy evaluations
+	LevelsSkipped   int // sweep levels pruned by Config.PruneSweep
 }
 
 // Add accumulates another snapshot into s. Long-running callers (the
@@ -39,6 +41,7 @@ type Stats struct {
 func (s *Stats) Add(o Stats) {
 	s.SchedulesBuilt += o.SchedulesBuilt
 	s.LevelsEvaluated += o.LevelsEvaluated
+	s.LevelsSkipped += o.LevelsSkipped
 }
 
 // Result is the outcome of one heuristic or bound on one task graph.
@@ -85,19 +88,13 @@ func (r *Result) String() string {
 // Run dispatches an approach by name. It powers the CLI and the experiment
 // harness.
 func Run(approach string, g *dag.Graph, cfg Config) (*Result, error) {
-	switch approach {
-	case ApproachSS:
-		return ScheduleAndStretch(g, cfg)
-	case ApproachLAMPS:
-		return LAMPS(g, cfg)
-	case ApproachSSPS:
-		return ScheduleAndStretchPS(g, cfg)
-	case ApproachLAMPSPS:
-		return LAMPSPS(g, cfg)
-	case ApproachLimitSF:
-		return LimitSF(g, cfg)
-	case ApproachLimitMF:
-		return LimitMF(g, cfg)
-	}
-	return nil, fmt.Errorf("%w: unknown approach %q", ErrBadConfig, approach)
+	return RunCtx(context.Background(), approach, g, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: it returns ctx.Err() (wrapped
+// in at most one layer recognised by errors.Is) as soon as the current
+// search step — at most one list-scheduling call — completes after ctx is
+// done.
+func RunCtx(ctx context.Context, approach string, g *dag.Graph, cfg Config) (*Result, error) {
+	return (&Engine{Config: cfg}).Run(ctx, approach, g)
 }

@@ -1,44 +1,78 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"lamps/internal/dag"
 	"lamps/internal/sched"
 )
 
 // scheduler memoises list-scheduling runs per processor count within one
-// heuristic invocation, so that the binary search of LAMPS phase 1 and the
-// linear search of phase 2 never schedule the same configuration twice.
+// heuristic invocation, so that the binary searches of LAMPS phases 1 and 2
+// and the candidate evaluation never schedule the same configuration twice.
+// It is safe for concurrent use: the parallel engine builds candidates from
+// many goroutines. Duplicate concurrent builds of the same count are
+// possible but harmless — exactly one wins the memo slot and is counted, so
+// SchedulesBuilt stays deterministic.
 type scheduler struct {
-	g     *dag.Graph
-	prio  []int64
+	ctx  context.Context
+	g    *dag.Graph
+	prio []int64
+	obs  *obsHub
+
+	mu    sync.Mutex
 	cache map[int]*sched.Schedule
-	stats *Stats
+	built int
 }
 
-func newScheduler(g *dag.Graph, cfg *Config, stats *Stats) *scheduler {
+func newScheduler(ctx context.Context, g *dag.Graph, cfg *Config, obs *obsHub) *scheduler {
 	return &scheduler{
+		ctx:   ctx,
 		g:     g,
 		prio:  cfg.priorities(g),
+		obs:   obs,
 		cache: make(map[int]*sched.Schedule),
-		stats: stats,
 	}
 }
 
-// at returns the (memoised) list schedule on n processors.
+// at returns the (memoised) list schedule on n processors. It checks the
+// run's context first, which bounds the cancellation latency of every search
+// loop to at most one ListSchedule call.
 func (sc *scheduler) at(n int) (*sched.Schedule, error) {
+	if err := sc.ctx.Err(); err != nil {
+		return nil, err
+	}
+	sc.mu.Lock()
 	if s, ok := sc.cache[n]; ok {
+		sc.mu.Unlock()
 		return s, nil
 	}
+	sc.mu.Unlock()
 	s, err := sched.ListSchedule(sc.g, n, sc.prio)
 	if err != nil {
 		return nil, err
 	}
-	sc.stats.SchedulesBuilt++
+	sc.mu.Lock()
+	if prev, ok := sc.cache[n]; ok {
+		// A concurrent build won the slot; discard ours uncounted.
+		sc.mu.Unlock()
+		return prev, nil
+	}
 	sc.cache[n] = s
+	sc.built++
+	sc.mu.Unlock()
+	sc.obs.scheduleBuilt(n, s.Makespan)
 	return s, nil
+}
+
+// builtCount returns the number of distinct schedules built so far.
+func (sc *scheduler) builtCount() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.built
 }
 
 // makespan returns the makespan on n processors, in cycles.
@@ -89,6 +123,38 @@ func (sc *scheduler) minProcsForDeadline(deadlineCycles float64, hi int) (int, e
 			return 0, err
 		}
 		if float64(mk) <= deadlineCycles {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// saturationPoint locates the end of phase 2's candidate range: the smallest
+// n in [lo, hi] whose makespan has reached the critical path length — its
+// absolute minimum, beyond which adding processors cannot change the
+// schedule — or hi if no count gets there. It binary-searches under the same
+// makespan monotonicity assumption as phase 1, which is what lets the
+// parallel engine fix the whole candidate set up front instead of walking it
+// one count at a time; the set it produces is exactly the one the serial
+// linear scan visits.
+func (sc *scheduler) saturationPoint(lo, hi int) (int, error) {
+	cpl := sc.g.CriticalPathLength()
+	mk, err := sc.makespan(hi)
+	if err != nil {
+		return 0, err
+	}
+	if mk > cpl {
+		return hi, nil
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		mk, err := sc.makespan(mid)
+		if err != nil {
+			return 0, err
+		}
+		if mk <= cpl {
 			hi = mid
 		} else {
 			lo = mid + 1

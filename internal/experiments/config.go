@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"lamps/internal/core"
 	"lamps/internal/dag"
 	"lamps/internal/power"
 	"lamps/internal/taskgen"
@@ -36,6 +38,12 @@ type Config struct {
 	// Workers bounds the number of goroutines used by the heavy experiments
 	// (0 = GOMAXPROCS). Results are deterministic regardless of the value.
 	Workers int
+
+	// Observer, when non-nil, receives the core engine's progress hooks
+	// from every heuristic run of the figure experiments. Experiment stages
+	// run their graphs in parallel, so — unlike core.Engine.Observer — the
+	// implementation must be safe for concurrent use.
+	Observer core.Observer
 }
 
 // DefaultConfig returns the configuration used by cmd/experiments.
@@ -67,6 +75,14 @@ func (c *Config) model() *power.Model {
 		return power.Default70nm()
 	}
 	return c.Model
+}
+
+// run executes one approach through the core engine so a configured
+// Observer sees the search progress. Experiments are batch jobs with no
+// cancellation story, so the context is Background.
+func (c *Config) run(approach string, g *dag.Graph, ccfg core.Config) (*core.Result, error) {
+	eng := core.Engine{Config: ccfg, Observer: c.Observer}
+	return eng.Run(context.Background(), approach, g)
 }
 
 // benchmark is one named workload of the evaluation: either a group of

@@ -68,14 +68,14 @@ func relativeEnergy(cfg Config, grain taskgen.Grain, id string) ([]Table, error)
 			it := items[i]
 			g := grain.Scale(it.unit)
 			ccfg := core.DeadlineFactor(g, m, factor)
-			ss, err := core.ScheduleAndStretch(g, ccfg)
+			ss, err := cfg.run(core.ApproachSS, g, ccfg)
 			if err != nil {
 				return fmt.Errorf("%s %s S&S: %w", t.ID, it.unit.Name(), err)
 			}
 			base := ss.TotalEnergy()
 			it.pct = make([]float64, len(relativeApproaches))
 			for ai, a := range relativeApproaches {
-				r, err := core.Run(a, g, ccfg)
+				r, err := cfg.run(a, g, ccfg)
 				if err != nil {
 					return fmt.Errorf("%s %s %s: %w", t.ID, it.unit.Name(), a, err)
 				}

@@ -59,7 +59,7 @@ func scatter(cfg Config, grain taskgen.Grain, id string) ([]Table, error) {
 		ccfg := core.DeadlineFactor(g, m, factor)
 		row := []string{unit.Name(), formatFloat(g.Parallelism())}
 		for _, a := range scatterApproaches {
-			r, err := core.Run(a, g, ccfg)
+			r, err := cfg.run(a, g, ccfg)
 			if err != nil {
 				return fmt.Errorf("%s %s %s: %w", id, unit.Name(), a, err)
 			}

@@ -76,7 +76,7 @@ func Table3(cfg Config) ([]Table, error) {
 	}
 	var base float64
 	for _, a := range core.Approaches {
-		r, err := core.Run(a, g, ccfg)
+		r, err := cfg.run(a, g, ccfg)
 		if err != nil {
 			return nil, fmt.Errorf("table3 %s: %w", a, err)
 		}

@@ -1,0 +1,68 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lamps/internal/core"
+	"lamps/internal/dag"
+	"lamps/internal/server"
+)
+
+// hangingRunner blocks runs of one approach until their run context is
+// cancelled (a worst-case-slow but cooperative heuristic) and executes every
+// other approach for real.
+func hangingRunner(approach string) func(context.Context, string, *dag.Graph, core.Config) (*core.Result, error) {
+	return func(ctx context.Context, a string, g *dag.Graph, cfg core.Config) (*core.Result, error) {
+		if a == approach {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return core.RunCtx(ctx, a, g, cfg)
+	}
+}
+
+// TestTimedOutRunFreesWorkerSlot is the capacity-reclamation e2e test: with
+// a single worker, a request that 504s must hand its slot back — because the
+// abandoned run is cancelled — instead of blocking every later request
+// behind a detached run. Run with -race; the whole path is concurrent.
+func TestTimedOutRunFreesWorkerSlot(t *testing.T) {
+	ts := newTestServer(t, server.Options{
+		Workers:        1,
+		RequestTimeout: 300 * time.Millisecond,
+		Runner:         hangingRunner(core.ApproachSS),
+	})
+
+	// 1: the hanging run consumes the only worker slot until it times out.
+	hungReq := scheduleReq(core.ApproachSS, diamondGraph(), 2)
+	status, body, _ := post(t, ts, hungReq)
+	if status != 504 {
+		t.Fatalf("hanging request: status %d (%s), want 504", status, body)
+	}
+
+	// 2: a different problem must get the slot immediately — if the
+	// abandoned run were still holding it, this would 503 (or 504) too.
+	status, body, _ = post(t, ts, scheduleReq(core.ApproachLAMPS, diamondGraph(), 2))
+	if status != 200 {
+		t.Fatalf("request after timeout: status %d (%s), want 200 — the cancelled run did not free its worker slot", status, body)
+	}
+
+	if got := metricValue(t, ts, "lampsd_runs_cancelled_total"); got < 1 {
+		t.Errorf("lampsd_runs_cancelled_total = %g, want >= 1", got)
+	}
+
+	// 3: the cancelled run must not have warmed the cache: retrying the
+	// same problem hangs afresh (no instant cache hit) and 504s again.
+	start := time.Now()
+	status, _, cacheHdr := post(t, ts, hungReq)
+	if status != 504 {
+		t.Errorf("retried hanging request: status %d, want 504 (a cached entry would return 200)", status)
+	}
+	if cacheHdr == "hit" {
+		t.Error("retried hanging request was served from cache; cancelled runs must not cache")
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Errorf("retried hanging request returned after %v; a full fresh timeout was expected", elapsed)
+	}
+}

@@ -47,8 +47,10 @@ func overloaded(format string, args ...any) *apiError {
 }
 
 // timedOut is the 504 for requests whose scheduling run outlived the
-// server-side request deadline. The run keeps going and warms the cache, so
-// a retry after a short backoff typically hits.
+// server-side request deadline. The run keeps going — and warms the cache —
+// only while some other request still waits on it; once the last waiter
+// departs it is cancelled and its worker slot reclaimed, so a retry
+// re-executes from scratch.
 func timedOut(format string, args ...any) *apiError {
 	return &apiError{status: http.StatusGatewayTimeout, msg: fmt.Sprintf(format, args...), retryAfter: 1}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -9,7 +10,7 @@ import (
 	"lamps/internal/core"
 )
 
-// latencyBuckets are the cumulative histogram bucket upper bounds, in
+// latencyBuckets are the histogram bucket upper bounds for durations, in
 // seconds. Scheduling runs span sub-millisecond tiny graphs to multi-second
 // 5000-task searches, so the buckets cover five decades.
 var latencyBuckets = []float64{
@@ -17,22 +18,48 @@ var latencyBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// histogram is a fixed-bucket cumulative latency histogram.
+// effortBuckets are the bucket upper bounds for per-run search-effort
+// counts (schedules built, levels evaluated per scheduling run).
+var effortBuckets = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2500, 5000,
+}
+
+// histogram is a fixed-bucket cumulative histogram.
 type histogram struct {
-	counts []uint64 // len(latencyBuckets)+1; last bucket = +Inf
-	sum    float64
-	count  uint64
+	buckets []float64 // upper bounds, ascending
+	counts  []uint64  // len(buckets)+1; last bucket = +Inf
+	sum     float64
+	count   uint64
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]uint64, len(buckets)+1)}
 }
 
-func (h *histogram) observe(sec float64) {
-	i := sort.SearchFloat64s(latencyBuckets, sec)
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v)
 	h.counts[i]++
-	h.sum += sec
+	h.sum += v
 	h.count++
+}
+
+// write renders the histogram in Prometheus text exposition form. labels is
+// the rendered label set including braces-internal text (e.g. `approach="x",`)
+// or empty.
+func (h *histogram) write(w io.Writer, name, labels string) {
+	var cum uint64
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", name, labels, ub, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, h.count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels[:len(labels)-1], h.sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels[:len(labels)-1], h.count)
+	}
 }
 
 // metrics aggregates the server's observability counters. All methods are
@@ -49,9 +76,16 @@ type metrics struct {
 	sweepCellsOK  uint64 // sweep cells that produced a result
 	sweepCellsErr uint64 // sweep cells that produced an error
 
+	runsCancelled uint64 // runs aborted because every waiter departed
+
 	latency map[string]*histogram // approach -> scheduling latency (cache misses only)
 
-	effort core.Stats // aggregated search effort across all runs
+	queueShed *histogram // time spent queueing by requests shed with 503
+
+	schedulesBuilt  *histogram // per-run list-scheduling invocations
+	levelsEvaluated *histogram // per-run (schedule, level) evaluations
+
+	effort core.Stats // aggregated search effort across all completed runs
 }
 
 // requestKey labels one requests-total counter series.
@@ -62,8 +96,11 @@ type requestKey struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[requestKey]uint64),
-		latency:  make(map[string]*histogram),
+		requests:        make(map[requestKey]uint64),
+		latency:         make(map[string]*histogram),
+		queueShed:       newHistogram(latencyBuckets),
+		schedulesBuilt:  newHistogram(effortBuckets),
+		levelsEvaluated: newHistogram(effortBuckets),
 	}
 }
 
@@ -99,18 +136,45 @@ func (m *metrics) recordSweepCell(ok bool) {
 	}
 }
 
-// recordRun records one actual scheduling run (a cache miss that executed
+// recordRun records one completed scheduling run (a cache miss that executed
 // the heuristic): its latency and its search effort.
 func (m *metrics) recordRun(approach string, sec float64, stats core.Stats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	h := m.latency[approach]
 	if h == nil {
-		h = newHistogram()
+		h = newHistogram(latencyBuckets)
 		m.latency[approach] = h
 	}
 	h.observe(sec)
 	m.effort.Add(stats)
+}
+
+// recordRunCancelled counts one run aborted by waiter departure (its
+// partial effort is still reported through recordStages).
+func (m *metrics) recordRunCancelled() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runsCancelled++
+}
+
+// recordQueueShed records one request shed while queueing for a worker slot
+// (a 503), with the time it spent waiting — the data Retry-After tuning
+// needs.
+func (m *metrics) recordQueueShed(waitSec float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueShed.observe(waitSec)
+}
+
+// recordStages records one run's per-stage search effort, fed live by the
+// Observer→metrics adapter; unlike recordRun it fires for cancelled runs
+// too, with whatever work they managed.
+func (m *metrics) recordStages(schedules, levels int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.schedulesBuilt.observe(float64(schedules))
+	m.levelsEvaluated.observe(float64(levels))
 }
 
 // handleMetrics renders the counters in the Prometheus text exposition
@@ -161,17 +225,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE lampsd_panics_total counter\n")
 	fmt.Fprintf(w, "lampsd_panics_total %d\n", m.panics)
 
+	fmt.Fprintf(w, "# HELP lampsd_runs_cancelled_total Scheduling runs cancelled because every waiter departed (timeout or disconnect).\n")
+	fmt.Fprintf(w, "# TYPE lampsd_runs_cancelled_total counter\n")
+	fmt.Fprintf(w, "lampsd_runs_cancelled_total %d\n", m.runsCancelled)
+
+	fmt.Fprintf(w, "# HELP lampsd_queue_shed_seconds Time requests shed with 503 spent queueing for a worker slot.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_queue_shed_seconds histogram\n")
+	m.queueShed.write(w, "lampsd_queue_shed_seconds", "")
+
 	fmt.Fprintf(w, "# HELP lampsd_sweep_cells_total Sweep grid cells evaluated, by outcome.\n")
 	fmt.Fprintf(w, "# TYPE lampsd_sweep_cells_total counter\n")
 	fmt.Fprintf(w, "lampsd_sweep_cells_total{outcome=\"ok\"} %d\n", m.sweepCellsOK)
 	fmt.Fprintf(w, "lampsd_sweep_cells_total{outcome=\"error\"} %d\n", m.sweepCellsErr)
 
-	fmt.Fprintf(w, "# HELP lampsd_schedules_built_total List-scheduling invocations across all runs (core.Stats).\n")
+	fmt.Fprintf(w, "# HELP lampsd_schedules_built_total List-scheduling invocations across all completed runs (core.Stats).\n")
 	fmt.Fprintf(w, "# TYPE lampsd_schedules_built_total counter\n")
 	fmt.Fprintf(w, "lampsd_schedules_built_total %d\n", m.effort.SchedulesBuilt)
-	fmt.Fprintf(w, "# HELP lampsd_levels_evaluated_total Energy evaluations of (schedule, level) pairs across all runs (core.Stats).\n")
+	fmt.Fprintf(w, "# HELP lampsd_levels_evaluated_total Energy evaluations of (schedule, level) pairs across all completed runs (core.Stats).\n")
 	fmt.Fprintf(w, "# TYPE lampsd_levels_evaluated_total counter\n")
 	fmt.Fprintf(w, "lampsd_levels_evaluated_total %d\n", m.effort.LevelsEvaluated)
+	fmt.Fprintf(w, "# HELP lampsd_levels_skipped_total Sweep levels pruned by unimodal pruning across all completed runs (core.Stats).\n")
+	fmt.Fprintf(w, "# TYPE lampsd_levels_skipped_total counter\n")
+	fmt.Fprintf(w, "lampsd_levels_skipped_total %d\n", m.effort.LevelsSkipped)
+
+	fmt.Fprintf(w, "# HELP lampsd_schedules_built Per-run list-scheduling invocations, cancelled runs included (Observer feed).\n")
+	fmt.Fprintf(w, "# TYPE lampsd_schedules_built histogram\n")
+	m.schedulesBuilt.write(w, "lampsd_schedules_built", "")
+	fmt.Fprintf(w, "# HELP lampsd_levels_evaluated Per-run (schedule, level) energy evaluations, cancelled runs included (Observer feed).\n")
+	fmt.Fprintf(w, "# TYPE lampsd_levels_evaluated histogram\n")
+	m.levelsEvaluated.write(w, "lampsd_levels_evaluated", "")
 
 	fmt.Fprintf(w, "# TYPE lampsd_workers gauge\n")
 	fmt.Fprintf(w, "lampsd_workers %d\n", s.pool.Cap())
@@ -186,14 +268,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(approaches)
 	for _, a := range approaches {
-		h := m.latency[a]
-		var cum uint64
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "lampsd_schedule_seconds_bucket{approach=%q,le=\"%g\"} %d\n", a, ub, cum)
-		}
-		fmt.Fprintf(w, "lampsd_schedule_seconds_bucket{approach=%q,le=\"+Inf\"} %d\n", a, h.count)
-		fmt.Fprintf(w, "lampsd_schedule_seconds_sum{approach=%q} %g\n", a, h.sum)
-		fmt.Fprintf(w, "lampsd_schedule_seconds_count{approach=%q} %d\n", a, h.count)
+		m.latency[a].write(w, "lampsd_schedule_seconds", fmt.Sprintf("approach=%q,", a))
 	}
 }

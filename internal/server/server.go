@@ -25,12 +25,22 @@
 // panicking heuristic yields a 500 (counted in lampsd_panics_total) for the
 // requester and a 500 for every coalesced waiter, never a deadlock. With
 // Options.RequestTimeout set, a server-side deadline bounds queueing for a
-// worker slot (503 + Retry-After on expiry) and the client-observed run
-// time (504 + Retry-After; the run itself completes and warms the cache).
+// worker slot (503 + Retry-After on expiry) and the run itself (504 +
+// Retry-After on expiry).
+//
+// Cancellation: scheduling runs execute under a context that is cancelled
+// as soon as no request is waiting for the result any more — whether
+// because the client disconnected, the request deadline fired, or every
+// coalesced waiter gave up. The core engine aborts cooperatively within one
+// list-scheduling call and the worker slot is reclaimed immediately
+// (counted in lampsd_runs_cancelled_total) instead of the run completing
+// detached. A run that still has at least one interested waiter keeps going
+// and warms the cache as before.
 package server
 
 import (
 	"context"
+	"errors"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
@@ -38,6 +48,7 @@ import (
 
 	"lamps/internal/core"
 	"lamps/internal/dag"
+	"lamps/internal/energy"
 	"lamps/internal/graphhash"
 	"lamps/internal/power"
 	"lamps/internal/server/cache"
@@ -74,18 +85,25 @@ type Options struct {
 	// (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
 	// RequestTimeout bounds one request end to end: waiting for a worker
-	// slot (503 on expiry) and the scheduling run itself as observed by the
-	// client (504 on expiry; the run completes in the background and warms
-	// the cache). For sweeps the deadline covers the whole grid. Zero
-	// disables the timeout.
+	// slot (503 on expiry) and the scheduling run itself (504 on expiry; a
+	// run nobody else is waiting on is then cancelled and its slot
+	// reclaimed). For sweeps the deadline covers the whole grid. Zero
+	// disables the timeout; client disconnects still cancel.
 	RequestTimeout time.Duration
 	// SweepMaxCells rejects /v1/sweep grids with more cells with 413
 	// (0 = DefaultSweepMaxCells).
 	SweepMaxCells int
-	// Runner executes one scheduling problem. Nil selects core.Run. Tests
-	// substitute slow or panicking runners to exercise the timeout and
-	// panic-isolation paths.
-	Runner func(approach string, g *dag.Graph, cfg core.Config) (*core.Result, error)
+	// SearchWorkers bounds the core engine's intra-run search parallelism
+	// (candidate schedule builds and +PS level sweeps), shared across all
+	// concurrent runs (0 = GOMAXPROCS, negative = serial search). Results
+	// are identical either way; this only trades latency for CPU.
+	SearchWorkers int
+	// Runner executes one scheduling problem under ctx; returning an error
+	// satisfying errors.Is(err, context.Canceled/DeadlineExceeded) counts
+	// the run as cancelled. Nil selects the built-in engine runner (which
+	// feeds the per-stage metrics). Tests substitute slow or panicking
+	// runners to exercise the timeout and panic-isolation paths.
+	Runner func(ctx context.Context, approach string, g *dag.Graph, cfg core.Config) (*core.Result, error)
 	// Logger receives structured request logs. Nil selects slog.Default().
 	Logger *slog.Logger
 }
@@ -94,7 +112,8 @@ type Options struct {
 // concurrent use and carries no background goroutines of its own.
 type Server struct {
 	opts    Options
-	pool    *workpool.Pool
+	pool    *workpool.Pool // admission: one slot per scheduling run
+	search  *workpool.Pool // intra-run search parallelism (nil = serial)
 	cache   *cache.LRU
 	flight  flightGroup
 	metrics *metrics
@@ -119,9 +138,6 @@ func New(opts Options) *Server {
 	if opts.SweepMaxCells <= 0 {
 		opts.SweepMaxCells = DefaultSweepMaxCells
 	}
-	if opts.Runner == nil {
-		opts.Runner = core.Run
-	}
 	if opts.Logger == nil {
 		opts.Logger = slog.Default()
 	}
@@ -131,6 +147,12 @@ func New(opts Options) *Server {
 		cache:   cache.New(opts.CacheSize),
 		metrics: newMetrics(),
 		log:     opts.Logger,
+	}
+	if opts.SearchWorkers >= 0 {
+		s.search = workpool.NewPool(opts.SearchWorkers)
+	}
+	if s.opts.Runner == nil {
+		s.opts.Runner = s.coreRunner
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
@@ -210,17 +232,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Write([]byte("{\"status\":\"ok\"}\n"))
 }
 
-// requestCtx derives the execution context for one request: detached from
-// the client's cancellation — once admitted, work runs to completion so
-// coalesced waiters are not poisoned by the leader's client disconnecting
-// and the cache still gets warmed — but bounded by the server-side request
-// timeout when one is configured.
+// requestCtx derives the waiting context for one request: the client's own
+// context (so disconnects release the waiter) bounded by the server-side
+// request timeout when one is configured. This context governs how long the
+// request *waits*, not how long the run may execute: runs live as long as
+// any waiter remains interested (see flightGroup), so a coalesced run is
+// never poisoned by one client giving up.
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	ctx := context.WithoutCancel(r.Context())
 	if s.opts.RequestTimeout > 0 {
-		return context.WithTimeout(ctx, s.opts.RequestTimeout)
+		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	}
-	return ctx, func() {}
+	return context.WithCancel(r.Context())
 }
 
 // handleSchedule serves POST /schedule and /v1/schedule: validate, hash,
@@ -271,72 +293,96 @@ type execResult struct {
 
 // execute resolves one scheduling problem end to end: cache lookup, then a
 // single-flight coalesced run on the bounded pool, isolated behind a
-// recover barrier and bounded by ctx. Both the single-shot endpoints and
-// every sweep cell go through this one path, which is what guarantees that
-// a sweep cell and an individual request for the same problem produce
-// byte-identical results.
+// recover barrier. Both the single-shot endpoints and every sweep cell go
+// through this one path, which is what guarantees that a sweep cell and an
+// individual request for the same problem produce byte-identical results.
 //
-// The run executes in its own goroutine: if ctx expires first, execute
-// returns a timeout error while the run finishes in the background, warming
-// the cache for the retry. A panicking run is recovered there, counted in
-// lampsd_panics_total and reported as a 500.
+// ctx bounds only this caller's wait. The run itself executes in the
+// leader's goroutine under the flight's own run context, which is cancelled
+// when the last waiter departs — so a run everyone timed out of aborts
+// cooperatively and frees its worker slot, while a run that still has other
+// waiters completes and warms the cache. A panicking run is recovered in
+// the leader's goroutine, counted in lampsd_panics_total, and surfaces as a
+// 500 for every waiter.
 func (s *Server) execute(ctx context.Context, key, approach string, g *dag.Graph, cfg core.Config) execResult {
 	if body, ok := s.cache.Get(key); ok {
 		return execResult{http.StatusOK, body, "hit", nil}
 	}
-	ch := make(chan execResult, 1)
-	go func() {
-		defer func() {
-			if p := recover(); p != nil {
-				s.metrics.recordPanic()
-				s.log.Error("panic in scheduling run",
-					"approach", approach, "key", key, "panic", p, "stack", string(debug.Stack()))
-				ch <- execResult{err: internalPanic(p)}
-			}
-		}()
-		status, body, err, shared := s.flight.Do(ctx, key, func() (int, []byte, error) {
-			return s.runProblem(ctx, key, approach, g, cfg)
+	c, leader := s.flight.join(ctx, key)
+	source := "miss"
+	if leader {
+		go s.flight.run(key, c, func(runCtx context.Context) (status int, body []byte, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					s.metrics.recordPanic()
+					s.log.Error("panic in scheduling run",
+						"approach", approach, "key", key, "panic", p, "stack", string(debug.Stack()))
+					status, body, err = 0, nil, internalPanic(p)
+				}
+			}()
+			return s.runProblem(runCtx, key, approach, g, cfg)
 		})
-		source := "miss"
-		if shared {
-			source = "shared"
-			s.metrics.recordCoalesced()
-		}
-		ch <- execResult{status, body, source, err}
-	}()
+	} else {
+		source = "shared"
+		s.metrics.recordCoalesced()
+	}
 	select {
-	case res := <-ch:
-		return res
+	case <-c.done:
+		return execResult{c.status, c.val, source, c.err}
 	case <-ctx.Done():
-		// Grace window: a run that finished in the same instant the
-		// deadline fired (or a queue timeout that classified itself) beats
-		// the generic 504.
+		s.flight.depart(c)
+		// Grace window: a run that finished in the same instant the deadline
+		// fired — including one that classified its own queue shed as a 503,
+		// or was just cancelled by our departure and wound down immediately —
+		// beats the generic timeout, except that a bare cancellation error
+		// carries no information and is classified by this waiter's own
+		// context below.
 		select {
-		case res := <-ch:
-			return res
+		case <-c.done:
+			if c.err == nil || !isCancellation(c.err) {
+				return execResult{c.status, c.val, source, c.err}
+			}
 		case <-time.After(20 * time.Millisecond):
-			return execResult{err: timedOut("scheduling run exceeded the request deadline")}
 		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return execResult{source: source, err: timedOut("scheduling run exceeded the request deadline")}
+		}
+		return execResult{source: source, err: overloaded("request abandoned before the run completed: %v", context.Cause(ctx))}
 	}
 }
 
+// isCancellation reports whether err is (or wraps) a context cancellation
+// or deadline error.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // runProblem is the single-flight leader body: acquire a pool slot (ctx
-// bounds the queueing time), run the heuristic, record metrics, render and
-// cache the result.
+// bounds the queueing time), run the heuristic under ctx, record metrics,
+// render and cache the result. ctx here is the flight's run context: it
+// fires when every waiter has departed, at which point the engine aborts
+// within one list-scheduling call and the pool slot is released.
 func (s *Server) runProblem(ctx context.Context, key, approach string, g *dag.Graph, cfg core.Config) (int, []byte, error) {
 	var result *core.Result
 	var coreErr error
-	start := time.Now()
+	var ranFor time.Duration
+	queued := time.Now()
 	poolErr := s.pool.Do(ctx, func() {
-		result, coreErr = s.opts.Runner(approach, g, cfg)
+		start := time.Now()
+		result, coreErr = s.opts.Runner(ctx, approach, g, cfg)
+		ranFor = time.Since(start)
 	})
 	if poolErr != nil {
+		s.metrics.recordQueueShed(time.Since(queued).Seconds())
 		return 0, nil, overloaded("no worker slot within the request deadline: %v", poolErr)
 	}
 	if coreErr != nil {
+		if isCancellation(coreErr) {
+			s.metrics.recordRunCancelled()
+		}
 		return 0, nil, coreErr
 	}
-	s.metrics.recordRun(approach, time.Since(start).Seconds(), result.Stats)
+	s.metrics.recordRun(approach, ranFor.Seconds(), result.Stats)
 	body, err := renderResult(key, cfg, result)
 	if err != nil {
 		return 0, nil, err
@@ -344,6 +390,27 @@ func (s *Server) runProblem(ctx context.Context, key, approach string, g *dag.Gr
 	s.cache.Put(key, body)
 	return http.StatusOK, body, nil
 }
+
+// coreRunner is the default Runner: a core engine sharing the server-wide
+// search pool, instrumented so every run — finished or cancelled — feeds
+// the per-stage effort histograms live via the Observer→metrics adapter.
+func (s *Server) coreRunner(ctx context.Context, approach string, g *dag.Graph, cfg core.Config) (*core.Result, error) {
+	counter := &stageCounter{}
+	eng := core.Engine{Config: cfg, Observer: counter, Pool: s.search}
+	r, err := eng.Run(ctx, approach, g)
+	s.metrics.recordStages(counter.schedules, counter.levels)
+	return r, err
+}
+
+// stageCounter is the Observer→metrics adapter: it counts one run's search
+// effort as it happens, so cancelled runs still report the work they did
+// (Result.Stats only exists on success). The engine serialises Observer
+// callbacks and completes them before Run returns, so plain fields suffice.
+type stageCounter struct{ schedules, levels int }
+
+func (c *stageCounter) OnPhase(string)                                 {}
+func (c *stageCounter) OnScheduleBuilt(int, int64)                     { c.schedules++ }
+func (c *stageCounter) OnLevelEvaluated(power.Level, energy.Breakdown) { c.levels++ }
 
 func writeBody(w http.ResponseWriter, status int, source string, body []byte) {
 	w.Header().Set("Content-Type", "application/json")

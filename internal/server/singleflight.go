@@ -7,71 +7,97 @@ import (
 )
 
 // errFlightPanic is recorded as the result of a flight whose fn panicked:
-// the panic itself propagates to the initiating caller, while every
-// coalesced waiter receives this error instead of blocking forever.
+// the panic itself propagates to the leader's goroutine (where it is
+// recovered and counted), while every waiter receives this error instead of
+// blocking forever.
 var errFlightPanic = errors.New("server: coalesced scheduling run panicked")
 
 // flightGroup coalesces concurrent work with the same key: the first caller
-// runs fn, every caller that arrives while it is in flight waits and shares
-// the result. Combined with the byte cache it guarantees that a burst of
-// identical requests costs one scheduling run, not N — and, because the
-// shared value is an immutable byte slice, every waiter receives exactly
-// the same bytes. (A trimmed-down, stdlib-only take on
-// golang.org/x/sync/singleflight.)
+// becomes the leader and runs fn, every caller that arrives while it is in
+// flight waits and shares the result. Combined with the byte cache it
+// guarantees that a burst of identical requests costs one scheduling run,
+// not N — and, because the shared value is an immutable byte slice, every
+// waiter receives exactly the same bytes.
+//
+// Unlike golang.org/x/sync/singleflight, the group refcounts its waiters:
+// each call owns a run context that is cancelled when the last interested
+// waiter departs before the run finished, so an abandoned run can stop
+// scheduling and free its worker slot instead of completing detached. A run
+// that still has waiters keeps going — and keeps warming the cache — no
+// matter which individual clients gave up.
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
 }
 
 type flightCall struct {
-	done   chan struct{}
+	done chan struct{} // closed when status/val/err are final
+
+	runCtx context.Context // governs the run; cancelled when abandoned
+	cancel context.CancelFunc
+
+	waiters  int  // callers currently waiting on done
+	finished bool // fn returned (or panicked); result fields are set
+
 	status int
 	val    []byte
 	err    error
 }
 
-// Do returns the result of running fn for key, executing fn only if no
-// call for key is already in flight; shared reports whether the result came
-// from another caller's run.
-//
-// Waiters give up when ctx is done and return ctx.Err(); the in-flight run
-// is unaffected. If fn panics, the panic propagates to the initiating
-// caller after the call has been removed from the group and every waiter
-// has been failed with errFlightPanic — a panicking run can never wedge
-// later requests for the same key.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() (int, []byte, error)) (status int, val []byte, err error, shared bool) {
+// join attaches the caller to the in-flight call for key, creating it if
+// absent; leader reports whether this caller must execute the run (by
+// passing the returned call to run). The new call's run context inherits
+// ctx's values but not its cancellation: the run is bounded by waiter
+// interest, not by any single waiter's deadline.
+func (g *flightGroup) join(ctx context.Context, key string) (c *flightCall, leader bool) {
 	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.calls == nil {
 		g.calls = make(map[string]*flightCall)
 	}
 	if c, ok := g.calls[key]; ok {
-		g.mu.Unlock()
-		select {
-		case <-c.done:
-			return c.status, c.val, c.err, true
-		case <-ctx.Done():
-			return 0, nil, ctx.Err(), true
-		}
+		c.waiters++
+		return c, false
 	}
-	c := &flightCall{done: make(chan struct{})}
+	c = &flightCall{done: make(chan struct{}), waiters: 1}
+	c.runCtx, c.cancel = context.WithCancel(context.WithoutCancel(ctx))
 	g.calls[key] = c
-	g.mu.Unlock()
+	return c, true
+}
 
-	// Cleanup must run even when fn panics: leaving the dead call in the
-	// map with done never closed would block every later request for the
-	// key forever (the pre-fix deadlock). The ordering matters — record the
-	// failure, unregister the call, then release the waiters.
+// depart detaches one waiter from the call. When the last waiter departs
+// before the run finished, the run context is cancelled so the (cooperative)
+// heuristic can abort and free its pool slot — nobody is left to read the
+// result, so finishing it would be pure waste.
+func (g *flightGroup) depart(c *flightCall) {
+	g.mu.Lock()
+	c.waiters--
+	abandon := c.waiters == 0 && !c.finished
+	g.mu.Unlock()
+	if abandon {
+		c.cancel()
+	}
+}
+
+// run executes fn for the call under its run context and publishes the
+// result. Cleanup runs even when fn panics: record errFlightPanic for the
+// waiters, unregister the call, release the run context, then close done —
+// in that order, so a panicking run can never wedge later requests for the
+// key (the pre-PR-2 deadlock). The panic itself continues up the leader's
+// goroutine.
+func (g *flightGroup) run(key string, c *flightCall, fn func(ctx context.Context) (int, []byte, error)) {
 	finished := false
 	defer func() {
+		g.mu.Lock()
 		if !finished {
 			c.status, c.val, c.err = 0, nil, errFlightPanic
 		}
-		g.mu.Lock()
+		c.finished = true
 		delete(g.calls, key)
 		g.mu.Unlock()
+		c.cancel()
 		close(c.done)
 	}()
-	c.status, c.val, c.err = fn()
+	c.status, c.val, c.err = fn(c.runCtx)
 	finished = true
-	return c.status, c.val, c.err, false
 }

@@ -9,60 +9,53 @@ import (
 	"time"
 )
 
+// await waits for a flight to publish its result, failing the test on
+// timeout instead of wedging the suite.
+func await(t *testing.T, c *flightCall, what string) {
+	t.Helper()
+	select {
+	case <-c.done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s: flight never finished", what)
+	}
+}
+
 // TestFlightGroupCoalesces proves that calls arriving while a flight is in
-// progress run fn once and share its bytes. Synchronisation follows the
-// pattern of golang.org/x/sync/singleflight's own tests: the leader blocks
-// inside fn until every waiter has announced itself (plus a scheduling
-// grace period), so the waiters coalesce onto the in-flight call.
+// progress join it rather than run fn again, and share its bytes.
 func TestFlightGroupCoalesces(t *testing.T) {
 	var g flightGroup
 	ctx := context.Background()
-	var execs, sharedCount, entered int32
+	var execs int32
 	gate := make(chan struct{})
-	started := make(chan struct{})
+
+	leaderCall, leader := g.join(ctx, "k")
+	if !leader {
+		t.Fatal("first caller was not the leader")
+	}
+	go g.run("k", leaderCall, func(context.Context) (int, []byte, error) {
+		atomic.AddInt32(&execs, 1)
+		<-gate
+		return 200, []byte("payload"), nil
+	})
 
 	const waiters = 10
-	results := make([][]byte, waiters+1)
+	results := make([][]byte, waiters)
 	var wg sync.WaitGroup
-
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		status, val, err, shared := g.Do(ctx, "k", func() (int, []byte, error) {
-			atomic.AddInt32(&execs, 1)
-			close(started)
-			<-gate
-			return 200, []byte("payload"), nil
-		})
-		if err != nil || status != 200 || shared {
-			t.Errorf("leader: status %d, err %v, shared %v", status, err, shared)
+	for i := 0; i < waiters; i++ {
+		c, lead := g.join(ctx, "k")
+		if lead {
+			t.Fatalf("waiter %d was promoted to leader", i)
 		}
-		results[0] = val
-	}()
-	<-started
-
-	for i := 1; i <= waiters; i++ {
+		if c != leaderCall {
+			t.Fatalf("waiter %d joined a different call", i)
+		}
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			atomic.AddInt32(&entered, 1)
-			_, val, err, shared := g.Do(ctx, "k", func() (int, []byte, error) {
-				atomic.AddInt32(&execs, 1)
-				return 200, []byte("payload"), nil
-			})
-			if err != nil {
-				t.Error(err)
-			}
-			if shared {
-				atomic.AddInt32(&sharedCount, 1)
-			}
-			results[slot] = val
+			<-c.done
+			results[slot] = c.val
 		}(i)
 	}
-	for atomic.LoadInt32(&entered) != waiters {
-		time.Sleep(time.Millisecond)
-	}
-	time.Sleep(25 * time.Millisecond) // let the announced waiters reach Do's mutex
 	close(gate)
 	wg.Wait()
 
@@ -74,9 +67,6 @@ func TestFlightGroupCoalesces(t *testing.T) {
 			t.Errorf("slot %d got %q", i, r)
 		}
 	}
-	if sharedCount != waiters {
-		t.Errorf("%d shared results, want %d", sharedCount, waiters)
-	}
 }
 
 // TestFlightGroupDistinctKeys ensures no coalescing across keys.
@@ -84,44 +74,43 @@ func TestFlightGroupDistinctKeys(t *testing.T) {
 	var g flightGroup
 	ctx := context.Background()
 	var execs int32
-	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			_, val, err, _ := g.Do(ctx, string(rune('a'+i)), func() (int, []byte, error) {
-				atomic.AddInt32(&execs, 1)
-				return 200, []byte{byte(i)}, nil
-			})
-			if err != nil || len(val) != 1 || val[0] != byte(i) {
-				t.Errorf("key %d: val %v, err %v", i, val, err)
-			}
-		}(i)
+		c, leader := g.join(ctx, string(rune('a'+i)))
+		if !leader {
+			t.Fatalf("key %d: not leader despite fresh key", i)
+		}
+		g.run(string(rune('a'+i)), c, func(context.Context) (int, []byte, error) {
+			atomic.AddInt32(&execs, 1)
+			return 200, []byte{byte(i)}, nil
+		})
+		await(t, c, "run")
+		if c.err != nil || len(c.val) != 1 || c.val[0] != byte(i) {
+			t.Errorf("key %d: val %v, err %v", i, c.val, c.err)
+		}
 	}
-	wg.Wait()
 	if execs != 4 {
 		t.Errorf("fn executed %d times, want 4", execs)
 	}
 }
 
 // TestFlightGroupPanic is the regression test for the panic deadlock: a
-// panicking fn must (1) propagate the panic to the initiating caller,
-// (2) fail concurrent waiters with errFlightPanic instead of hanging them
-// on the never-closed done channel, and (3) leave the group clean so the
-// next call for the same key executes afresh. Every wait is guarded by a
-// timeout so a regression fails instead of wedging the suite.
+// panicking fn must (1) propagate the panic out of run for the leader's
+// goroutine to handle, (2) fail waiters with errFlightPanic instead of
+// hanging them on the never-closed done channel, and (3) leave the group
+// clean so the next call for the same key executes afresh.
 func TestFlightGroupPanic(t *testing.T) {
 	var g flightGroup
 	ctx := context.Background()
 	inFn := make(chan struct{})
 	release := make(chan struct{})
 
+	c, _ := g.join(ctx, "k")
 	leaderDone := make(chan any, 1)
 	go func() {
 		var recovered any
 		defer func() { leaderDone <- recovered }()
 		defer func() { recovered = recover() }()
-		g.Do(ctx, "k", func() (int, []byte, error) {
+		g.run("k", c, func(context.Context) (int, []byte, error) {
 			close(inFn)
 			<-release
 			panic("scheduler exploded")
@@ -129,18 +118,10 @@ func TestFlightGroupPanic(t *testing.T) {
 	}()
 	<-inFn
 
-	waiterDone := make(chan error, 1)
-	go func() {
-		_, _, err, shared := g.Do(ctx, "k", func() (int, []byte, error) {
-			t.Error("waiter executed fn despite an in-flight call")
-			return 0, nil, nil
-		})
-		if !shared {
-			t.Error("waiter was not marked shared")
-		}
-		waiterDone <- err
-	}()
-	time.Sleep(10 * time.Millisecond) // let the waiter block on done
+	w, leader := g.join(ctx, "k")
+	if leader || w != c {
+		t.Fatal("waiter did not coalesce onto the in-flight call")
+	}
 	close(release)
 
 	select {
@@ -149,71 +130,71 @@ func TestFlightGroupPanic(t *testing.T) {
 			t.Errorf("leader recovered %v, want the original panic value", rec)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("leader never returned: cleanup did not run")
+		t.Fatal("run never returned: cleanup did not run")
 	}
-	select {
-	case err := <-waiterDone:
-		if !errors.Is(err, errFlightPanic) {
-			t.Errorf("waiter err = %v, want errFlightPanic", err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("waiter hung: done channel was never closed after the panic")
+	await(t, w, "waiter")
+	if !errors.Is(w.err, errFlightPanic) {
+		t.Errorf("waiter err = %v, want errFlightPanic", w.err)
 	}
 
 	// The key must be usable again: a fresh call runs its own fn.
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		status, val, err, shared := g.Do(ctx, "k", func() (int, []byte, error) {
-			return 200, []byte("recovered"), nil
-		})
-		if status != 200 || string(val) != "recovered" || err != nil || shared {
-			t.Errorf("post-panic call: status %d, val %q, err %v, shared %v", status, val, err, shared)
-		}
-	}()
-	select {
-	case <-done:
-	case <-time.After(5 * time.Second):
-		t.Fatal("post-panic call hung: the dead call was left in the map")
+	c2, leader := g.join(ctx, "k")
+	if !leader {
+		t.Fatal("post-panic call did not become leader: the dead call was left in the map")
+	}
+	g.run("k", c2, func(context.Context) (int, []byte, error) {
+		return 200, []byte("recovered"), nil
+	})
+	await(t, c2, "post-panic call")
+	if c2.status != 200 || string(c2.val) != "recovered" || c2.err != nil {
+		t.Errorf("post-panic call: status %d, val %q, err %v", c2.status, c2.val, c2.err)
 	}
 }
 
-// TestFlightGroupWaiterContext verifies a waiter gives up with ctx.Err()
-// when its context expires while the flight is still running, without
-// disturbing the flight itself.
-func TestFlightGroupWaiterContext(t *testing.T) {
+// TestFlightGroupAbandonCancelsRun is the capacity-reclamation contract:
+// when the last waiter departs, the run context is cancelled so a
+// cooperative fn can abort instead of completing detached.
+func TestFlightGroupAbandonCancelsRun(t *testing.T) {
 	var g flightGroup
-	inFn := make(chan struct{})
-	release := make(chan struct{})
-	leaderDone := make(chan struct{})
-	go func() {
-		defer close(leaderDone)
-		g.Do(context.Background(), "k", func() (int, []byte, error) {
-			close(inFn)
-			<-release
-			return 200, []byte("late"), nil
-		})
-	}()
-	<-inFn
-
-	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
-	defer cancel()
-	start := time.Now()
-	_, _, err, shared := g.Do(ctx, "k", func() (int, []byte, error) {
-		t.Error("waiter executed fn despite an in-flight call")
-		return 0, nil, nil
+	c, leader := g.join(context.Background(), "k")
+	if !leader {
+		t.Fatal("not leader")
+	}
+	go g.run("k", c, func(runCtx context.Context) (int, []byte, error) {
+		<-runCtx.Done() // a cooperative heuristic observes the cancellation
+		return 0, nil, runCtx.Err()
 	})
-	if !errors.Is(err, context.DeadlineExceeded) || !shared {
-		t.Errorf("waiter: err %v, shared %v; want DeadlineExceeded, true", err, shared)
+	g.depart(c) // the only waiter gives up
+	await(t, c, "abandoned run")
+	if !errors.Is(c.err, context.Canceled) {
+		t.Errorf("abandoned run err = %v, want context.Canceled", c.err)
 	}
-	if waited := time.Since(start); waited > 3*time.Second {
-		t.Errorf("waiter blocked %v past its deadline", waited)
-	}
+}
 
-	close(release)
-	select {
-	case <-leaderDone:
-	case <-time.After(5 * time.Second):
-		t.Fatal("leader never finished")
+// TestFlightGroupSurvivingWaiterKeepsRunAlive: one waiter departing must not
+// cancel a run that another waiter still needs.
+func TestFlightGroupSurvivingWaiterKeepsRunAlive(t *testing.T) {
+	var g flightGroup
+	ctx := context.Background()
+	gate := make(chan struct{})
+
+	c, _ := g.join(ctx, "k")
+	go g.run("k", c, func(runCtx context.Context) (int, []byte, error) {
+		select {
+		case <-gate:
+			return 200, []byte("kept"), nil
+		case <-runCtx.Done():
+			return 0, nil, runCtx.Err()
+		}
+	})
+	if _, leader := g.join(ctx, "k"); leader {
+		t.Fatal("second caller did not coalesce")
 	}
+	g.depart(c) // the first waiter gives up; the second remains
+	close(gate)
+	await(t, c, "run with surviving waiter")
+	if c.err != nil || string(c.val) != "kept" {
+		t.Errorf("run aborted despite a surviving waiter: val %q, err %v", c.val, c.err)
+	}
+	g.depart(c) // the survivor reads the result and departs after finish: no-op
 }

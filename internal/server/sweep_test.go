@@ -3,6 +3,7 @@ package server_test
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -252,16 +253,16 @@ func TestSweepValidation(t *testing.T) {
 }
 
 // panickyRunner returns a Runner that panics for the given approach and
-// delegates to core.Run otherwise.
-func panickyRunner(approach string, block chan struct{}) func(string, *dag.Graph, core.Config) (*core.Result, error) {
-	return func(a string, g *dag.Graph, cfg core.Config) (*core.Result, error) {
+// delegates to core.RunCtx otherwise.
+func panickyRunner(approach string, block chan struct{}) func(context.Context, string, *dag.Graph, core.Config) (*core.Result, error) {
+	return func(ctx context.Context, a string, g *dag.Graph, cfg core.Config) (*core.Result, error) {
 		if a == approach {
 			if block != nil {
 				<-block
 			}
 			panic("injected scheduler panic")
 		}
-		return core.Run(a, g, cfg)
+		return core.RunCtx(ctx, a, g, cfg)
 	}
 }
 
@@ -292,11 +293,11 @@ func TestSchedulePanicIsolation(t *testing.T) {
 		resp.Body.Close()
 		results <- result{resp.StatusCode, body}
 	}
-	go do()                            // leader: will panic inside the runner
-	time.Sleep(50 * time.Millisecond)  // let the leader enter the flight
-	go do()                            // duplicate: coalesces onto the flight
-	time.Sleep(50 * time.Millisecond)  // let the duplicate block on the flight
-	close(release)                     // unleash the panic
+	go do()                           // leader: will panic inside the runner
+	time.Sleep(50 * time.Millisecond) // let the leader enter the flight
+	go do()                           // duplicate: coalesces onto the flight
+	time.Sleep(50 * time.Millisecond) // let the duplicate block on the flight
+	close(release)                    // unleash the panic
 
 	for i := 0; i < 2; i++ {
 		select {
@@ -352,11 +353,14 @@ func TestSweepPanicIsolation(t *testing.T) {
 	}
 }
 
-// slowRunner delegates to core.Run after a fixed delay.
-func slowRunner(d time.Duration) func(string, *dag.Graph, core.Config) (*core.Result, error) {
-	return func(a string, g *dag.Graph, cfg core.Config) (*core.Result, error) {
+// slowRunner delegates to core.RunCtx after a fixed delay. The delay
+// ignores ctx deliberately: the timeout tests use it to pin the worker slot
+// past the request deadline, proving the server classifies correctly even
+// for an uncooperative heuristic.
+func slowRunner(d time.Duration) func(context.Context, string, *dag.Graph, core.Config) (*core.Result, error) {
+	return func(ctx context.Context, a string, g *dag.Graph, cfg core.Config) (*core.Result, error) {
 		time.Sleep(d)
-		return core.Run(a, g, cfg)
+		return core.RunCtx(ctx, a, g, cfg)
 	}
 }
 

@@ -36,6 +36,7 @@
 package lamps
 
 import (
+	"context"
 	"io"
 
 	"lamps/internal/core"
@@ -49,6 +50,7 @@ import (
 	"lamps/internal/sim"
 	"lamps/internal/stg"
 	"lamps/internal/taskgen"
+	"lamps/internal/workpool"
 )
 
 // Millisecond is the number of cycles per millisecond at the default
@@ -171,6 +173,57 @@ func Run(approach string, g *Graph, cfg Config) (*Result, error) {
 	return core.Run(approach, g, cfg)
 }
 
+// RunCtx is Run with cooperative cancellation: it returns ctx.Err() as soon
+// as the current leaf work item — at most one list-scheduling call or one
+// energy sweep step — completes after ctx is done.
+func RunCtx(ctx context.Context, approach string, g *Graph, cfg Config) (*Result, error) {
+	return core.RunCtx(ctx, approach, g, cfg)
+}
+
+// Context-aware forms of the heuristics and bounds, with the same
+// cancellation granularity as RunCtx.
+var (
+	ScheduleAndStretchCtx   = core.ScheduleAndStretchCtx
+	ScheduleAndStretchPSCtx = core.ScheduleAndStretchPSCtx
+	LAMPSCtx                = core.LAMPSCtx
+	LAMPSPSCtx              = core.LAMPSPSCtx
+	LimitSFCtx              = core.LimitSFCtx
+	LimitMFCtx              = core.LimitMFCtx
+)
+
+// Engine API (see internal/core): cancellation, progress observation and
+// parallel search behind one front door. The package-level functions above
+// are thin wrappers over a zero-value Engine.
+type (
+	// Engine runs the heuristics with cooperative cancellation, an optional
+	// progress Observer, and optional bounded search parallelism via a
+	// WorkerPool. A parallel engine returns results — including Stats —
+	// byte-identical to a serial one.
+	Engine = core.Engine
+	// Observer receives serialised progress callbacks from a running
+	// Engine: phase transitions, fresh schedule builds, energy evaluations.
+	Observer = core.Observer
+	// SearchStats reports the search effort of one heuristic run.
+	SearchStats = core.Stats
+	// WorkerPool bounds concurrent work; share one across engines to cap
+	// total parallelism (see Engine.Pool).
+	WorkerPool = workpool.Pool
+)
+
+// NewWorkerPool returns a pool admitting at most workers concurrent leaf
+// work items (0 or negative = GOMAXPROCS).
+func NewWorkerPool(workers int) *WorkerPool { return workpool.NewPool(workers) }
+
+// Phase names reported through Observer.OnPhase.
+const (
+	PhaseMinProcs   = core.PhaseMinProcs
+	PhaseSaturation = core.PhaseSaturation
+	PhaseBuild      = core.PhaseBuild
+	PhaseEvaluate   = core.PhaseEvaluate
+	PhaseReclaim    = core.PhaseReclaim
+	PhaseRefine     = core.PhaseRefine
+)
+
 // EnergySaving returns the attained fraction of the possible energy
 // reduction, with S&S as baseline and a LIMIT bound as maximum.
 func EnergySaving(baseline, achieved, limit float64) float64 {
@@ -251,6 +304,11 @@ func SlackReclaimDVS(g *Graph, cfg Config, ps bool) (*PerTaskResult, error) {
 	return core.SlackReclaimDVS(g, cfg, ps)
 }
 
+// SlackReclaimDVSCtx is SlackReclaimDVS with cooperative cancellation.
+func SlackReclaimDVSCtx(ctx context.Context, g *Graph, cfg Config, ps bool) (*PerTaskResult, error) {
+	return core.SlackReclaimDVSCtx(ctx, g, cfg, ps)
+}
+
 // Periodic real-time task sets (see internal/frames).
 type (
 	// PeriodicTask is one periodic real-time task (WCET, period, deadline in
@@ -278,4 +336,9 @@ type IslandsResult = core.IslandsResult
 // future-work question of per-processor frequencies.
 func VoltageIslands(g *Graph, cfg Config, ps bool) (*IslandsResult, error) {
 	return core.VoltageIslands(g, cfg, ps)
+}
+
+// VoltageIslandsCtx is VoltageIslands with cooperative cancellation.
+func VoltageIslandsCtx(ctx context.Context, g *Graph, cfg Config, ps bool) (*IslandsResult, error) {
+	return core.VoltageIslandsCtx(ctx, g, cfg, ps)
 }

@@ -2,6 +2,8 @@ package lamps
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -224,3 +226,45 @@ func TestFacadePeriodic(t *testing.T) {
 		t.Errorf("bad plan: %+v", plan)
 	}
 }
+
+// TestFacadeEngine drives the exported Engine API: a cancellable run with a
+// progress observer and a shared worker pool, identical to the plain call.
+func TestFacadeEngine(t *testing.T) {
+	g, deadline := MPEG1Fig9()
+	cfg := Config{Model: Default70nm(), Deadline: deadline}
+	plain, err := LAMPSPSCtx(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &facadeObserver{}
+	eng := Engine{Config: cfg, Observer: obs, Pool: NewWorkerPool(4)}
+	r, err := eng.Run(context.Background(), ApproachLAMPSPS, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalEnergy() != plain.TotalEnergy() || r.Stats != plain.Stats {
+		t.Errorf("engine run diverged: %g J %+v vs %g J %+v",
+			r.TotalEnergy(), r.Stats, plain.TotalEnergy(), plain.Stats)
+	}
+	if obs.phases == 0 || obs.schedules != r.Stats.SchedulesBuilt {
+		t.Errorf("observer saw %d phases, %d builds; Stats say %d builds",
+			obs.phases, obs.schedules, r.Stats.SchedulesBuilt)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := LAMPSPSCtx(ctx, g, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled LAMPSPSCtx: err = %v", err)
+	}
+}
+
+type facadeObserver struct {
+	phases    int
+	schedules int
+}
+
+func (o *facadeObserver) OnPhase(string) { o.phases++ }
+
+func (o *facadeObserver) OnScheduleBuilt(int, int64) { o.schedules++ }
+
+func (o *facadeObserver) OnLevelEvaluated(Level, EnergyBreakdown) {}
