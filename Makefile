@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench serve ci
+.PHONY: all build vet test race fuzz-smoke bench alloc-gate serve ci
 
 all: ci
 
@@ -30,13 +30,21 @@ fuzz-smoke:
 
 # Micro-benchmarks plus the two benchmark harnesses: sweepbench writes
 # per-cell latency percentiles and cold/warm sweep wall times to
-# BENCH_sweep.json; corebench writes serial-vs-parallel engine wall times
-# and speedups to BENCH_core.json (and fails if the parallel engine's
-# results diverge from the serial ones).
+# BENCH_sweep.json; corebench writes serial-vs-parallel engine wall times,
+# speedups and before/after kernel micro-benchmarks (ns/op + allocs/op) to
+# BENCH_core.json (and fails if the parallel engine's results diverge from
+# the serial ones). -benchmem so every benchmark line carries allocs/op.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/core
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . ./internal/core ./internal/sched ./internal/energy
 	$(GO) run ./cmd/sweepbench -out BENCH_sweep.json
 	$(GO) run ./cmd/corebench -out BENCH_core.json
+
+# The steady-state allocation gate: the reused scheduling kernel and the
+# gap-profile evaluation must not allocate at all once their buffers are
+# warm. CI fails the build if either test reports >0 allocs/op.
+alloc-gate:
+	$(GO) test -run 'TestScheduleIntoSteadyStateZeroAlloc' -count=1 -v ./internal/sched
+	$(GO) test -run 'TestGapProfileEvaluateZeroAlloc' -count=1 -v ./internal/energy
 
 # Run the scheduling service locally.
 serve:

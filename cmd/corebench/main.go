@@ -10,6 +10,13 @@
 // capability rather than its scheduling jitter. The reported speedup is
 // honest for the machine it ran on: on a single-core host serial and
 // parallel coincide (within noise) and the speedup hovers around 1.
+//
+// The report also carries a kernel_benchmarks section: before/after
+// micro-benchmarks of the two hot kernels (list scheduling and per-level
+// energy evaluation) with ns/op, allocs/op and bytes/op, where "before" is
+// the fresh-allocation shape every build used to pay and "after" is the
+// reusable-scratch path the engine now runs (see README for how to read the
+// fields).
 package main
 
 import (
@@ -20,11 +27,14 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"lamps/internal/core"
 	"lamps/internal/dag"
+	"lamps/internal/energy"
 	"lamps/internal/power"
+	"lamps/internal/sched"
 	"lamps/internal/taskgen"
 	"lamps/internal/workpool"
 )
@@ -42,13 +52,25 @@ type caseReport struct {
 	Levels     int     `json:"levels_evaluated"`
 }
 
+// kernelReport is one micro-benchmark of a hot kernel. The pairs share a
+// prefix: <kernel>_before is the fresh-allocation shape (new scratch per
+// call), <kernel>_after the reusable-scratch path the engine runs.
+type kernelReport struct {
+	Name        string  `json:"name"`
+	Graph       string  `json:"graph"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
 type report struct {
-	Workers        int          `json:"workers"`
-	GOMAXPROCS     int          `json:"gomaxprocs"`
-	Repeat         int          `json:"repeat"`
-	Cases          []caseReport `json:"cases"`
-	GeomeanSpeedup float64      `json:"geomean_speedup"`
-	GeneratedAtUTC string       `json:"generated_at_utc"`
+	Workers        int            `json:"workers"`
+	GOMAXPROCS     int            `json:"gomaxprocs"`
+	Repeat         int            `json:"repeat"`
+	Cases          []caseReport   `json:"cases"`
+	Kernel         []kernelReport `json:"kernel_benchmarks"`
+	GeomeanSpeedup float64        `json:"geomean_speedup"`
+	GeneratedAtUTC string         `json:"generated_at_utc"`
 }
 
 func main() {
@@ -77,6 +99,90 @@ func graphs() ([]*dag.Graph, error) {
 		return nil, err
 	}
 	return append(out, taskgen.Coarse.Scale(r)), nil
+}
+
+// kernelBenchmarks micro-benchmarks the two hot kernels on the largest
+// benchmark graph, pairing each with its pre-optimisation shape: list
+// scheduling with fresh scratch per call vs one reused Scheduler, and a +PS
+// level sweep with one full energy evaluation per operating point vs one
+// GapProfile shared by every level. allocs/op of the *_after rows is the
+// number CI gates on: the reused paths must not allocate in steady state.
+func kernelBenchmarks(gs []*dag.Graph) ([]kernelReport, error) {
+	g := gs[0]
+	for _, c := range gs {
+		if c.NumTasks() > g.NumTasks() {
+			g = c
+		}
+	}
+	const nprocs = 8
+	m := power.Default70nm()
+	prio := sched.EDFPriorities(g, 0)
+	s, err := sched.ListScheduleReleases(g, nprocs, prio, nil)
+	if err != nil {
+		return nil, err
+	}
+	// A deadline every operating point can meet, so the sweeps below cover
+	// the full level ladder.
+	deadline := 1.5 * float64(s.Makespan) / m.MinLevel().Freq
+	var benchErr error
+	measure := func(name string, fn func(b *testing.B)) kernelReport {
+		r := testing.Benchmark(fn)
+		return kernelReport{
+			Name:        name,
+			Graph:       g.Name(),
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	var k sched.Scheduler
+	var reused sched.Schedule
+	if err := k.ScheduleInto(&reused, g, nprocs, prio, nil); err != nil {
+		return nil, err
+	}
+	prof := energy.NewGapProfile(s)
+
+	out := []kernelReport{
+		measure("schedule_before_fresh_scratch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.ListScheduleReleases(g, nprocs, prio, nil); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		}),
+		measure("schedule_after_reused_kernel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := k.ScheduleInto(&reused, g, nprocs, prio, nil); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		}),
+		measure("energy_sweep_before_per_level", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, lvl := range m.Levels() {
+					if _, err := energy.Evaluate(s, m, lvl, deadline, energy.Options{PS: true}); err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+				}
+			}
+		}),
+		measure("energy_sweep_after_gap_profile", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prof.Reset(s)
+				for _, lvl := range m.Levels() {
+					if _, err := prof.Evaluate(m, lvl, deadline, energy.Options{PS: true}); err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+				}
+			}
+		}),
+	}
+	return out, benchErr
 }
 
 // timeEngine returns the best-of-n wall time of eng.Run and the last result.
@@ -148,6 +254,15 @@ func run(out string, workers, repeat int, factor float64) error {
 		}
 	}
 	rep.GeomeanSpeedup = math.Exp(logGeo / float64(len(rep.Cases)))
+
+	rep.Kernel, err = kernelBenchmarks(gs)
+	if err != nil {
+		return fmt.Errorf("kernel benchmarks: %w", err)
+	}
+	for _, k := range rep.Kernel {
+		fmt.Fprintf(os.Stderr, "%-32s %-8s %12.0f ns/op %6d allocs/op %10d B/op\n",
+			k.Name, k.Graph, k.NsPerOp, k.AllocsPerOp, k.BytesPerOp)
+	}
 
 	w := os.Stdout
 	if out != "-" {

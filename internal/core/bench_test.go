@@ -7,6 +7,7 @@ import (
 
 	"lamps/internal/dag"
 	"lamps/internal/power"
+	"lamps/internal/sched"
 	"lamps/internal/taskgen"
 	"lamps/internal/workpool"
 )
@@ -55,6 +56,27 @@ func BenchmarkEngineFpppp(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", approach, mode), func(b *testing.B) {
 				benchEngine(b, approach, g, 2, parallel)
 			})
+		}
+	}
+}
+
+// BenchmarkKernelScheduleInto isolates the scheduling kernel the engine's
+// candidate builds run: a pooled Scheduler writing into a reused Schedule on
+// the fpppp graph. With -benchmem this must report 0 allocs/op; CI enforces
+// the same bound through TestScheduleIntoSteadyStateZeroAlloc.
+func BenchmarkKernelScheduleInto(b *testing.B) {
+	g := benchGraph(b, "fpppp")
+	prio := sched.EDFPriorities(g, 0)
+	var k sched.Scheduler
+	var s sched.Schedule
+	if err := k.ScheduleInto(&s, g, 8, prio, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.ScheduleInto(&s, g, 8, prio, nil); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

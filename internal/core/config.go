@@ -21,7 +21,6 @@ import (
 
 	"lamps/internal/dag"
 	"lamps/internal/power"
-	"lamps/internal/sched"
 )
 
 // Errors returned by the heuristics.
@@ -82,13 +81,6 @@ func (c *Config) model() *power.Model {
 		return power.Default70nm()
 	}
 	return c.Model
-}
-
-func (c *Config) priorities(g *dag.Graph) []int64 {
-	if c.Priorities == nil {
-		return sched.EDFPriorities(g, 0)
-	}
-	return c.Priorities(g)
 }
 
 func (c *Config) validate(g *dag.Graph) error {

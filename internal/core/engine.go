@@ -72,6 +72,31 @@ type Engine struct {
 	// shared by many engines (and by concurrent runs of one engine) without
 	// deadlock at any pool size.
 	Pool *workpool.Pool
+
+	// Engine-level priority memo: EDF priorities depend only on the graph,
+	// never on the deadline or the processor count, so repeated Run calls on
+	// the same graph (a sweep evaluating many deadlines, the grid endpoint)
+	// reuse one computation. Guarded by prioMu; see priorities.
+	prioMu    sync.Mutex
+	prioGraph *dag.Graph
+	prioVals  []int64
+}
+
+// priorities returns the list-scheduling priorities for g, memoised per
+// graph for the default EDF policy. A custom Config.Priorities function is
+// never memoised — closures may carry state the engine cannot compare — so
+// ablation policies keep their exact per-run semantics.
+func (e *Engine) priorities(g *dag.Graph) []int64 {
+	if e.Config.Priorities != nil {
+		return e.Config.Priorities(g)
+	}
+	e.prioMu.Lock()
+	defer e.prioMu.Unlock()
+	if e.prioGraph != g {
+		e.prioGraph = g
+		e.prioVals = sched.EDFPriorities(g, 0)
+	}
+	return e.prioVals
 }
 
 // Run dispatches an approach by name under ctx.
@@ -147,7 +172,7 @@ func (e *Engine) newRun(ctx context.Context, g *dag.Graph) (*run, error) {
 	}
 	r := &run{ctx: ctx, cfg: &e.Config, m: e.Config.model(), pool: e.Pool}
 	r.obs.o = e.Observer
-	r.sc = newScheduler(ctx, g, &e.Config, &r.obs)
+	r.sc = newScheduler(ctx, g, e.priorities(g), &r.obs)
 	return r, nil
 }
 
@@ -181,11 +206,40 @@ func (r *run) each(n int, fn func(i int)) {
 type candidate struct {
 	n       int
 	s       *sched.Schedule
+	prof    *energy.GapProfile // pooled; set lazily by profile, released by releaseProfiles
 	lvl     power.Level
 	b       energy.Breakdown
 	levels  int // (schedule, level) evaluations charged to this candidate
 	skipped int // sweep levels pruned by Config.PruneSweep
 	err     error
+}
+
+// profilePool recycles gap profiles (sorted gap lengths, prefix sums)
+// across candidates and runs, so steady-state level sweeps allocate
+// nothing.
+var profilePool = sync.Pool{New: func() any { return new(energy.GapProfile) }}
+
+// profile returns the candidate's gap profile, extracting it from the built
+// schedule on first use. Each candidate is profiled by exactly one
+// goroutine; concurrent Evaluate calls on the finished profile are safe.
+func (c *candidate) profile() *energy.GapProfile {
+	if c.prof == nil {
+		c.prof = profilePool.Get().(*energy.GapProfile)
+		c.prof.Reset(c.s)
+	}
+	return c.prof
+}
+
+// releaseProfiles returns every candidate's profile to the pool. Called
+// (deferred) once the winning Breakdown has been copied out of the
+// candidates; Results never retain a profile.
+func releaseProfiles(cands []*candidate) {
+	for _, c := range cands {
+		if c.prof != nil {
+			profilePool.Put(c.prof)
+			c.prof = nil
+		}
+	}
 }
 
 // buildAll list-schedules every candidate, in parallel when a pool is set.
@@ -231,7 +285,7 @@ func (r *run) evalMin(c *candidate, ps bool) {
 		c.err = err
 		return
 	}
-	b, err := energy.Evaluate(c.s, r.m, lvl, r.cfg.Deadline, energy.Options{PS: ps})
+	b, err := c.profile().Evaluate(r.m, lvl, r.cfg.Deadline, energy.Options{PS: ps})
 	c.levels = 1
 	if err != nil {
 		c.err = err
@@ -264,6 +318,7 @@ func (r *run) evalPairs(cands []*candidate) {
 			c.err = err
 			continue
 		}
+		c.profile() // extracted once here, shared read-only by all pairs
 		for _, lvl := range levels {
 			pairs = append(pairs, &pair{c: c, lvl: lvl})
 		}
@@ -274,7 +329,7 @@ func (r *run) evalPairs(cands []*candidate) {
 			p.err = err
 			return
 		}
-		p.b, p.err = energy.Evaluate(p.c.s, r.m, p.lvl, r.cfg.Deadline, energy.Options{PS: true})
+		p.b, p.err = p.c.prof.Evaluate(r.m, p.lvl, r.cfg.Deadline, energy.Options{PS: true})
 		if p.err == nil {
 			r.obs.levelEvaluated(p.lvl, p.b)
 		}
@@ -315,7 +370,7 @@ func (r *run) evalPruned(c *candidate) {
 		return
 	}
 	for i, lvl := range levels {
-		b, err := energy.Evaluate(c.s, r.m, lvl, r.cfg.Deadline, energy.Options{PS: true})
+		b, err := c.profile().Evaluate(r.m, lvl, r.cfg.Deadline, energy.Options{PS: true})
 		c.levels++
 		if err != nil {
 			c.err = err
@@ -385,6 +440,7 @@ func (e *Engine) ss(ctx context.Context, approach string, g *dag.Graph, ps bool)
 		return nil, err
 	}
 	cands := []*candidate{{n: r.cfg.maxUsefulProcs(g)}}
+	defer releaseProfiles(cands)
 	if err := r.buildAll(cands); err != nil {
 		return nil, err
 	}
@@ -434,6 +490,7 @@ func (e *Engine) lamps(ctx context.Context, approach string, g *dag.Graph, ps bo
 		// S&S+PS.
 		cands = append(cands, &candidate{n: hi})
 	}
+	defer releaseProfiles(cands)
 	if err := r.buildAll(cands); err != nil {
 		return nil, err
 	}

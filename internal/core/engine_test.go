@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"lamps/internal/dag"
 	"lamps/internal/energy"
 	"lamps/internal/power"
 	"lamps/internal/workpool"
@@ -69,6 +70,46 @@ func TestEngineDeterminismGate(t *testing.T) {
 	}
 	if got := pool.InFlight(); got != 0 {
 		t.Errorf("pool still holds %d slots after all runs returned", got)
+	}
+}
+
+// TestEnginePriorityMemo: EDF priorities are computed once per graph and
+// reused across runs of the same engine, invalidated when the graph changes,
+// and never memoised for custom priority policies (closures cannot be
+// compared, so each run must call the override afresh).
+func TestEnginePriorityMemo(t *testing.T) {
+	m := power.Default70nm()
+	rng := rand.New(rand.NewSource(17))
+	g1 := randomGraph(rng, 40, 0.08, coarseWeight)
+	g2 := randomGraph(rng, 40, 0.08, coarseWeight)
+
+	eng := Engine{Config: DeadlineFactor(g1, m, 4)}
+	p1 := eng.priorities(g1)
+	p2 := eng.priorities(g1)
+	if len(p1) == 0 || &p1[0] != &p2[0] {
+		t.Fatalf("EDF priorities recomputed for the same graph")
+	}
+	if _, err := eng.Run(context.Background(), ApproachSS, g1); err != nil {
+		t.Fatal(err)
+	}
+	if p3 := eng.priorities(g1); &p3[0] != &p1[0] {
+		t.Fatalf("memo lost across a Run on the same graph")
+	}
+	q := eng.priorities(g2)
+	if &q[0] == &p1[0] {
+		t.Fatalf("memo not invalidated when the graph changed")
+	}
+
+	calls := 0
+	custom := Engine{Config: DeadlineFactor(g1, m, 4)}
+	custom.Config.Priorities = func(gr *dag.Graph) []int64 {
+		calls++
+		return make([]int64, gr.NumTasks())
+	}
+	custom.priorities(g1)
+	custom.priorities(g1)
+	if calls != 2 {
+		t.Fatalf("custom priority policy called %d times, want 2 (never memoised)", calls)
 	}
 }
 

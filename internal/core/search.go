@@ -28,15 +28,21 @@ type scheduler struct {
 	built int
 }
 
-func newScheduler(ctx context.Context, g *dag.Graph, cfg *Config, obs *obsHub) *scheduler {
+func newScheduler(ctx context.Context, g *dag.Graph, prio []int64, obs *obsHub) *scheduler {
 	return &scheduler{
 		ctx:   ctx,
 		g:     g,
-		prio:  cfg.priorities(g),
+		prio:  prio,
 		obs:   obs,
 		cache: make(map[int]*sched.Schedule),
 	}
 }
+
+// kernelPool recycles scheduling scratch (heaps, in-degree and dispatch
+// buffers) across runs and goroutines: every candidate build borrows one
+// kernel, so the only per-build allocations left are the Schedule slices the
+// memo must retain anyway.
+var kernelPool = sync.Pool{New: func() any { return new(sched.Scheduler) }}
 
 // at returns the (memoised) list schedule on n processors. It checks the
 // run's context first, which bounds the cancellation latency of every search
@@ -51,7 +57,10 @@ func (sc *scheduler) at(n int) (*sched.Schedule, error) {
 		return s, nil
 	}
 	sc.mu.Unlock()
-	s, err := sched.ListSchedule(sc.g, n, sc.prio)
+	k := kernelPool.Get().(*sched.Scheduler)
+	s := new(sched.Schedule)
+	err := k.ScheduleInto(s, sc.g, n, sc.prio, nil)
+	kernelPool.Put(k)
 	if err != nil {
 		return nil, err
 	}

@@ -18,7 +18,7 @@ func (g *Graph) HasPath(u, v int) bool {
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, s := range g.succs[x] {
+		for _, s := range g.Succs(int(x)) {
 			if s == int32(v) {
 				return true
 			}
@@ -48,9 +48,9 @@ func (g *Graph) TransitiveReduction() (*Graph, error) {
 	// An edge u->v is redundant iff v is reachable from u via a path of
 	// length >= 2, i.e. from some other successor of u.
 	for u := 0; u < n; u++ {
-		for _, v := range g.succs[u] {
+		for _, v := range g.Succs(u) {
 			redundant := false
-			for _, w := range g.succs[u] {
+			for _, w := range g.Succs(u) {
 				if w != v && g.HasPath(int(w), int(v)) {
 					redundant = true
 					break
@@ -89,7 +89,7 @@ func (g *Graph) WidthProfile(buckets int) []int {
 // Ancestors returns the number of tasks from which v is reachable.
 func (g *Graph) Ancestors(v int) int {
 	visited := make([]bool, g.NumTasks())
-	stack := append([]int32(nil), g.preds[v]...)
+	stack := append([]int32(nil), g.Preds(v)...)
 	count := 0
 	for _, p := range stack {
 		visited[p] = true
@@ -98,7 +98,7 @@ func (g *Graph) Ancestors(v int) int {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		count++
-		for _, p := range g.preds[x] {
+		for _, p := range g.Preds(int(x)) {
 			if !visited[p] {
 				visited[p] = true
 				stack = append(stack, p)

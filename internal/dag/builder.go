@@ -60,8 +60,6 @@ func (b *Builder) Build() (*Graph, error) {
 	g := &Graph{
 		name:    b.name,
 		weights: append([]int64(nil), b.weights...),
-		succs:   make([][]int32, n),
-		preds:   make([][]int32, n),
 	}
 	if b.anyLbl {
 		g.labels = append([]string(nil), b.labels...)
@@ -73,6 +71,10 @@ func (b *Builder) Build() (*Graph, error) {
 		g.work += w
 	}
 
+	// Adjacency is stored in CSR form: count degrees, turn the counts into
+	// offsets, then scatter the edges into the two flat arrays.
+	g.succOff = make([]int32, n+1)
+	g.predOff = make([]int32, n+1)
 	for _, e := range b.edges {
 		u, v := int(e[0]), int(e[1])
 		if u < 0 || u >= n || v < 0 || v >= n {
@@ -81,16 +83,31 @@ func (b *Builder) Build() (*Graph, error) {
 		if u == v {
 			return nil, fmt.Errorf("%w: task %d", ErrSelfEdge, u)
 		}
-		g.succs[u] = append(g.succs[u], int32(v))
-		g.preds[v] = append(g.preds[v], int32(u))
+		g.succOff[u+1]++
+		g.predOff[v+1]++
 		g.nEdges++
 	}
-	// Detect duplicates after sorting adjacency lists; sorted lists also make
+	for v := 0; v < n; v++ {
+		g.succOff[v+1] += g.succOff[v]
+		g.predOff[v+1] += g.predOff[v]
+	}
+	g.succAdj = make([]int32, g.nEdges)
+	g.predAdj = make([]int32, g.nEdges)
+	sCur := append([]int32(nil), g.succOff[:n]...)
+	pCur := append([]int32(nil), g.predOff[:n]...)
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		g.succAdj[sCur[u]] = v
+		sCur[u]++
+		g.predAdj[pCur[v]] = u
+		pCur[v]++
+	}
+	// Detect duplicates after sorting each CSR row; sorted rows also make
 	// traversal deterministic for downstream consumers.
 	for v := 0; v < n; v++ {
-		sortInt32(g.succs[v])
-		sortInt32(g.preds[v])
-		if d := firstDup(g.succs[v]); d >= 0 {
+		sortInt32(g.succAdj[g.succOff[v]:g.succOff[v+1]])
+		sortInt32(g.predAdj[g.predOff[v]:g.predOff[v+1]])
+		if d := firstDup(g.Succs(v)); d >= 0 {
 			return nil, fmt.Errorf("%w: %d->%d", ErrDupEdge, v, d)
 		}
 	}
@@ -100,7 +117,21 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	g.computeLevels()
 	g.computeMaxWidth()
+	g.computeSourcesSinks()
 	return g, nil
+}
+
+// computeSourcesSinks precomputes the Sources/Sinks slices, so the accessors
+// can return graph-owned views instead of allocating per call.
+func (g *Graph) computeSourcesSinks() {
+	for v := 0; v < g.NumTasks(); v++ {
+		if g.InDegree(v) == 0 {
+			g.sources = append(g.sources, v)
+		}
+		if g.OutDegree(v) == 0 {
+			g.sinks = append(g.sinks, v)
+		}
+	}
 }
 
 func sortInt32(s []int32) {
@@ -122,7 +153,7 @@ func (g *Graph) computeTopo() error {
 	n := g.NumTasks()
 	indeg := make([]int32, n)
 	for v := 0; v < n; v++ {
-		indeg[v] = int32(len(g.preds[v]))
+		indeg[v] = int32(g.InDegree(v))
 	}
 	queue := make([]int32, 0, n)
 	for v := 0; v < n; v++ {
@@ -135,7 +166,7 @@ func (g *Graph) computeTopo() error {
 		v := queue[0]
 		queue = queue[1:]
 		topo = append(topo, v)
-		for _, s := range g.succs[v] {
+		for _, s := range g.Succs(int(v)) {
 			indeg[s]--
 			if indeg[s] == 0 {
 				queue = append(queue, s)
@@ -158,7 +189,7 @@ func (g *Graph) computeLevels() {
 	// Top levels: forward pass.
 	for _, v := range g.topo {
 		end := g.tlevel[v] + g.weights[v]
-		for _, s := range g.succs[v] {
+		for _, s := range g.Succs(int(v)) {
 			if end > g.tlevel[s] {
 				g.tlevel[s] = end
 			}
@@ -168,7 +199,7 @@ func (g *Graph) computeLevels() {
 	for i := n - 1; i >= 0; i-- {
 		v := g.topo[i]
 		var best int64
-		for _, s := range g.succs[v] {
+		for _, s := range g.Succs(int(v)) {
 			if g.blevel[s] > best {
 				best = g.blevel[s]
 			}

@@ -39,14 +39,24 @@ type Graph struct {
 	name    string
 	weights []int64
 	labels  []string // optional task labels; may be nil
-	succs   [][]int32
-	preds   [][]int32
 	nEdges  int
+
+	// Adjacency in compressed sparse row (CSR) layout: the successors of
+	// task v are succAdj[succOff[v]:succOff[v+1]], sorted ascending, and
+	// likewise for predecessors. One flat array per direction keeps
+	// dependency walks cache-friendly and makes the whole graph two
+	// allocations instead of 2n.
+	succAdj []int32
+	succOff []int32 // len NumTasks()+1
+	predAdj []int32
+	predOff []int32 // len NumTasks()+1
 
 	// Derived data, computed once in Builder.Build.
 	topo     []int32 // a topological order of all tasks
 	blevel   []int64 // longest path to a sink, including the task's own weight
 	tlevel   []int64 // longest path from a source, excluding the task's own weight
+	sources  []int   // tasks with no predecessors, ascending
+	sinks    []int   // tasks with no successors, ascending
 	cpl      int64   // critical path length, in cycles
 	work     int64   // sum of all weights, in cycles
 	maxWidth int     // upper bound on useful processors (antichain estimate)
@@ -72,19 +82,21 @@ func (g *Graph) Label(v int) string {
 	return g.labels[v]
 }
 
-// Succs returns the direct successors of task v. The returned slice is owned
-// by the graph and must not be modified.
-func (g *Graph) Succs(v int) []int32 { return g.succs[v] }
+// Succs returns the direct successors of task v in ascending order. The
+// returned slice is a view into the graph's CSR adjacency, owned by the
+// graph, and must not be modified.
+func (g *Graph) Succs(v int) []int32 { return g.succAdj[g.succOff[v]:g.succOff[v+1]] }
 
-// Preds returns the direct predecessors of task v. The returned slice is
-// owned by the graph and must not be modified.
-func (g *Graph) Preds(v int) []int32 { return g.preds[v] }
+// Preds returns the direct predecessors of task v in ascending order. The
+// returned slice is a view into the graph's CSR adjacency, owned by the
+// graph, and must not be modified.
+func (g *Graph) Preds(v int) []int32 { return g.predAdj[g.predOff[v]:g.predOff[v+1]] }
 
 // InDegree returns the number of direct predecessors of task v.
-func (g *Graph) InDegree(v int) int { return len(g.preds[v]) }
+func (g *Graph) InDegree(v int) int { return int(g.predOff[v+1] - g.predOff[v]) }
 
 // OutDegree returns the number of direct successors of task v.
-func (g *Graph) OutDegree(v int) int { return len(g.succs[v]) }
+func (g *Graph) OutDegree(v int) int { return int(g.succOff[v+1] - g.succOff[v]) }
 
 // TotalWork returns the sum of all task weights in cycles. The paper calls
 // this the total amount of work W.
@@ -121,27 +133,15 @@ func (g *Graph) TopLevel(v int) int64 { return g.tlevel[v] }
 // count from above.
 func (g *Graph) MaxWidth() int { return g.maxWidth }
 
-// Sources returns all tasks with no predecessors.
-func (g *Graph) Sources() []int {
-	var out []int
-	for v := range g.weights {
-		if len(g.preds[v]) == 0 {
-			out = append(out, v)
-		}
-	}
-	return out
-}
+// Sources returns all tasks with no predecessors, in ascending order. The
+// slice is precomputed in Builder.Build, owned by the graph, and must not be
+// modified — the same ownership convention as Succs and TopoOrder.
+func (g *Graph) Sources() []int { return g.sources }
 
-// Sinks returns all tasks with no successors.
-func (g *Graph) Sinks() []int {
-	var out []int
-	for v := range g.weights {
-		if len(g.succs[v]) == 0 {
-			out = append(out, v)
-		}
-	}
-	return out
-}
+// Sinks returns all tasks with no successors, in ascending order. The slice
+// is precomputed in Builder.Build, owned by the graph, and must not be
+// modified — the same ownership convention as Succs and TopoOrder.
+func (g *Graph) Sinks() []int { return g.sinks }
 
 // ScaleWeights returns a copy of the graph with every weight multiplied by
 // factor. It is used to convert abstract task-graph weights into cycles: the
@@ -195,7 +195,7 @@ func (g *Graph) Validate() error {
 	var work int64
 	for v := 0; v < n; v++ {
 		work += g.weights[v]
-		for _, s := range g.succs[v] {
+		for _, s := range g.Succs(v) {
 			if int(s) < 0 || int(s) >= n {
 				return fmt.Errorf("%w: edge %d->%d", ErrBadTask, v, s)
 			}

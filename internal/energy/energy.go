@@ -69,43 +69,19 @@ func (b Breakdown) String() string {
 // times are cycles at maximum frequency, so every interval of c cycles lasts
 // c/lvl.Freq seconds. Evaluate returns ErrDeadline if the stretched makespan
 // exceeds the deadline (with a one-ULP tolerance for the exact-fit case).
+//
+// Each idle gap is classified exactly as in the per-gap walk of Fig. 3 —
+// sleep when PS is on and the gap outlasts the break-even time, idle
+// otherwise — but the idle and sleep totals are summed as exact integer
+// cycle counts and converted to seconds and joules once, so the result does
+// not depend on gap enumeration order and is bit-identical to the O(log G)
+// GapProfile path the search engine uses. Callers evaluating one schedule at
+// many operating points should build a GapProfile once instead of calling
+// Evaluate per level.
 func Evaluate(s *sched.Schedule, m *power.Model, lvl power.Level, deadlineSec float64, opts Options) (Breakdown, error) {
-	var b Breakdown
-	makespanSec := float64(s.Makespan) / lvl.Freq
-	if makespanSec > deadlineSec*(1+1e-12) {
-		return b, fmt.Errorf("%w: makespan %.6gs > deadline %.6gs at %v", ErrDeadline, makespanSec, deadlineSec, lvl)
-	}
-
-	// Active energy: every cycle of work costs P(lvl)/f(lvl) joules.
-	b.ActiveTime = float64(s.BusyCycles()) / lvl.Freq
-	b.Active = b.ActiveTime * m.LevelPower(lvl)
-
-	if opts.IgnoreIdle {
-		return b, nil
-	}
-
-	// Idle gaps, including the trailing slack up to the deadline. The
-	// horizon is expressed in cycles at lvl so that gap lengths convert to
-	// seconds by dividing by lvl.Freq.
-	horizonCycles := int64(deadlineSec * lvl.Freq)
-	if horizonCycles < s.Makespan {
-		horizonCycles = s.Makespan // guard against float truncation
-	}
-	pIdle := m.IdlePower(lvl)
-	breakeven := m.BreakevenTime(lvl)
-	for _, gap := range s.Gaps(horizonCycles) {
-		t := float64(gap.Length()) / lvl.Freq
-		if opts.PS && t > breakeven {
-			b.Sleep += t * m.PSleep
-			b.SleepTime += t
-			b.Overhead += m.EOverhead
-			b.Shutdowns++
-		} else {
-			b.Idle += t * pIdle
-			b.IdleTime += t
-		}
-	}
-	return b, nil
+	var p GapProfile
+	p.Reset(s)
+	return p.Evaluate(m, lvl, deadlineSec, opts)
 }
 
 // MinFeasibleLevel returns the slowest operating point at which the

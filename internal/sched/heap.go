@@ -1,0 +1,74 @@
+package sched
+
+// Inlined index-based min-heaps for the scheduling kernel. container/heap
+// routes every Push/Pop through an `any` interface value, which boxes the
+// element on the heap (an allocation per operation for non-pointer types)
+// and forces dynamic dispatch in the hot loop. These generic helpers operate
+// directly on typed slices: no boxing, no interface calls, no allocation
+// beyond the slice growth the caller controls.
+//
+// The element type provides the strict weak ordering through the lessThan
+// method. All orderings used by the kernel are total (ties broken by task
+// index), so the pop sequence of these heaps is exactly the pop sequence of
+// container/heap with the same comparator — a requirement for the kernel's
+// byte-identical-schedules contract.
+
+// heapElem is the constraint for heap elements: a total order on the type.
+type heapElem[T any] interface {
+	lessThan(T) bool
+}
+
+// heapInit establishes the heap invariant in O(len(h)).
+func heapInit[T heapElem[T]](h []T) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		heapDown(h, i)
+	}
+}
+
+// heapPush appends x and restores the invariant. The append reuses the
+// slice's spare capacity; steady-state kernels size the backing array once.
+func heapPush[T heapElem[T]](h *[]T, x T) {
+	*h = append(*h, x)
+	s := *h
+	// Sift up.
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].lessThan(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// heapPop removes and returns the minimum element.
+func heapPop[T heapElem[T]](h *[]T) T {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	x := s[n]
+	*h = s[:n]
+	heapDown(s[:n], 0)
+	return x
+}
+
+// heapDown sifts the element at index i down to its place.
+func heapDown[T heapElem[T]](h []T, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r].lessThan(h[l]) {
+			m = r
+		}
+		if !h[m].lessThan(h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}

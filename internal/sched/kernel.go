@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"lamps/internal/dag"
+)
+
+// Scheduler is a reusable scratch space for list scheduling. The zero value
+// is ready to use; after the first call every buffer is retained, so
+// steady-state ScheduleInto performs no allocations at all (asserted by
+// TestScheduleIntoSteadyStateZeroAlloc and enforced in CI). A Scheduler is
+// not safe for concurrent use; pool instances across goroutines (the core
+// engine keeps them in a sync.Pool).
+type Scheduler struct {
+	indeg   []int32
+	ready   []readyItem   // min-heap: ready tasks by (priority, task)
+	pending []finishEvent // min-heap: released-in-the-future tasks by (release, task)
+	running []finishEvent // min-heap: running tasks by (finish, task)
+	idle    []procID      // min-heap: idle processor indices
+	order   []int32       // tasks in dispatch order, for the byProc counting sort
+	cursor  []int32       // per-processor write cursor of the counting sort
+}
+
+// procID is a processor index with the heap ordering "lowest index first",
+// which makes dispatch deterministic.
+type procID int32
+
+func (a procID) lessThan(b procID) bool { return a < b }
+
+// readyItem is an entry of the ready heap.
+type readyItem struct {
+	task int32
+	prio int64
+}
+
+func (a readyItem) lessThan(b readyItem) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.task < b.task
+}
+
+// finishEvent is a running task completion (or a pending release) in an
+// event queue.
+type finishEvent struct {
+	finish int64
+	task   int32
+}
+
+func (a finishEvent) lessThan(b finishEvent) bool {
+	if a.finish != b.finish {
+		return a.finish < b.finish
+	}
+	return a.task < b.task
+}
+
+// grow returns s resized to n elements, reusing the backing array when the
+// capacity suffices. Contents are unspecified; callers overwrite every slot.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// ScheduleInto runs event-driven, work-conserving list scheduling exactly
+// like ListScheduleReleases, but writes the result into dst and draws every
+// temporary from the Scheduler's reusable scratch. dst's slices are reused
+// when large enough, so a caller that keeps both the Scheduler and the
+// Schedule alive across calls schedules with zero allocations per call.
+//
+// dst must not be nil; its previous contents are fully overwritten. The
+// produced schedule — placement, times, makespan and per-processor task
+// lists — is byte-identical to the one ListScheduleReleases returns for the
+// same inputs.
+func (k *Scheduler) ScheduleInto(dst *Schedule, g *dag.Graph, nprocs int, prio, release []int64) error {
+	if nprocs <= 0 {
+		return ErrNoProcs
+	}
+	n := g.NumTasks()
+	if len(prio) != n {
+		return fmt.Errorf("%w: got %d priorities for %d tasks", ErrBadPriorities, len(prio), n)
+	}
+	if release != nil && len(release) != n {
+		return fmt.Errorf("%w: got %d releases for %d tasks", ErrBadReleases, len(release), n)
+	}
+	dst.Graph = g
+	dst.NumProcs = nprocs
+	dst.Makespan = 0
+	dst.Proc = grow(dst.Proc, n)
+	dst.Start = grow(dst.Start, n)
+	dst.Finish = grow(dst.Finish, n)
+
+	k.indeg = grow(k.indeg, n)
+	k.ready = grow(k.ready, 0)
+	k.pending = grow(k.pending, 0)
+	k.running = grow(k.running, 0)
+	k.order = grow(k.order, 0)
+	for v := 0; v < n; v++ {
+		k.indeg[v] = int32(g.InDegree(v))
+		if k.indeg[v] == 0 {
+			if release != nil && release[v] > 0 {
+				k.pending = append(k.pending, finishEvent{release[v], int32(v)})
+			} else {
+				k.ready = append(k.ready, readyItem{int32(v), prio[v]})
+			}
+		}
+	}
+	heapInit(k.ready)
+	heapInit(k.pending)
+
+	k.idle = grow(k.idle, nprocs)
+	for p := range k.idle {
+		k.idle[p] = procID(p)
+	}
+
+	var t int64
+	for {
+		// Admit every pending task whose release has passed.
+		for len(k.pending) > 0 && k.pending[0].finish <= t {
+			ev := heapPop(&k.pending)
+			heapPush(&k.ready, readyItem{ev.task, prio[ev.task]})
+		}
+		// Dispatch every ready task for which an idle processor exists.
+		for len(k.ready) > 0 && len(k.idle) > 0 {
+			it := heapPop(&k.ready)
+			p := heapPop(&k.idle)
+			v := int(it.task)
+			finish := t + g.Weight(v)
+			dst.Proc[v] = int32(p)
+			dst.Start[v] = t
+			dst.Finish[v] = finish
+			if finish > dst.Makespan {
+				dst.Makespan = finish
+			}
+			k.order = append(k.order, it.task)
+			heapPush(&k.running, finishEvent{finish, it.task})
+		}
+		if len(k.running) == 0 && len(k.pending) == 0 {
+			break // nothing running, nothing future: done
+		}
+		// Advance to the next event: a completion or a release.
+		next := int64(math.MaxInt64)
+		if len(k.running) > 0 {
+			next = k.running[0].finish
+		}
+		if len(k.pending) > 0 && k.pending[0].finish < next {
+			next = k.pending[0].finish
+		}
+		t = next
+		for len(k.running) > 0 && k.running[0].finish == t {
+			ev := heapPop(&k.running)
+			heapPush(&k.idle, procID(dst.Proc[ev.task]))
+			for _, succ := range g.Succs(int(ev.task)) {
+				k.indeg[succ]--
+				if k.indeg[succ] == 0 {
+					if release != nil && release[succ] > t {
+						heapPush(&k.pending, finishEvent{release[succ], succ})
+					} else {
+						heapPush(&k.ready, readyItem{succ, prio[succ]})
+					}
+				}
+			}
+		}
+	}
+	k.buildByProc(dst)
+	return nil
+}
+
+// buildByProc fills dst's flat per-processor task lists by a stable counting
+// sort of the dispatch order over the processor index. Within one processor
+// start times strictly increase along the dispatch order (a processor runs
+// one task at a time and weights are positive), so the stable scatter yields
+// the lists sorted by start time without any comparison sort.
+func (k *Scheduler) buildByProc(dst *Schedule) {
+	nprocs := dst.NumProcs
+	dst.byProcOff = grow(dst.byProcOff, nprocs+1)
+	for p := 0; p <= nprocs; p++ {
+		dst.byProcOff[p] = 0
+	}
+	for _, v := range k.order {
+		dst.byProcOff[dst.Proc[v]+1]++
+	}
+	for p := 0; p < nprocs; p++ {
+		dst.byProcOff[p+1] += dst.byProcOff[p]
+	}
+	k.cursor = grow(k.cursor, nprocs)
+	copy(k.cursor, dst.byProcOff[:nprocs])
+	dst.byProcFlat = grow(dst.byProcFlat, len(k.order))
+	for _, v := range k.order {
+		p := dst.Proc[v]
+		dst.byProcFlat[k.cursor[p]] = v
+		k.cursor[p]++
+	}
+}

@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"container/heap"
-	"fmt"
 	"math"
 
 	"lamps/internal/dag"
@@ -109,72 +107,6 @@ func ListEDFWithDeadlines(g *dag.Graph, nprocs int, dl []int64) (*Schedule, erro
 	return ListSchedule(g, nprocs, prio)
 }
 
-// readyItem is an entry of the ready heap.
-type readyItem struct {
-	task int32
-	prio int64
-}
-
-type readyHeap []readyItem
-
-func (h readyHeap) Len() int { return len(h) }
-func (h readyHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].task < h[j].task
-}
-func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
-func (h *readyHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// finishEvent is a running task completion in the event queue.
-type finishEvent struct {
-	finish int64
-	task   int32
-}
-
-type eventHeap []finishEvent
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].finish != h[j].finish {
-		return h[i].finish < h[j].finish
-	}
-	return h[i].task < h[j].task
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(finishEvent)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// intHeap is a min-heap of processor indices (lowest index dispatched first
-// for determinism).
-type intHeap []int32
-
-func (h intHeap) Len() int           { return len(h) }
-func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *intHeap) Push(x any)        { *h = append(*h, x.(int32)) }
-func (h *intHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // ListSchedule runs event-driven, work-conserving list scheduling with
 // arbitrary per-task priorities (lower value = dispatched earlier among
 // ready tasks). Whenever at least one processor is idle and at least one
@@ -192,103 +124,16 @@ func ListSchedule(g *dag.Graph, nprocs int, prio []int64) (*Schedule, error) {
 // that arrive over time — the paper uses them for periodic tasks translated
 // to frame DAGs (Section 3.1, after Liberato et al.) and for KPN inputs not
 // available at time zero. A nil slice means every task is released at 0.
+//
+// It is a convenience wrapper over the allocation-free kernel: it runs a
+// fresh Scheduler scratch and returns a fresh Schedule. Callers on a hot
+// path should keep a Scheduler and call ScheduleInto to reuse both.
 func ListScheduleReleases(g *dag.Graph, nprocs int, prio, release []int64) (*Schedule, error) {
-	if nprocs <= 0 {
-		return nil, ErrNoProcs
+	var k Scheduler
+	s := new(Schedule)
+	if err := k.ScheduleInto(s, g, nprocs, prio, release); err != nil {
+		return nil, err
 	}
-	n := g.NumTasks()
-	if len(prio) != n {
-		return nil, fmt.Errorf("%w: got %d priorities for %d tasks", ErrBadPriorities, len(prio), n)
-	}
-	if release != nil && len(release) != n {
-		return nil, fmt.Errorf("%w: got %d releases for %d tasks", ErrBadReleases, len(release), n)
-	}
-	relOf := func(v int32) int64 {
-		if release == nil {
-			return 0
-		}
-		return release[v]
-	}
-	s := &Schedule{
-		Graph:    g,
-		NumProcs: nprocs,
-		Proc:     make([]int32, n),
-		Start:    make([]int64, n),
-		Finish:   make([]int64, n),
-	}
-
-	indeg := make([]int32, n)
-	ready := make(readyHeap, 0, n)
-	var pending eventHeap // tasks with all preds done, waiting for release
-	for v := 0; v < n; v++ {
-		indeg[v] = int32(g.InDegree(v))
-		if indeg[v] == 0 {
-			if r := relOf(int32(v)); r > 0 {
-				pending = append(pending, finishEvent{r, int32(v)})
-			} else {
-				ready = append(ready, readyItem{int32(v), prio[v]})
-			}
-		}
-	}
-	heap.Init(&ready)
-	heap.Init(&pending)
-
-	idle := make(intHeap, nprocs)
-	for p := range idle {
-		idle[p] = int32(p)
-	}
-	heap.Init(&idle)
-
-	var running eventHeap
-	var t int64
-	for {
-		// Admit every pending task whose release has passed.
-		for pending.Len() > 0 && pending[0].finish <= t {
-			ev := heap.Pop(&pending).(finishEvent)
-			heap.Push(&ready, readyItem{ev.task, prio[ev.task]})
-		}
-		// Dispatch every ready task for which an idle processor exists.
-		for ready.Len() > 0 && idle.Len() > 0 {
-			it := heap.Pop(&ready).(readyItem)
-			p := heap.Pop(&idle).(int32)
-			v := int(it.task)
-			finish := t + g.Weight(v)
-			s.Proc[v] = p
-			s.Start[v] = t
-			s.Finish[v] = finish
-			if finish > s.Makespan {
-				s.Makespan = finish
-			}
-			heap.Push(&running, finishEvent{finish, it.task})
-		}
-		if running.Len() == 0 && pending.Len() == 0 {
-			break // nothing running, nothing future: done
-		}
-		// Advance to the next event: a completion or a release.
-		next := int64(math.MaxInt64)
-		if running.Len() > 0 {
-			next = running[0].finish
-		}
-		if pending.Len() > 0 && pending[0].finish < next {
-			next = pending[0].finish
-		}
-		t = next
-		for running.Len() > 0 && running[0].finish == t {
-			ev := heap.Pop(&running).(finishEvent)
-			heap.Push(&idle, s.Proc[ev.task])
-			for _, succ := range g.Succs(int(ev.task)) {
-				indeg[succ]--
-				if indeg[succ] == 0 {
-					if r := relOf(succ); r > t {
-						heap.Push(&pending, finishEvent{r, succ})
-					} else {
-						heap.Push(&ready, readyItem{succ, prio[succ]})
-					}
-				}
-			}
-		}
-	}
-	s.rebuildByProc()
 	return s, nil
 }
 

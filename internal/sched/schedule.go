@@ -40,12 +40,19 @@ type Schedule struct {
 
 	Makespan int64
 
-	byProc [][]int32 // processor -> tasks in increasing start order
+	// Per-processor task lists in CSR layout: processor p runs
+	// byProcFlat[byProcOff[p]:byProcOff[p+1]] in increasing start order. The
+	// flat layout lets the scheduling kernel rebuild the lists in place with
+	// a counting sort instead of per-processor allocations.
+	byProcFlat []int32
+	byProcOff  []int32 // len NumProcs+1
 }
 
 // TasksOn returns the tasks assigned to processor p in execution order. The
 // returned slice is owned by the schedule and must not be modified.
-func (s *Schedule) TasksOn(p int) []int32 { return s.byProc[p] }
+func (s *Schedule) TasksOn(p int) []int32 {
+	return s.byProcFlat[s.byProcOff[p]:s.byProcOff[p+1]]
+}
 
 // ProcsUsed returns the number of processors that execute at least one task.
 // List scheduling may leave processors empty when the graph has less
@@ -53,7 +60,7 @@ func (s *Schedule) TasksOn(p int) []int32 { return s.byProc[p] }
 func (s *Schedule) ProcsUsed() int {
 	n := 0
 	for p := 0; p < s.NumProcs; p++ {
-		if len(s.byProc[p]) > 0 {
+		if s.byProcOff[p+1] > s.byProcOff[p] {
 			n++
 		}
 	}
@@ -80,7 +87,7 @@ func (g Gap) Length() int64 { return g.End - g.Begin }
 func (s *Schedule) Gaps(horizon int64) []Gap {
 	var gaps []Gap
 	for p := 0; p < s.NumProcs; p++ {
-		tasks := s.byProc[p]
+		tasks := s.TasksOn(p)
 		if len(tasks) == 0 {
 			continue
 		}
@@ -148,11 +155,14 @@ func (s *Schedule) Validate() error {
 		return fmt.Errorf("sched: makespan %d != max finish %d", s.Makespan, maxFinish)
 	}
 	// Per-processor non-overlap and ordering.
+	if len(s.byProcOff) != s.NumProcs+1 || len(s.byProcFlat) != n {
+		return fmt.Errorf("sched: per-processor task lists have wrong length")
+	}
 	seen := make([]bool, n)
 	total := 0
 	for p := 0; p < s.NumProcs; p++ {
 		var cursor int64
-		for _, v := range s.byProc[p] {
+		for _, v := range s.TasksOn(p) {
 			if seen[v] {
 				return fmt.Errorf("sched: task %d scheduled twice", v)
 			}
@@ -180,7 +190,7 @@ func (s *Schedule) String() string {
 		s.Graph.Name(), s.NumProcs, s.Makespan)
 	for p := 0; p < s.NumProcs; p++ {
 		out += fmt.Sprintf("  P%d:", p)
-		for _, v := range s.byProc[p] {
+		for _, v := range s.TasksOn(p) {
 			label := s.Graph.Label(int(v))
 			if label == "" {
 				label = fmt.Sprintf("T%d", v)
@@ -192,16 +202,28 @@ func (s *Schedule) String() string {
 	return out
 }
 
-// rebuildByProc sorts per-processor task lists by start time; used after
-// assignment.
+// rebuildByProc rebuilds the flat per-processor task lists from Proc/Start:
+// a counting sort over the processor index followed by a per-processor sort
+// by start time. The scheduling kernel never calls this — it produces the
+// lists directly from its dispatch order — but deserialisation does, because
+// JSON documents may list tasks in any order.
 func (s *Schedule) rebuildByProc() {
-	s.byProc = make([][]int32, s.NumProcs)
+	s.byProcOff = make([]int32, s.NumProcs+1)
+	for _, p := range s.Proc {
+		s.byProcOff[p+1]++
+	}
+	for p := 0; p < s.NumProcs; p++ {
+		s.byProcOff[p+1] += s.byProcOff[p]
+	}
+	s.byProcFlat = make([]int32, len(s.Proc))
+	cursor := append([]int32(nil), s.byProcOff[:s.NumProcs]...)
 	for v := range s.Proc {
 		p := s.Proc[v]
-		s.byProc[p] = append(s.byProc[p], int32(v))
+		s.byProcFlat[cursor[p]] = int32(v)
+		cursor[p]++
 	}
-	for p := range s.byProc {
-		tasks := s.byProc[p]
+	for p := 0; p < s.NumProcs; p++ {
+		tasks := s.TasksOn(p)
 		sort.Slice(tasks, func(i, j int) bool { return s.Start[tasks[i]] < s.Start[tasks[j]] })
 	}
 }
