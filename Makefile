@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench alloc-gate serve ci
+.PHONY: all build vet test race fuzz-smoke smoke verify-campaign bench alloc-gate serve ci
 
 all: ci
 
@@ -27,6 +27,32 @@ race:
 # new inputs — a deterministic smoke check of the parsers).
 fuzz-smoke:
 	$(GO) test -run='^Fuzz' ./internal/stg ./internal/sched
+
+# Build-and-run smoke: every example and every command executes end to end
+# with quick arguments, so a main() that compiles but crashes on startup
+# cannot slip through the unit-test gate. The benchmark harnesses write
+# their reports into a scratch directory (a smoke run must not clobber the
+# checked-in BENCH_*.json workflow), and lampsd runs for two seconds and has
+# to drain cleanly on SIGINT.
+smoke:
+	@set -e; for ex in examples/*/; do echo "== $$ex"; $(GO) run ./$$ex >/dev/null; done
+	$(GO) run ./cmd/lamps -random 24 -seed 7 >/dev/null
+	$(GO) run ./cmd/stggen -nodes 16 -method mix >/dev/null
+	$(GO) run ./cmd/experiments -run fig3 -quick >/dev/null
+	$(GO) run ./cmd/verifycamp -n 10 >/dev/null
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/sweepbench -out $$tmp/sweep.json >/dev/null; \
+	$(GO) run ./cmd/corebench -repeat 1 -out $$tmp/core.json >/dev/null; \
+	$(GO) build -o $$tmp/lampsd ./cmd/lampsd; \
+	echo "== lampsd (2s, SIGINT drain)"; \
+	timeout --preserve-status -s INT 2 $$tmp/lampsd -addr 127.0.0.1:0 2>/dev/null
+
+# The independent-verifier campaign: 200 random graphs re-checked from first
+# principles (schedule legality, energy accounting, cross-heuristic and
+# metamorphic invariants, mutation self-test). Deterministic — same seeds in
+# CI and locally. The nightly workflow runs `verifycamp -long` instead.
+verify-campaign:
+	$(GO) run ./cmd/verifycamp -n 200
 
 # Micro-benchmarks plus the two benchmark harnesses: sweepbench writes
 # per-cell latency percentiles and cold/warm sweep wall times to

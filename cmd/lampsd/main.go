@@ -61,6 +61,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		model     = fs.String("model", "", "load the power model from a JSON file (default: built-in 70nm)")
 		reqTO     = fs.Duration("request-timeout", 60*time.Second, "end-to-end per-request deadline covering queueing and scheduling (0 disables)")
 		maxCells  = fs.Int("sweep-max-cells", server.DefaultSweepMaxCells, "largest accepted /v1/sweep grid, in cells")
+		selfcheck = fs.Bool("selfcheck", false, "re-verify every scheduling result from first principles (canary mode; failures return 500 and count in lampsd_verify_failures_total)")
 	)
 	fs.SetOutput(logw)
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +92,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *reqTO,
 		SweepMaxCells:  *maxCells,
+		SelfCheck:      *selfcheck,
 		Logger:         logger,
 	})
 

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunShortCampaign: a small campaign exits 0 with a clean summary on
+// stdout and nothing on stderr.
+func TestRunShortCampaign(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-n", "6", "-seed", "3", "-sizes", "8,12", "-factors", "1.5,4", "-mutate-every", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "violations: 0") {
+		t.Fatalf("summary missing clean tally: %s", out.String())
+	}
+	if errb.Len() != 0 {
+		t.Fatalf("unexpected stderr: %s", errb.String())
+	}
+}
+
+// TestRunBadFlags: malformed lists are usage errors (exit 2), not crashes.
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-sizes", "ten"}, &out, &errb); code != 2 {
+		t.Fatalf("bad -sizes: exit %d", code)
+	}
+	if code := run(context.Background(), []string{"-factors", "x"}, &out, &errb); code != 2 {
+		t.Fatalf("bad -factors: exit %d", code)
+	}
+	if code := run(context.Background(), []string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown flag: exit %d", code)
+	}
+}
+
+// TestRunCancelled: an already-cancelled context is an infrastructure
+// failure (exit 2), distinct from a violation (exit 1).
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	if code := run(ctx, []string{"-n", "50"}, &out, &errb); code != 2 {
+		t.Fatalf("cancelled campaign: exit %d", code)
+	}
+}

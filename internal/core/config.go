@@ -53,6 +53,16 @@ type Config struct {
 	// experiments suggested in the paper's Section 6.
 	Priorities func(*dag.Graph) []int64
 
+	// SelfCheck runs every schedule the engine builds through the
+	// independent first-principles verifier (internal/verify) and re-derives
+	// the winning result's energy breakdown with the verifier's linear gap
+	// walk, requiring bit-for-bit agreement. Any violation surfaces as an
+	// error carrying a minimal repro dump and matching verify.ErrViolation.
+	// Off by default: when false the engine takes no verification branch at
+	// all, so the hot paths (and their zero-allocation guarantees) are
+	// untouched.
+	SelfCheck bool
+
 	// PruneSweep stops each +PS level sweep at the first operating point
 	// whose total energy strictly exceeds the sweep's running minimum,
 	// relying on the total energy of a fixed schedule being unimodal in the

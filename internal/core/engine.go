@@ -9,6 +9,7 @@ import (
 	"lamps/internal/energy"
 	"lamps/internal/power"
 	"lamps/internal/sched"
+	"lamps/internal/verify"
 	"lamps/internal/workpool"
 )
 
@@ -172,8 +173,25 @@ func (e *Engine) newRun(ctx context.Context, g *dag.Graph) (*run, error) {
 	}
 	r := &run{ctx: ctx, cfg: &e.Config, m: e.Config.model(), pool: e.Pool}
 	r.obs.o = e.Observer
-	r.sc = newScheduler(ctx, g, e.priorities(g), &r.obs)
+	r.sc = newScheduler(ctx, g, e.priorities(g), &r.obs, e.Config.SelfCheck)
 	return r, nil
+}
+
+// selfCheckResult is the result-level half of Config.SelfCheck: the winning
+// breakdown — produced by the pooled O(log G) GapProfile path — is
+// re-derived with the verifier's naive linear gap walk and must agree bit
+// for bit. The schedule itself was already verified when it was built (see
+// scheduler.at); the limits carry no schedule and are covered by the
+// cross-heuristic invariants instead.
+func (r *run) selfCheckResult(res *Result, ps bool) error {
+	if !r.cfg.SelfCheck || res.Schedule == nil {
+		return nil
+	}
+	if err := verify.EnergyMatches(res.Schedule, r.m, res.Level, r.cfg.Deadline,
+		energy.Options{PS: ps}, res.Energy); err != nil {
+		return fmt.Errorf("core: self-check: %s result: %w", res.Approach, err)
+	}
+	return nil
 }
 
 // each runs fn(i) for every i in [0, n): serially without a pool, otherwise
@@ -451,6 +469,9 @@ func (e *Engine) ss(ctx context.Context, approach string, g *dag.Graph, ps bool)
 	}
 	best.NumProcs = cands[0].s.ProcsUsed()
 	best.Stats = r.stats(cands)
+	if err := r.selfCheckResult(best, ps); err != nil {
+		return nil, err
+	}
 	return best, nil
 }
 
@@ -500,6 +521,9 @@ func (e *Engine) lamps(ctx context.Context, approach string, g *dag.Graph, ps bo
 		return nil, err
 	}
 	best.Stats = r.stats(cands)
+	if err := r.selfCheckResult(best, ps); err != nil {
+		return nil, err
+	}
 	return best, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"lamps/internal/dag"
 	"lamps/internal/sched"
+	"lamps/internal/verify"
 )
 
 // scheduler memoises list-scheduling runs per processor count within one
@@ -18,23 +19,25 @@ import (
 // possible but harmless — exactly one wins the memo slot and is counted, so
 // SchedulesBuilt stays deterministic.
 type scheduler struct {
-	ctx  context.Context
-	g    *dag.Graph
-	prio []int64
-	obs  *obsHub
+	ctx       context.Context
+	g         *dag.Graph
+	prio      []int64
+	obs       *obsHub
+	selfCheck bool // Config.SelfCheck: verify every freshly built schedule
 
 	mu    sync.Mutex
 	cache map[int]*sched.Schedule
 	built int
 }
 
-func newScheduler(ctx context.Context, g *dag.Graph, prio []int64, obs *obsHub) *scheduler {
+func newScheduler(ctx context.Context, g *dag.Graph, prio []int64, obs *obsHub, selfCheck bool) *scheduler {
 	return &scheduler{
-		ctx:   ctx,
-		g:     g,
-		prio:  prio,
-		obs:   obs,
-		cache: make(map[int]*sched.Schedule),
+		ctx:       ctx,
+		g:         g,
+		prio:      prio,
+		obs:       obs,
+		selfCheck: selfCheck,
+		cache:     make(map[int]*sched.Schedule),
 	}
 }
 
@@ -63,6 +66,13 @@ func (sc *scheduler) at(n int) (*sched.Schedule, error) {
 	kernelPool.Put(k)
 	if err != nil {
 		return nil, err
+	}
+	if sc.selfCheck {
+		// Config.SelfCheck: every schedule the kernel emits is re-checked
+		// from first principles before any search step may consume it.
+		if verr := verify.Schedule(sc.g, s); verr != nil {
+			return nil, fmt.Errorf("core: self-check: schedule on %d processors: %w", n, verr)
+		}
 	}
 	sc.mu.Lock()
 	if prev, ok := sc.cache[n]; ok {

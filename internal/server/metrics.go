@@ -78,6 +78,8 @@ type metrics struct {
 
 	runsCancelled uint64 // runs aborted because every waiter departed
 
+	verifyFailures uint64 // runs rejected by the self-check verifier
+
 	latency map[string]*histogram // approach -> scheduling latency (cache misses only)
 
 	queueShed *histogram // time spent queueing by requests shed with 503
@@ -158,6 +160,16 @@ func (m *metrics) recordRunCancelled() {
 	m.runsCancelled++
 }
 
+// recordVerifyFailure counts one scheduling run whose result the
+// independent self-check verifier rejected (Options.SelfCheck). Any
+// non-zero value is an alarm: the serving binary produced a schedule or an
+// energy figure its own first-principles checker contradicts.
+func (m *metrics) recordVerifyFailure() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.verifyFailures++
+}
+
 // recordQueueShed records one request shed while queueing for a worker slot
 // (a 503), with the time it spent waiting — the data Retry-After tuning
 // needs.
@@ -228,6 +240,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP lampsd_runs_cancelled_total Scheduling runs cancelled because every waiter departed (timeout or disconnect).\n")
 	fmt.Fprintf(w, "# TYPE lampsd_runs_cancelled_total counter\n")
 	fmt.Fprintf(w, "lampsd_runs_cancelled_total %d\n", m.runsCancelled)
+
+	fmt.Fprintf(w, "# HELP lampsd_verify_failures_total Scheduling runs rejected by the independent self-check verifier (-selfcheck); any non-zero value is an alarm.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_verify_failures_total counter\n")
+	fmt.Fprintf(w, "lampsd_verify_failures_total %d\n", m.verifyFailures)
 
 	fmt.Fprintf(w, "# HELP lampsd_queue_shed_seconds Time requests shed with 503 spent queueing for a worker slot.\n")
 	fmt.Fprintf(w, "# TYPE lampsd_queue_shed_seconds histogram\n")

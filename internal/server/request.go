@@ -140,9 +140,10 @@ func (s *Server) buildGraph(spec *graphSpec, stgText string) (*dag.Graph, error)
 // config assembles the core.Config for the request's graph.
 func (s *Server) config(req *scheduleRequest, g *dag.Graph) core.Config {
 	return core.Config{
-		Model:    s.opts.Model,
-		Deadline: s.resolveDeadline(g, req.DeadlineSec, req.DeadlineFactor),
-		MaxProcs: req.MaxProcs,
+		Model:     s.opts.Model,
+		Deadline:  s.resolveDeadline(g, req.DeadlineSec, req.DeadlineFactor),
+		MaxProcs:  req.MaxProcs,
+		SelfCheck: s.opts.SelfCheck,
 	}
 }
 

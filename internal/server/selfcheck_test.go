@@ -1,0 +1,65 @@
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"lamps/internal/core"
+	"lamps/internal/dag"
+	"lamps/internal/server"
+	"lamps/internal/verify"
+)
+
+// TestSelfCheckHappyPath: with Options.SelfCheck on, every approach still
+// serves 200 with the self-verified result, and the verify-failure counter
+// stays at zero.
+func TestSelfCheckHappyPath(t *testing.T) {
+	ts := newTestServer(t, server.Options{SelfCheck: true})
+	for _, approach := range []string{"ss", "lamps", "ss+ps", "lamps+ps"} {
+		status, body, _ := post(t, ts, scheduleReq(approach, diamondGraph(), 2))
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", approach, status, body)
+		}
+		r := decodeResp(t, body)
+		if r.Energy.TotalJ <= 0 {
+			t.Fatalf("%s: no energy in self-checked result", approach)
+		}
+	}
+	if v := metricValue(t, ts, "lampsd_verify_failures_total"); v != 0 {
+		t.Fatalf("verify failures on valid runs: %g", v)
+	}
+}
+
+// TestSelfCheckFailureCountsAndFails: a run whose result the verifier
+// rejects — injected through a Runner stub, since the real engine does not
+// produce invalid results — must fail the request with 500 and increment
+// lampsd_verify_failures_total.
+func TestSelfCheckFailureCountsAndFails(t *testing.T) {
+	violation := &verify.Violation{Check: verify.CheckEnergy, Detail: "injected for the metrics test"}
+	ts := newTestServer(t, server.Options{
+		SelfCheck: true,
+		Runner: func(ctx context.Context, approach string, g *dag.Graph, cfg core.Config) (*core.Result, error) {
+			if !cfg.SelfCheck {
+				t.Error("Options.SelfCheck not propagated into core.Config")
+			}
+			return nil, violation
+		},
+	})
+	status, body, _ := post(t, ts, scheduleReq("lamps", diamondGraph(), 2))
+	if status != http.StatusInternalServerError {
+		t.Fatalf("violated run: status %d: %s", status, body)
+	}
+	if v := metricValue(t, ts, "lampsd_verify_failures_total"); v != 1 {
+		t.Fatalf("lampsd_verify_failures_total = %g, want 1", v)
+	}
+	// A second identical request must not be served from the cache: error
+	// responses are never cached, and each failure counts again.
+	status, _, _ = post(t, ts, scheduleReq("lamps", diamondGraph(), 2))
+	if status != http.StatusInternalServerError {
+		t.Fatalf("repeat violated run: status %d", status)
+	}
+	if v := metricValue(t, ts, "lampsd_verify_failures_total"); v != 2 {
+		t.Fatalf("lampsd_verify_failures_total = %g after repeat, want 2", v)
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"lamps/internal/graphhash"
 	"lamps/internal/power"
 	"lamps/internal/server/cache"
+	"lamps/internal/verify"
 	"lamps/internal/workpool"
 )
 
@@ -98,6 +99,15 @@ type Options struct {
 	// concurrent runs (0 = GOMAXPROCS, negative = serial search). Results
 	// are identical either way; this only trades latency for CPU.
 	SearchWorkers int
+	// SelfCheck enables core.Config.SelfCheck on every scheduling run: each
+	// schedule the engine builds is re-verified from first principles and
+	// the winning energy breakdown re-derived bit for bit
+	// (internal/verify). A violation fails the request with 500 and
+	// increments lampsd_verify_failures_total — the canary signal that the
+	// serving binary computes results its own verifier rejects. Costs one
+	// extra O(V+E) pass per built schedule; intended for canary deployments
+	// rather than every production replica.
+	SelfCheck bool
 	// Runner executes one scheduling problem under ctx; returning an error
 	// satisfying errors.Is(err, context.Canceled/DeadlineExceeded) counts
 	// the run as cancelled. Nil selects the built-in engine runner (which
@@ -379,6 +389,9 @@ func (s *Server) runProblem(ctx context.Context, key, approach string, g *dag.Gr
 	if coreErr != nil {
 		if isCancellation(coreErr) {
 			s.metrics.recordRunCancelled()
+		}
+		if errors.Is(coreErr, verify.ErrViolation) {
+			s.metrics.recordVerifyFailure()
 		}
 		return 0, nil, coreErr
 	}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"lamps/internal/energy"
+	"lamps/internal/kpn"
+	"lamps/internal/mpeg"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+// TestReplayMatchesStaticSchedule cross-checks the simulator against the
+// static schedule on the paper's two application graphs: replaying a
+// sched.Schedule at WCET and the common operating point must reproduce the
+// static makespan exactly (up to float rounding) and the same per-processor
+// busy and gap totals, and the integrated energy must agree with the closed
+// form of the energy package.
+func TestReplayMatchesStaticSchedule(t *testing.T) {
+	m := power.Default70nm()
+
+	type tc struct {
+		name   string
+		build  func(t *testing.T) *sched.Schedule
+		nprocs int
+	}
+	const period = 7_750_000
+	cases := []tc{}
+	for _, np := range []int{1, 2, 4} {
+		np := np
+		cases = append(cases, tc{
+			name: "mpeg-fig9",
+			build: func(t *testing.T) *sched.Schedule {
+				s, err := sched.ListEDF(mpeg.Fig9(), np)
+				if err != nil {
+					t.Fatalf("ListEDF(mpeg, %d): %v", np, err)
+				}
+				return s
+			},
+			nprocs: np,
+		}, tc{
+			name: "kpn-fig1",
+			build: func(t *testing.T) *sched.Schedule {
+				net := kpn.Fig1Example(1_000_000, 2_000_000, 1_500_000)
+				g, _, err := net.Unroll(6, 3*period, period)
+				if err != nil {
+					t.Fatalf("Unroll: %v", err)
+				}
+				s, err := sched.ListEDF(g, np)
+				if err != nil {
+					t.Fatalf("ListEDF(kpn, %d): %v", np, err)
+				}
+				return s
+			},
+			nprocs: np,
+		})
+	}
+
+	for _, c := range cases {
+		for _, lvlIdx := range []int{0, len(m.Levels()) - 1} {
+			for _, slack := range []float64{1, 1.75} {
+				for _, ps := range []bool{false, true} {
+					s := c.build(t)
+					lvl := m.Level(lvlIdx)
+					deadline := float64(s.Makespan) / lvl.Freq * slack
+					tr, err := Run(s, m, Options{Level: lvl, PS: ps, DeadlineSec: deadline})
+					if err != nil {
+						t.Fatalf("%s/%dp lvl%d slack %g ps=%v: Run: %v",
+							c.name, c.nprocs, lvlIdx, slack, ps, err)
+					}
+					checkReplay(t, s, m, lvl, deadline, ps, tr,
+						c.name, c.nprocs, lvlIdx, slack)
+				}
+			}
+		}
+	}
+}
+
+// checkReplay asserts one replayed trace against its static schedule.
+func checkReplay(t *testing.T, s *sched.Schedule, m *power.Model, lvl power.Level,
+	deadline float64, ps bool, tr *Trace, name string, nprocs, lvlIdx int, slack float64) {
+	t.Helper()
+	label := name
+
+	relEq := func(got, want float64) bool {
+		return math.Abs(got-want) <= 1e-9*math.Abs(want)+1e-12
+	}
+
+	// Makespan: the simulated completion of the last task equals the static
+	// makespan converted to seconds.
+	wantMakespan := float64(s.Makespan) / lvl.Freq
+	if !relEq(tr.MakespanSec, wantMakespan) {
+		t.Errorf("%s/%dp lvl%d slack %g: makespan %.12g s, static %.12g s",
+			label, nprocs, lvlIdx, slack, tr.MakespanSec, wantMakespan)
+	}
+	if !tr.DeadlineMet {
+		t.Errorf("%s/%dp lvl%d slack %g: deadline reported missed", label, nprocs, lvlIdx, slack)
+	}
+
+	// Per-task finish times match the static timetable.
+	for v := 0; v < s.Graph.NumTasks(); v++ {
+		want := float64(s.Finish[v]) / lvl.Freq
+		if !relEq(tr.FinishSec[v], want) {
+			t.Fatalf("%s/%dp lvl%d slack %g: task %d finishes at %.12g s, static %.12g s",
+				label, nprocs, lvlIdx, slack, v, tr.FinishSec[v], want)
+		}
+	}
+
+	// Per-processor busy and gap totals. Busy time must match the static
+	// schedule exactly; everything else on an employed processor (idle,
+	// sleeping, shutdown transitions) must fill the horizon.
+	busySim := make([]float64, s.NumProcs)
+	gapSim := make([]float64, s.NumProcs)
+	ran := make(map[int]bool, s.Graph.NumTasks())
+	for _, seg := range tr.Segments {
+		if seg.Proc < 0 || seg.Proc >= s.NumProcs {
+			t.Fatalf("%s: segment on processor %d of %d", label, seg.Proc, s.NumProcs)
+		}
+		switch seg.State {
+		case StateRunning:
+			busySim[seg.Proc] += seg.End - seg.Begin
+			if int(s.Proc[seg.Task]) != seg.Proc {
+				t.Fatalf("%s: task %d ran on processor %d, statically placed on %d",
+					label, seg.Task, seg.Proc, s.Proc[seg.Task])
+			}
+			ran[seg.Task] = true
+		case StateOff:
+			// off segments carry no energy and no obligation
+		default:
+			gapSim[seg.Proc] += seg.End - seg.Begin
+		}
+	}
+	if len(ran) != s.Graph.NumTasks() {
+		t.Fatalf("%s: %d of %d tasks ran", label, len(ran), s.Graph.NumTasks())
+	}
+	for p := 0; p < s.NumProcs; p++ {
+		var busyStatic int64
+		for _, v := range s.TasksOn(p) {
+			busyStatic += s.Finish[v] - s.Start[v]
+		}
+		wantBusy := float64(busyStatic) / lvl.Freq
+		if !relEq(busySim[p], wantBusy) {
+			t.Errorf("%s/%dp lvl%d slack %g: proc %d busy %.12g s, static %.12g s",
+				label, nprocs, lvlIdx, slack, p, busySim[p], wantBusy)
+		}
+		wantGap := 0.0
+		if busyStatic > 0 {
+			// Employed processors stay powered to the horizon; the gap total
+			// is the horizon minus the busy time regardless of where the
+			// gaps fall in the static timetable.
+			wantGap = deadline - wantBusy
+		}
+		if math.Abs(gapSim[p]-wantGap) > 1e-9*deadline+1e-12 {
+			t.Errorf("%s/%dp lvl%d slack %g: proc %d gap total %.12g s, want %.12g s",
+				label, nprocs, lvlIdx, slack, p, gapSim[p], wantGap)
+		}
+	}
+
+	// Energy: the integrated timeline agrees with the closed form, which
+	// truncates the horizon to whole cycles — allow that sub-cycle slice.
+	want, err := energy.Evaluate(s, m, lvl, deadline, energy.Options{PS: ps})
+	if err != nil {
+		t.Fatalf("%s: Evaluate: %v", label, err)
+	}
+	tol := 2.0/lvl.Freq*m.IdlePower(lvl)*float64(s.NumProcs+1) + 1e-9*want.Total()
+	if math.Abs(want.Total()-tr.Breakdown.Total()) > tol {
+		t.Errorf("%s/%dp lvl%d slack %g ps=%v: closed form %.12g J, simulated %.12g J",
+			label, nprocs, lvlIdx, slack, ps, want.Total(), tr.Breakdown.Total())
+	}
+	if math.Abs(tr.TotalEnergy()-tr.Breakdown.Total()) > 1e-9*tr.Breakdown.Total() {
+		t.Errorf("%s: segment energies sum to %.12g J, breakdown says %.12g J",
+			label, tr.TotalEnergy(), tr.Breakdown.Total())
+	}
+}

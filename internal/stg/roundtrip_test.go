@@ -1,0 +1,87 @@
+package stg
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"lamps/internal/dag"
+	"lamps/internal/graphhash"
+	"lamps/internal/taskgen"
+)
+
+// TestWriteParseRoundTripRandomGraphs is the STG round-trip property test:
+// for random graphs from every taskgen family, write→parse→write must be
+// byte-identical, and the parsed graph must be structurally identical to
+// the original — same canonical graphhash digest, which covers weights and
+// adjacency exactly (names and labels are presentation metadata the STG
+// format does not carry anyway).
+//
+// Failures are promoted into the FuzzParse seed corpus under
+// testdata/fuzz/FuzzParse, so once a shrinking input has been found it is
+// pinned forever by `go test -run '^Fuzz'`.
+func TestWriteParseRoundTripRandomGraphs(t *testing.T) {
+	for i := 0; i < 48; i++ {
+		size := 4 + 5*(i%9)
+		seed := int64(1000 + 31*i)
+		g, err := taskgen.Member(size, i, seed)
+		if err != nil {
+			t.Fatalf("taskgen.Member(%d, %d, %d): %v", size, i, seed, err)
+		}
+
+		var first bytes.Buffer
+		if err := Write(&first, g); err != nil {
+			t.Fatalf("graph %d: Write: %v", i, err)
+		}
+		parsed, err := Parse(bytes.NewReader(first.Bytes()), g.Name())
+		if err != nil {
+			promoteToCorpus(t, fmt.Sprintf("roundtrip-parse-%d", i), first.String())
+			t.Fatalf("graph %d: Parse rejected Write's output: %v\n%s", i, err, first.String())
+		}
+
+		hashOrig := structuralDigest(g)
+		hashBack := structuralDigest(parsed)
+		if hashOrig != hashBack {
+			promoteToCorpus(t, fmt.Sprintf("roundtrip-hash-%d", i), first.String())
+			t.Fatalf("graph %d: parse changed the structure: digest %s -> %s", i, hashOrig, hashBack)
+		}
+
+		var second bytes.Buffer
+		if err := Write(&second, parsed); err != nil {
+			t.Fatalf("graph %d: second Write: %v", i, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			promoteToCorpus(t, fmt.Sprintf("roundtrip-bytes-%d", i), first.String())
+			t.Fatalf("graph %d: write→parse→write not byte-identical:\n--- first ---\n%s\n--- second ---\n%s",
+				i, first.String(), second.String())
+		}
+	}
+}
+
+// structuralDigest is the canonical problem digest with fixed non-graph
+// inputs, i.e. a pure structure hash (graphhash excludes names and labels).
+func structuralDigest(g *dag.Graph) string {
+	return graphhash.Sum(graphhash.Problem{Graph: g, Deadline: 1, Approach: "roundtrip"})
+}
+
+// promoteToCorpus writes a failing input as a `go test fuzz v1` seed file
+// in the FuzzParse corpus, so the regression is replayed by every future
+// `go test -run '^Fuzz'` (and shrunk further by nightly fuzzing).
+func promoteToCorpus(t *testing.T, name, input string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", "FuzzParse")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("cannot create corpus dir: %v", err)
+		return
+	}
+	body := "go test fuzz v1\nstring(" + strconv.Quote(input) + ")\n"
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Logf("cannot promote failure into corpus: %v", err)
+		return
+	}
+	t.Logf("failing input promoted into %s", path)
+}

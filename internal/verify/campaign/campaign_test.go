@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"lamps/internal/core"
+	"lamps/internal/verify"
+)
+
+// TestApproachNamesMatchCore pins the deliberate duplication: the verifier
+// spells the approach names exactly as core does, or the cross-heuristic
+// checks would silently skip everything.
+func TestApproachNamesMatchCore(t *testing.T) {
+	pairs := [][2]string{
+		{verify.ApproachSS, core.ApproachSS},
+		{verify.ApproachSSPS, core.ApproachSSPS},
+		{verify.ApproachLAMPS, core.ApproachLAMPS},
+		{verify.ApproachLAMPSPS, core.ApproachLAMPSPS},
+		{verify.ApproachLimitSF, core.ApproachLimitSF},
+		{verify.ApproachLimitMF, core.ApproachLimitMF},
+	}
+	for _, p := range pairs {
+		if p[0] != p[1] {
+			t.Errorf("verify spells %q, core spells %q", p[0], p[1])
+		}
+	}
+}
+
+// TestCampaignClean runs a reduced but fully featured campaign — every
+// approach, two deadline factors, all metamorphic relations, a mutation
+// self-test on every second graph — and requires zero violations plus a
+// tally proving every layer actually ran.
+func TestCampaignClean(t *testing.T) {
+	var logs []string
+	rep, err := Run(context.Background(), Options{
+		Graphs:      12,
+		Seed:        17,
+		Sizes:       []int{8, 14, 22},
+		Factors:     []float64{1.5, 4},
+		MutateEvery: 2,
+		Logf:        func(f string, a ...any) { logs = append(logs, f) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("campaign found violations:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Graphs != 12 {
+		t.Fatalf("ran %d graphs, want 12", rep.Graphs)
+	}
+	if want := 12 * 2 * 6; rep.Runs != want {
+		t.Fatalf("ran %d heuristic invocations, want %d", rep.Runs, want)
+	}
+	if rep.ScheduleChecks == 0 || rep.EnergyChecks == 0 || rep.CrossChecks != 12*2 {
+		t.Fatalf("check tally looks wrong: %s", rep.Summary())
+	}
+	// Per graph: 1 consecutive-factor relation + 1 relabel + 2 limit caps.
+	if want := 12 * 4; rep.MetamorphicChecks != want {
+		t.Fatalf("%d metamorphic checks, want %d", rep.MetamorphicChecks, want)
+	}
+	if rep.MutationRuns == 0 || rep.MutationDetected == 0 {
+		t.Fatalf("mutation self-test never ran: %s", rep.Summary())
+	}
+	if rep.MutationDetected+rep.MutationSkipped != rep.MutationRuns {
+		t.Fatalf("mutation tally inconsistent: %s", rep.Summary())
+	}
+	if !strings.Contains(rep.Summary(), "violations: 0") {
+		t.Fatalf("summary: %s", rep.Summary())
+	}
+}
+
+// TestCampaignHonoursContext: an expired context aborts between (or within)
+// graphs with the context's error.
+func TestCampaignHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Options{Graphs: 4}); err != context.Canceled {
+		t.Fatalf("cancelled campaign returned %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	time.Sleep(2 * time.Millisecond)
+	if _, err := Run(ctx2, Options{Graphs: 1000}); err == nil {
+		t.Fatal("expired deadline ignored")
+	}
+}

@@ -1,0 +1,148 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"lamps/internal/energy"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+// Energy recomputes the full energy breakdown of running s at level lvl
+// until deadlineSec, from first principles: the busy time is the sum of the
+// raw task durations, and every gap of every employed processor is found by
+// sorting the raw Proc/Start/Finish arrays and walked linearly, classified
+// one by one against the break-even time. It shares no code with
+// energy.Evaluate or GapProfile — in particular it does not call
+// Schedule.Gaps or Schedule.BusyCycles — yet it must agree with them bit
+// for bit: both sides keep the idle/sleep totals as exact integer cycle
+// counts and apply the same final float conversions, so any difference at
+// all means one of the two implementations is wrong.
+//
+// Model semantics re-derived here, matching the paper (Section 3):
+//   - the machine stays available until the deadline, so each employed
+//     processor has a trailing gap from its last finish to the horizon;
+//   - processors that run no task at all are off and consume nothing;
+//   - with opts.PS, a gap strictly longer than the break-even time is slept
+//     through (P_sleep plus one shutdown overhead), otherwise it idles;
+//   - with opts.IgnoreIdle, only the active energy is accounted.
+func Energy(s *sched.Schedule, m *power.Model, lvl power.Level, deadlineSec float64, opts energy.Options) (energy.Breakdown, error) {
+	var b energy.Breakdown
+	if s == nil || m == nil {
+		return b, fmt.Errorf("verify: nil schedule or model")
+	}
+	makespanSec := float64(s.Makespan) / lvl.Freq
+	if makespanSec > deadlineSec*(1+1e-12) {
+		return b, fmt.Errorf("verify: %w", energy.ErrDeadline)
+	}
+
+	var busy int64
+	for v := range s.Start {
+		busy += s.Finish[v] - s.Start[v]
+	}
+	b.ActiveTime = float64(busy) / lvl.Freq
+	b.Active = b.ActiveTime * m.LevelPower(lvl)
+	if opts.IgnoreIdle {
+		return b, nil
+	}
+
+	horizon := int64(deadlineSec * lvl.Freq)
+	if horizon < s.Makespan {
+		horizon = s.Makespan
+	}
+	breakeven := m.BreakevenTime(lvl)
+	var idleCycles, sleepCycles int64
+	shutdowns := 0
+	account := func(gap int64) {
+		if gap <= 0 {
+			return
+		}
+		if opts.PS && float64(gap)/lvl.Freq > breakeven {
+			sleepCycles += gap
+			shutdowns++
+		} else {
+			idleCycles += gap
+		}
+	}
+
+	byProc := make([][]int32, s.NumProcs)
+	for v := range s.Proc {
+		byProc[s.Proc[v]] = append(byProc[s.Proc[v]], int32(v))
+	}
+	for _, tasks := range byProc {
+		if len(tasks) == 0 {
+			continue // unemployed processor: off, no gaps
+		}
+		sort.Slice(tasks, func(i, j int) bool { return s.Start[tasks[i]] < s.Start[tasks[j]] })
+		cursor := int64(0)
+		for _, v := range tasks {
+			account(s.Start[v] - cursor)
+			cursor = s.Finish[v]
+		}
+		account(horizon - cursor)
+	}
+
+	b.IdleTime = float64(idleCycles) / lvl.Freq
+	b.Idle = b.IdleTime * m.IdlePower(lvl)
+	b.SleepTime = float64(sleepCycles) / lvl.Freq
+	b.Sleep = b.SleepTime * m.PSleep
+	b.Shutdowns = shutdowns
+	b.Overhead = float64(shutdowns) * m.EOverhead
+	return b, nil
+}
+
+// EnergyMatches recomputes the breakdown with Energy and requires got to be
+// bit-identical — every field, shutdown count included. A mismatch is a
+// CheckEnergy Violation whose detail lists the differing fields.
+func EnergyMatches(s *sched.Schedule, m *power.Model, lvl power.Level, deadlineSec float64, opts energy.Options, got energy.Breakdown) error {
+	want, err := Energy(s, m, lvl, deadlineSec, opts)
+	if err != nil {
+		return &Violation{
+			Check:  CheckEnergy,
+			Detail: fmt.Sprintf("reported breakdown %+v for a schedule the reference walk rejects: %v", got, err),
+			Repro:  dump(s.Graph, s, nil),
+		}
+	}
+	if got == want {
+		return nil
+	}
+	diffs := breakdownDiffs(got, want)
+	return &Violation{
+		Check: CheckEnergy,
+		Detail: fmt.Sprintf("breakdown differs from the first-principles walk (level %d, deadline %gs, PS=%v): %s",
+			lvl.Index, deadlineSec, opts.PS, diffs),
+		Repro: dump(s.Graph, s, nil),
+	}
+}
+
+// breakdownDiffs lists the fields on which two breakdowns disagree.
+func breakdownDiffs(got, want energy.Breakdown) string {
+	type field struct {
+		name      string
+		got, want float64
+	}
+	fields := []field{
+		{"Active", got.Active, want.Active},
+		{"Idle", got.Idle, want.Idle},
+		{"Sleep", got.Sleep, want.Sleep},
+		{"Overhead", got.Overhead, want.Overhead},
+		{"ActiveTime", got.ActiveTime, want.ActiveTime},
+		{"IdleTime", got.IdleTime, want.IdleTime},
+		{"SleepTime", got.SleepTime, want.SleepTime},
+		{"Shutdowns", float64(got.Shutdowns), float64(want.Shutdowns)},
+	}
+	out := ""
+	for _, f := range fields {
+		if f.got != f.want {
+			if out != "" {
+				out += ", "
+			}
+			out += fmt.Sprintf("%s %v != %v", f.name, f.got, f.want)
+		}
+	}
+	if out == "" {
+		out = "no field differs (NaN?)"
+	}
+	return out
+}
