@@ -43,6 +43,7 @@ smoke:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/sweepbench -out $$tmp/sweep.json >/dev/null; \
 	$(GO) run ./cmd/corebench -repeat 1 -out $$tmp/core.json >/dev/null; \
+	$(GO) run ./cmd/loadgen -smoke -out $$tmp/loadgen.json >/dev/null; \
 	$(GO) build -o $$tmp/lampsd ./cmd/lampsd; \
 	echo "== lampsd (2s, SIGINT drain)"; \
 	timeout --preserve-status -s INT 2 $$tmp/lampsd -addr 127.0.0.1:0 2>/dev/null
@@ -54,23 +55,31 @@ smoke:
 verify-campaign:
 	$(GO) run ./cmd/verifycamp -n 200
 
-# Micro-benchmarks plus the two benchmark harnesses: sweepbench writes
+# Micro-benchmarks plus the three benchmark harnesses: sweepbench writes
 # per-cell latency percentiles and cold/warm sweep wall times to
 # BENCH_sweep.json; corebench writes serial-vs-parallel engine wall times,
 # speedups and before/after kernel micro-benchmarks (ns/op + allocs/op) to
 # BENCH_core.json (and fails if the parallel engine's results diverge from
-# the serial ones). -benchmem so every benchmark line carries allocs/op.
+# the serial ones); loadgen drives the batch execution layer with a mixed
+# closed/open-loop workload and writes throughput + latency percentiles to
+# BENCH_loadgen.json, failing (exit 2) if the 4-worker closed-loop
+# throughput drops below the 1-worker rate on a multicore host. -benchmem so
+# every benchmark line carries allocs/op.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . ./internal/core ./internal/sched ./internal/energy
 	$(GO) run ./cmd/sweepbench -out BENCH_sweep.json
 	$(GO) run ./cmd/corebench -out BENCH_core.json
+	$(GO) run ./cmd/loadgen -out BENCH_loadgen.json
 
 # The steady-state allocation gate: the reused scheduling kernel and the
 # gap-profile evaluation must not allocate at all once their buffers are
-# warm. CI fails the build if either test reports >0 allocs/op.
+# warm, and a warm RunBatch request must stay within its small fixed
+# per-request allocation budget. CI fails the build if any of these tests
+# report allocations over their bounds.
 alloc-gate:
 	$(GO) test -run 'TestScheduleIntoSteadyStateZeroAlloc' -count=1 -v ./internal/sched
 	$(GO) test -run 'TestGapProfileEvaluateZeroAlloc' -count=1 -v ./internal/energy
+	$(GO) test -run 'TestRunBatchSteadyStateZeroAlloc' -count=1 -v ./internal/core
 
 # Run the scheduling service locally.
 serve:

@@ -64,8 +64,14 @@ type kernelReport struct {
 }
 
 type report struct {
-	Workers        int            `json:"workers"`
-	GOMAXPROCS     int            `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Multicore records whether parallel speedup was physically possible on
+	// the host that produced this report. Comparison tooling (and the CI
+	// speedup gate) must skip speedup regressions when it is false: a
+	// GOMAXPROCS=1 box runs serial and parallel on the same CPU and any
+	// ratio it reports is scheduling noise, not a regression signal.
+	Multicore      bool           `json:"multicore"`
 	Repeat         int            `json:"repeat"`
 	Cases          []caseReport   `json:"cases"`
 	Kernel         []kernelReport `json:"kernel_benchmarks"`
@@ -79,12 +85,17 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel engine pool size (0 = GOMAXPROCS)")
 		repeat  = flag.Int("repeat", 5, "timed runs per case; best-of wins")
 		factor  = flag.Float64("factor", 2, "deadline as a multiple of the critical path length")
+		minSpd  = flag.Float64("min-speedup", 0, "exit 2 if the geomean speedup is below this on a multicore host (0 disables; always skipped when GOMAXPROCS=1)")
 	)
 	flag.Parse()
-	if err := run(*out, *workers, *repeat, *factor); err != nil {
+	code, err := run(*out, *workers, *repeat, *factor, *minSpd)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "corebench:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }
 
 // graphs assembles the benchmark workloads: the paper's application graphs
@@ -203,16 +214,17 @@ func timeEngine(eng *core.Engine, approach string, g *dag.Graph, n int) (time.Du
 	return best, last, nil
 }
 
-func run(out string, workers, repeat int, factor float64) error {
+func run(out string, workers, repeat int, factor, minSpeedup float64) (int, error) {
 	gs, err := graphs()
 	if err != nil {
-		return err
+		return 1, err
 	}
 	pool := workpool.NewPool(workers)
 	m := power.Default70nm()
 	rep := report{
 		Workers:        pool.Cap(),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Multicore:      runtime.GOMAXPROCS(0) > 1,
 		Repeat:         repeat,
 		GeneratedAtUTC: time.Now().UTC().Format(time.RFC3339),
 	}
@@ -225,14 +237,14 @@ func run(out string, workers, repeat int, factor float64) error {
 			parallel := core.Engine{Config: cfg, Pool: pool}
 			sd, sr, err := timeEngine(&serial, approach, g, repeat)
 			if err != nil {
-				return fmt.Errorf("%s on %s (serial): %w", approach, g.Name(), err)
+				return 1, fmt.Errorf("%s on %s (serial): %w", approach, g.Name(), err)
 			}
 			pd, pr, err := timeEngine(&parallel, approach, g, repeat)
 			if err != nil {
-				return fmt.Errorf("%s on %s (parallel): %w", approach, g.Name(), err)
+				return 1, fmt.Errorf("%s on %s (parallel): %w", approach, g.Name(), err)
 			}
 			if sr.TotalEnergy() != pr.TotalEnergy() || sr.Stats != pr.Stats {
-				return fmt.Errorf("%s on %s: parallel result diverged from serial (%.9g J %+v vs %.9g J %+v)",
+				return 1, fmt.Errorf("%s on %s: parallel result diverged from serial (%.9g J %+v vs %.9g J %+v)",
 					approach, g.Name(), pr.TotalEnergy(), pr.Stats, sr.TotalEnergy(), sr.Stats)
 			}
 			speedup := sd.Seconds() / pd.Seconds()
@@ -257,23 +269,41 @@ func run(out string, workers, repeat int, factor float64) error {
 
 	rep.Kernel, err = kernelBenchmarks(gs)
 	if err != nil {
-		return fmt.Errorf("kernel benchmarks: %w", err)
+		return 1, fmt.Errorf("kernel benchmarks: %w", err)
 	}
 	for _, k := range rep.Kernel {
 		fmt.Fprintf(os.Stderr, "%-32s %-8s %12.0f ns/op %6d allocs/op %10d B/op\n",
 			k.Name, k.Graph, k.NsPerOp, k.AllocsPerOp, k.BytesPerOp)
 	}
 
+	// The speedup regression gate. Only meaningful where parallel speedup is
+	// physically available: on a single-core host the ratio is noise, so the
+	// gate is skipped (with a notice) rather than failed — matching how the
+	// loadgen throughput gate treats GOMAXPROCS=1.
+	code := 0
+	switch {
+	case minSpeedup <= 0:
+	case !rep.Multicore:
+		fmt.Fprintf(os.Stderr, "corebench: speedup gate skipped: GOMAXPROCS=1, parallel speedup is not physically available (geomean %.2fx)\n",
+			rep.GeomeanSpeedup)
+	case rep.GeomeanSpeedup < minSpeedup:
+		code = 2
+		fmt.Fprintf(os.Stderr, "corebench: SPEEDUP GATE FAILED: geomean %.2fx below the %.2fx floor\n",
+			rep.GeomeanSpeedup, minSpeedup)
+	default:
+		fmt.Fprintf(os.Stderr, "corebench: geomean speedup %.2fx (gate: >= %.2fx)\n", rep.GeomeanSpeedup, minSpeedup)
+	}
+
 	w := os.Stdout
 	if out != "-" {
 		f, err := os.Create(out)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		defer f.Close()
 		w = f
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(&rep)
+	return code, enc.Encode(&rep)
 }

@@ -1,0 +1,555 @@
+// Command loadgen is the fleet-scale load generator for the batch
+// scheduling layer: it drives core.Engine.RunBatch with a deterministic
+// mixed-size workload (taskgen graphs across several sizes and approaches)
+// and reports throughput and HDR-style latency percentiles, not ns/op.
+//
+//	loadgen -out BENCH_loadgen.json -workers 1,4 -duration 3s -rps 200
+//
+// Two generator disciplines are measured, because they answer different
+// questions:
+//
+//   - Closed loop: a fixed number of whole requests is kept in flight
+//     (batches of -batch requests over a pool of W workers, the next batch
+//     submitted as soon as the previous one drains). Throughput here is
+//     the system's capacity — requests/second with every worker busy —
+//     and is the number the workers=4 vs workers=1 speedup gate compares.
+//     Closed-loop latency is flattering under saturation: a slow system
+//     slows the generator down with it.
+//   - Open loop: requests arrive on a fixed schedule (-rps), whether or
+//     not earlier requests have finished, as real traffic does. Latency is
+//     measured from the request's *scheduled* start, so queueing delay is
+//     charged to the result (no coordinated omission). Open-loop p99 is
+//     the honest tail-latency number at a given arrival rate.
+//
+// Before any timing, loadgen re-runs a slice of the workload through
+// RunBatch at 4 workers and compares every result bit for bit against
+// serial RunCtx calls — the batch determinism contract — and refuses to
+// publish numbers from a binary whose parallel path diverges.
+//
+// Exit codes: 0 = measured and passed; 1 = operational or parity failure;
+// 2 = SLO gate failure (closed-loop speedup below -min-speedup on a
+// multicore host, or p99 above -slo-p99). Single-core hosts record
+// "multicore": false and skip the speedup gate — a 1-CPU box cannot
+// parallelise CPU-bound work, and pretending otherwise would gate CI on
+// noise (see the corebench precedent).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"lamps/internal/core"
+	"lamps/internal/dag"
+	"lamps/internal/power"
+	"lamps/internal/taskgen"
+	"lamps/internal/workpool"
+)
+
+// latencyStats are the published percentiles of one measurement phase,
+// in microseconds, plus a log-spaced HDR-style histogram.
+type latencyStats struct {
+	P50Us  float64 `json:"p50_us"`
+	P90Us  float64 `json:"p90_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+	MeanUs float64 `json:"mean_us"`
+
+	// Buckets is the HDR-style histogram: log-spaced upper bounds from 1 µs
+	// up, doubling per bucket, with counts. Only non-empty buckets are
+	// emitted.
+	Buckets []latencyBucket `json:"buckets,omitempty"`
+}
+
+type latencyBucket struct {
+	LeUs  float64 `json:"le_us"`
+	Count int     `json:"count"`
+}
+
+// closedReport is one closed-loop measurement at a fixed worker count.
+type closedReport struct {
+	Workers     int          `json:"workers"`
+	BatchSize   int          `json:"batch_size"`
+	DurationSec float64      `json:"duration_sec"`
+	Requests    int          `json:"requests"`
+	Errors      int          `json:"errors"`
+	RPS         float64      `json:"rps"`
+	Latency     latencyStats `json:"latency"`
+}
+
+// openReport is one open-loop measurement at a fixed arrival rate.
+type openReport struct {
+	TargetRPS   float64      `json:"target_rps"`
+	AchievedRPS float64      `json:"achieved_rps"`
+	DurationSec float64      `json:"duration_sec"`
+	Requests    int          `json:"requests"`
+	Errors      int          `json:"errors"`
+	Latency     latencyStats `json:"latency"` // from scheduled start: queueing included
+}
+
+// speedupReport compares closed-loop throughput across the measured worker
+// counts — the regression gate this tool exists to enforce.
+type speedupReport struct {
+	WorkersLo     int     `json:"workers_lo"`
+	WorkersHi     int     `json:"workers_hi"`
+	RPSLo         float64 `json:"rps_lo"`
+	RPSHi         float64 `json:"rps_hi"`
+	Ratio         float64 `json:"ratio"`
+	Gate          string  `json:"gate"` // "pass", "fail" or "skipped-single-core"
+	MinRatioGated float64 `json:"min_ratio_gated"`
+}
+
+type workloadReport struct {
+	Sizes          []int    `json:"sizes"`
+	GraphsPerSize  int      `json:"graphs_per_size"`
+	Approaches     []string `json:"approaches"`
+	DeadlineFactor float64  `json:"deadline_factor"`
+	CycleLength    int      `json:"cycle_length"` // distinct requests before the stream repeats
+}
+
+type report struct {
+	GOMAXPROCS     int            `json:"gomaxprocs"`
+	Multicore      bool           `json:"multicore"`
+	Smoke          bool           `json:"smoke,omitempty"`
+	Workload       workloadReport `json:"workload"`
+	ParityOK       bool           `json:"parity_ok"`
+	ParityChecked  int            `json:"parity_checked"`
+	Closed         []closedReport `json:"closed"`
+	Open           []openReport   `json:"open"`
+	Speedup        *speedupReport `json:"speedup,omitempty"`
+	GeneratedAtUTC string         `json:"generated_at_utc"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH_loadgen.json", "write the JSON report to this file (- for stdout)")
+		workersArg = flag.String("workers", "1,4", "comma-separated closed-loop worker counts to measure")
+		batch      = flag.Int("batch", 64, "closed-loop batch size (requests per RunBatch call)")
+		duration   = flag.Duration("duration", 3*time.Second, "closed-loop measurement window per worker count")
+		warmup     = flag.Duration("warmup", 500*time.Millisecond, "warmup window before each measurement")
+		rps        = flag.Float64("rps", 200, "open-loop target arrival rate (0 disables the open-loop phase)")
+		sizesArg   = flag.String("sizes", "24,64,160", "comma-separated task-graph sizes of the mixed workload")
+		factor     = flag.Float64("factor", 2, "deadline as a multiple of each graph's critical path length")
+		minSpeedup = flag.Float64("min-speedup", 1.0, "fail (exit 2) if closed-loop RPS at the highest worker count is below this multiple of the lowest; 0 disables; skipped on single-core hosts")
+		sloP99     = flag.Duration("slo-p99", 0, "fail (exit 2) if closed-loop p99 at the highest worker count exceeds this (0 disables)")
+		smoke      = flag.Bool("smoke", false, "shrink all windows for a ~2s end-to-end smoke run")
+	)
+	flag.Parse()
+	if *smoke {
+		*duration = 300 * time.Millisecond
+		*warmup = 100 * time.Millisecond
+		if *rps > 50 {
+			*rps = 50
+		}
+	}
+	code, err := run(*out, *workersArg, *sizesArg, *batch, *duration, *warmup, *rps, *factor, *minSpeedup, *sloP99, *smoke)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad list entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// buildWorkload assembles the deterministic mixed request stream: for every
+// size, a few seeded generator-family members; for every graph, one request
+// per approach. The stream cycles; consecutive requests deliberately jump
+// between sizes and approaches so every batch mixes microsecond and
+// millisecond runs — the interleaving a shared fleet queue produces.
+func buildWorkload(sizes []int, factor float64) ([]core.BatchRequest, workloadReport, error) {
+	const graphsPerSize = 2
+	m := power.Default70nm()
+	approaches := []string{core.ApproachLAMPS, core.ApproachLAMPSPS, core.ApproachSSPS}
+	var graphs []*dag.Graph
+	for _, size := range sizes {
+		for i := 0; i < graphsPerSize; i++ {
+			g, err := taskgen.Member(size, i, int64(size)*1000+int64(i))
+			if err != nil {
+				return nil, workloadReport{}, fmt.Errorf("generating %d-task graph %d: %w", size, i, err)
+			}
+			graphs = append(graphs, taskgen.Coarse.Scale(g))
+		}
+	}
+	var reqs []core.BatchRequest
+	for ai, approach := range approaches {
+		for gi, g := range graphs {
+			// Rotate the starting graph per approach so the cycle interleaves
+			// sizes rather than sweeping one graph with every approach first.
+			g = graphs[(gi+ai)%len(graphs)]
+			reqs = append(reqs, core.BatchRequest{
+				Approach: approach,
+				Graph:    g,
+				Config:   core.DeadlineFactor(g, m, factor),
+			})
+		}
+	}
+	return reqs, workloadReport{
+		Sizes:          sizes,
+		GraphsPerSize:  graphsPerSize,
+		Approaches:     approaches,
+		DeadlineFactor: factor,
+		CycleLength:    len(reqs),
+	}, nil
+}
+
+// checkParity runs the whole workload cycle through RunBatch at 4 workers
+// and through serial RunCtx calls and requires bit-identical results: total
+// energy, level, processor count, schedule arrays and Stats. This is the
+// "batch results byte-identical to serial" acceptance gate, run on every
+// invocation so the published numbers always come from a verified binary.
+func checkParity(reqs []core.BatchRequest) (int, error) {
+	eng := core.Engine{Pool: workpool.NewPool(4)}
+	batch := eng.RunBatch(context.Background(), reqs)
+	for i, req := range reqs {
+		serial, serr := core.RunCtx(context.Background(), req.Approach, req.Graph, req.Config)
+		br := batch[i]
+		if (br.Err == nil) != (serr == nil) {
+			return i, fmt.Errorf("request %d (%s): batch err %v, serial err %v", i, req.Approach, br.Err, serr)
+		}
+		if serr != nil {
+			if br.Err.Error() != serr.Error() {
+				return i, fmt.Errorf("request %d: batch error %q, serial error %q", i, br.Err, serr)
+			}
+			continue
+		}
+		if err := sameResult(br.Result, serial); err != nil {
+			return i, fmt.Errorf("request %d (%s on %s): %w", i, req.Approach, req.Graph.Name(), err)
+		}
+	}
+	return len(reqs), nil
+}
+
+// sameResult compares two results bit for bit on every externally visible
+// field.
+func sameResult(a, b *core.Result) error {
+	switch {
+	case a.Approach != b.Approach:
+		return fmt.Errorf("approach %q vs %q", a.Approach, b.Approach)
+	case a.NumProcs != b.NumProcs:
+		return fmt.Errorf("procs %d vs %d", a.NumProcs, b.NumProcs)
+	case a.Level != b.Level:
+		return fmt.Errorf("level %+v vs %+v", a.Level, b.Level)
+	case a.Energy != b.Energy:
+		return fmt.Errorf("energy %+v vs %+v", a.Energy, b.Energy)
+	case a.Stats != b.Stats:
+		return fmt.Errorf("stats %+v vs %+v", a.Stats, b.Stats)
+	case (a.Schedule == nil) != (b.Schedule == nil):
+		return fmt.Errorf("schedule presence differs")
+	}
+	if a.Schedule != nil {
+		if a.Schedule.Makespan != b.Schedule.Makespan {
+			return fmt.Errorf("makespan %d vs %d", a.Schedule.Makespan, b.Schedule.Makespan)
+		}
+		for v := range a.Schedule.Proc {
+			if a.Schedule.Proc[v] != b.Schedule.Proc[v] ||
+				a.Schedule.Start[v] != b.Schedule.Start[v] ||
+				a.Schedule.Finish[v] != b.Schedule.Finish[v] {
+				return fmt.Errorf("placement of task %d differs", v)
+			}
+		}
+	}
+	return nil
+}
+
+// summarise sorts the samples and extracts the published percentiles and
+// the log-spaced histogram.
+func summarise(samples []time.Duration) latencyStats {
+	if len(samples) == 0 {
+		return latencyStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(len(samples)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		return float64(samples[idx]) / float64(time.Microsecond)
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	st := latencyStats{
+		P50Us:  pct(0.50),
+		P90Us:  pct(0.90),
+		P99Us:  pct(0.99),
+		P999Us: pct(0.999),
+		MaxUs:  float64(samples[len(samples)-1]) / float64(time.Microsecond),
+		MeanUs: float64(sum) / float64(len(samples)) / float64(time.Microsecond),
+	}
+	// HDR-style buckets: 1 µs × 2^k upper bounds.
+	counts := map[float64]int{}
+	for _, s := range samples {
+		le := 1.0
+		for us := float64(s) / float64(time.Microsecond); le < us; le *= 2 {
+		}
+		counts[le]++
+	}
+	for le, c := range counts {
+		st.Buckets = append(st.Buckets, latencyBucket{LeUs: le, Count: c})
+	}
+	sort.Slice(st.Buckets, func(i, j int) bool { return st.Buckets[i].LeUs < st.Buckets[j].LeUs })
+	return st
+}
+
+// runClosed measures closed-loop capacity at one worker count: batches of
+// batchSize requests are pushed through RunBatch back to back for the
+// duration, per-request latencies taken from BatchResult.Elapsed.
+func runClosed(reqs []core.BatchRequest, workers, batchSize int, warmup, duration time.Duration) (closedReport, error) {
+	eng := core.Engine{Pool: workpool.NewPool(workers)}
+	ctx := context.Background()
+	next := 0
+	takeBatch := func() []core.BatchRequest {
+		b := make([]core.BatchRequest, batchSize)
+		for i := range b {
+			b[i] = reqs[next%len(reqs)]
+			next++
+		}
+		return b
+	}
+	drain := func(window time.Duration, record bool, rep *closedReport, samples *[]time.Duration) error {
+		start := time.Now()
+		for time.Since(start) < window {
+			for _, br := range eng.RunBatch(ctx, takeBatch()) {
+				if br.Err != nil {
+					if record {
+						rep.Errors++
+					}
+					continue
+				}
+				if record {
+					*samples = append(*samples, br.Elapsed)
+				}
+			}
+			if record {
+				rep.Requests += batchSize
+			}
+		}
+		if record {
+			rep.DurationSec = time.Since(start).Seconds()
+		}
+		return nil
+	}
+	rep := closedReport{Workers: workers, BatchSize: batchSize}
+	var samples []time.Duration
+	if err := drain(warmup, false, nil, nil); err != nil {
+		return rep, err
+	}
+	if err := drain(duration, true, &rep, &samples); err != nil {
+		return rep, err
+	}
+	if rep.Errors > 0 {
+		return rep, fmt.Errorf("closed loop at %d workers: %d request errors", workers, rep.Errors)
+	}
+	rep.RPS = float64(rep.Requests) / rep.DurationSec
+	rep.Latency = summarise(samples)
+	return rep, nil
+}
+
+// runOpen measures tail latency under a fixed arrival schedule: request i
+// is due at i/rps; its latency is measured from that scheduled instant, so
+// time spent waiting behind a busy pool counts against the system, exactly
+// as it would for a request sitting in an HTTP accept queue.
+func runOpen(reqs []core.BatchRequest, rps float64, duration time.Duration) (openReport, error) {
+	rep := openReport{TargetRPS: rps}
+	pool := workpool.NewPool(0) // GOMAXPROCS: the serving default
+	ctx := context.Background()
+
+	total := int(rps * duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / rps)
+	type sample struct {
+		lat time.Duration
+		err error
+	}
+	samples := make([]sample, total)
+	done := make(chan int, total)
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		go func(i int, due time.Time) {
+			req := reqs[i%len(reqs)]
+			err := pool.Do(ctx, func() {
+				_, runErr := core.RunCtx(ctx, req.Approach, req.Graph, req.Config)
+				samples[i] = sample{lat: time.Since(due), err: runErr}
+			})
+			if err != nil {
+				samples[i] = sample{err: err}
+			}
+			done <- i
+		}(i, due)
+	}
+	for n := 0; n < total; n++ {
+		<-done
+	}
+	wall := time.Since(start)
+
+	lats := make([]time.Duration, 0, total)
+	for _, s := range samples {
+		if s.err != nil {
+			rep.Errors++
+			continue
+		}
+		lats = append(lats, s.lat)
+	}
+	if rep.Errors > 0 {
+		return rep, fmt.Errorf("open loop: %d request errors", rep.Errors)
+	}
+	rep.Requests = total
+	rep.DurationSec = wall.Seconds()
+	rep.AchievedRPS = float64(total) / wall.Seconds()
+	rep.Latency = summarise(lats)
+	return rep, nil
+}
+
+func run(out, workersArg, sizesArg string, batch int, duration, warmup time.Duration, rps, factor, minSpeedup float64, sloP99 time.Duration, smoke bool) (int, error) {
+	workerCounts, err := parseInts(workersArg)
+	if err != nil {
+		return 1, fmt.Errorf("-workers: %w", err)
+	}
+	sizes, err := parseInts(sizesArg)
+	if err != nil {
+		return 1, fmt.Errorf("-sizes: %w", err)
+	}
+	if batch < 1 {
+		return 1, fmt.Errorf("-batch must be >= 1")
+	}
+
+	reqs, wl, err := buildWorkload(sizes, factor)
+	if err != nil {
+		return 1, err
+	}
+	rep := report{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Multicore:      runtime.GOMAXPROCS(0) > 1,
+		Smoke:          smoke,
+		Workload:       wl,
+		GeneratedAtUTC: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: parity check over %d requests...\n", len(reqs))
+	checked, err := checkParity(reqs)
+	rep.ParityChecked = checked
+	if err != nil {
+		rep.ParityOK = false
+		writeReport(out, &rep)
+		return 1, fmt.Errorf("batch/serial parity violated: %w", err)
+	}
+	rep.ParityOK = true
+
+	for _, w := range workerCounts {
+		cr, err := runClosed(reqs, w, batch, warmup, duration)
+		if err != nil {
+			return 1, err
+		}
+		rep.Closed = append(rep.Closed, cr)
+		fmt.Fprintf(os.Stderr, "closed  workers=%-2d  %8.0f req/s   p50 %7.0fµs  p99 %7.0fµs  (%d requests)\n",
+			cr.Workers, cr.RPS, cr.Latency.P50Us, cr.Latency.P99Us, cr.Requests)
+	}
+
+	if rps > 0 {
+		or, err := runOpen(reqs, rps, duration)
+		if err != nil {
+			return 1, err
+		}
+		rep.Open = append(rep.Open, or)
+		fmt.Fprintf(os.Stderr, "open    target=%.0f/s achieved=%.0f/s   p50 %7.0fµs  p99 %7.0fµs\n",
+			or.TargetRPS, or.AchievedRPS, or.Latency.P50Us, or.Latency.P99Us)
+	}
+
+	code := 0
+	if len(rep.Closed) >= 2 {
+		lo, hi := rep.Closed[0], rep.Closed[0]
+		for _, c := range rep.Closed[1:] {
+			if c.Workers < lo.Workers {
+				lo = c
+			}
+			if c.Workers > hi.Workers {
+				hi = c
+			}
+		}
+		sp := &speedupReport{
+			WorkersLo: lo.Workers, WorkersHi: hi.Workers,
+			RPSLo: lo.RPS, RPSHi: hi.RPS,
+			Ratio:         hi.RPS / lo.RPS,
+			MinRatioGated: minSpeedup,
+		}
+		switch {
+		case !rep.Multicore:
+			sp.Gate = "skipped-single-core"
+			fmt.Fprintf(os.Stderr, "speedup %dw/%dw = %.2fx — gate skipped: GOMAXPROCS=1, parallel speedup is not physically available\n",
+				hi.Workers, lo.Workers, sp.Ratio)
+		case minSpeedup <= 0:
+			sp.Gate = "disabled"
+		case sp.Ratio < minSpeedup:
+			sp.Gate = "fail"
+			code = 2
+			fmt.Fprintf(os.Stderr, "SPEEDUP GATE FAILED: closed-loop throughput at %d workers is %.2fx the %d-worker rate, below the %.2fx floor\n",
+				hi.Workers, sp.Ratio, lo.Workers, minSpeedup)
+		default:
+			sp.Gate = "pass"
+			fmt.Fprintf(os.Stderr, "speedup %dw/%dw = %.2fx (gate: >= %.2fx)\n", hi.Workers, lo.Workers, sp.Ratio, minSpeedup)
+		}
+		rep.Speedup = sp
+	}
+	if sloP99 > 0 && len(rep.Closed) > 0 {
+		p99 := time.Duration(rep.Closed[len(rep.Closed)-1].Latency.P99Us) * time.Microsecond
+		if p99 > sloP99 {
+			code = 2
+			fmt.Fprintf(os.Stderr, "P99 SLO FAILED: %v > %v\n", p99, sloP99)
+		}
+	}
+
+	if err := writeReport(out, &rep); err != nil {
+		return 1, err
+	}
+	return code, nil
+}
+
+func writeReport(out string, rep *report) error {
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSummarisePercentiles(t *testing.T) {
+	// 1ms..100ms in 1ms steps: p50 = 50ms, p99 = 99ms, max = 100ms.
+	samples := make([]time.Duration, 0, 100)
+	for i := 100; i >= 1; i-- { // reversed: summarise must sort
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	st := summarise(samples)
+	ms := func(n int) float64 { return float64(n) * 1000 }
+	if st.P50Us != ms(50) {
+		t.Errorf("p50 = %vµs, want %vµs", st.P50Us, ms(50))
+	}
+	if st.P99Us != ms(99) {
+		t.Errorf("p99 = %vµs, want %vµs", st.P99Us, ms(99))
+	}
+	if st.MaxUs != ms(100) {
+		t.Errorf("max = %vµs, want %vµs", st.MaxUs, ms(100))
+	}
+	if st.P999Us != ms(100) {
+		t.Errorf("p999 = %vµs, want %vµs (ceil rounds to the last sample)", st.P999Us, ms(100))
+	}
+	total := 0
+	prev := 0.0
+	for _, b := range st.Buckets {
+		if b.LeUs <= prev {
+			t.Fatalf("buckets not strictly increasing: %v after %v", b.LeUs, prev)
+		}
+		prev = b.LeUs
+		total += b.Count
+	}
+	if total != len(samples) {
+		t.Errorf("bucket counts sum to %d, want %d", total, len(samples))
+	}
+}
+
+func TestSummariseEmpty(t *testing.T) {
+	st := summarise(nil)
+	if st.P50Us != 0 || st.MaxUs != 0 || len(st.Buckets) != 0 {
+		t.Errorf("empty sample set should summarise to zeros, got %+v", st)
+	}
+}
+
+func TestBuildWorkloadDeterministic(t *testing.T) {
+	a, wlA, err := buildWorkload([]int{24, 64}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, wlB, err := buildWorkload([]int{24, 64}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// workloadReport contains slices; compare via JSON.
+	ja, _ := json.Marshal(wlA)
+	jb, _ := json.Marshal(wlB)
+	if string(ja) != string(jb) {
+		t.Fatalf("workload metadata differs across builds:\n%s\n%s", ja, jb)
+	}
+	if len(a) != len(b) || len(a) != wlA.CycleLength {
+		t.Fatalf("cycle length mismatch: %d vs %d (reported %d)", len(a), len(b), wlA.CycleLength)
+	}
+	for i := range a {
+		if a[i].Approach != b[i].Approach {
+			t.Fatalf("request %d approach differs: %s vs %s", i, a[i].Approach, b[i].Approach)
+		}
+		if a[i].Graph.Name() != b[i].Graph.Name() || a[i].Graph.NumTasks() != b[i].Graph.NumTasks() {
+			t.Fatalf("request %d graph differs: %s/%d vs %s/%d", i,
+				a[i].Graph.Name(), a[i].Graph.NumTasks(), b[i].Graph.Name(), b[i].Graph.NumTasks())
+		}
+		if a[i].Config.Deadline != b[i].Config.Deadline {
+			t.Fatalf("request %d deadline differs: %v vs %v", i, a[i].Config.Deadline, b[i].Config.Deadline)
+		}
+	}
+	// The stream must actually mix approaches and sizes between neighbours —
+	// the interleaving property the comment in buildWorkload promises.
+	varied := false
+	for i := 1; i < len(a); i++ {
+		if a[i].Graph.NumTasks() != a[i-1].Graph.NumTasks() {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("workload never changes graph size between consecutive requests")
+	}
+}
+
+func TestParityOnWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity sweep is a second-scale test")
+	}
+	reqs, _, err := buildWorkload([]int{24}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := checkParity(reqs)
+	if err != nil {
+		t.Fatalf("parity violated: %v", err)
+	}
+	if n != len(reqs) {
+		t.Fatalf("checked %d of %d requests", n, len(reqs))
+	}
+}
+
+// TestSmokeRun drives the whole tool end to end in smoke dimensions and
+// validates the emitted report, exactly as `make smoke` does.
+func TestSmokeRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run is a second-scale test")
+	}
+	out := filepath.Join(t.TempDir(), "loadgen.json")
+	code, err := run(out, "1,2", "24", 8, 200*time.Millisecond, 50*time.Millisecond, 20, 2, 1.0, 0, true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code == 1 {
+		t.Fatalf("run returned operational failure")
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.ParityOK {
+		t.Error("parity_ok = false")
+	}
+	if len(rep.Closed) != 2 {
+		t.Fatalf("expected 2 closed-loop measurements, got %d", len(rep.Closed))
+	}
+	for _, c := range rep.Closed {
+		if c.Requests == 0 || c.RPS <= 0 {
+			t.Errorf("closed loop at %d workers measured nothing: %+v", c.Workers, c)
+		}
+		if c.Latency.P50Us <= 0 || c.Latency.P99Us < c.Latency.P50Us {
+			t.Errorf("implausible latency stats at %d workers: %+v", c.Workers, c.Latency)
+		}
+	}
+	if len(rep.Open) != 1 {
+		t.Fatalf("expected 1 open-loop measurement, got %d", len(rep.Open))
+	}
+	if rep.Open[0].Requests == 0 {
+		t.Error("open loop measured nothing")
+	}
+	if rep.Speedup == nil {
+		t.Fatal("speedup section missing")
+	}
+	switch rep.Speedup.Gate {
+	case "pass", "skipped-single-core":
+	case "fail":
+		if code != 2 {
+			t.Errorf("gate failed but exit code is %d", code)
+		}
+	default:
+		t.Errorf("unexpected gate verdict %q", rep.Speedup.Gate)
+	}
+	if rep.Multicore != (rep.GOMAXPROCS > 1) {
+		t.Errorf("multicore=%v inconsistent with gomaxprocs=%d", rep.Multicore, rep.GOMAXPROCS)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"lamps/internal/dag"
+	"lamps/internal/power"
+	"lamps/internal/workpool"
+)
+
+// batchWorkload builds a deterministic mixed batch: several seeded random
+// graphs of different sizes, every approach, and a spread of deadline
+// factors including an infeasible one (factor < 1 means even f_max cannot
+// meet the deadline on the critical path) and an invalid config (negative
+// deadline), so the parity test covers the full error taxonomy.
+func batchWorkload(t testing.TB) []BatchRequest {
+	t.Helper()
+	m := power.Default70nm()
+	var reqs []BatchRequest
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 20+int(seed)*12, 0.08, coarseWeight)
+		for i, approach := range Approaches {
+			factor := []float64{1.5, 2, 4}[i%3]
+			reqs = append(reqs, BatchRequest{
+				Approach: approach,
+				Graph:    g,
+				Config:   DeadlineFactor(g, m, factor),
+			})
+		}
+		// One infeasible and one invalid request per graph.
+		reqs = append(reqs,
+			BatchRequest{Approach: ApproachLAMPS, Graph: g, Config: DeadlineFactor(g, m, 0.5)},
+			BatchRequest{Approach: ApproachSS, Graph: g, Config: Config{Model: m, Deadline: -1}},
+		)
+	}
+	return reqs
+}
+
+// TestRunBatchDeterminismParity is the batch determinism gate: for workers
+// ∈ {1, 4, GOMAXPROCS}, RunBatch must return, slot for slot, exactly what
+// N serial RunCtx calls return — the same rendered bytes (energy, level,
+// processor count, schedule, Stats) for successes and the same error
+// taxonomy and message for failures. Run under -race: the whole point of
+// the batch layer is request-granularity concurrency.
+func TestRunBatchDeterminismParity(t *testing.T) {
+	reqs := batchWorkload(t)
+
+	// The serial oracle: one RunCtx call per request.
+	type oracle struct {
+		body []byte
+		err  error
+	}
+	want := make([]oracle, len(reqs))
+	for i, req := range reqs {
+		r, err := RunCtx(context.Background(), req.Approach, req.Graph, req.Config)
+		if err != nil {
+			want[i] = oracle{err: err}
+			continue
+		}
+		want[i] = oracle{body: renderForDiff(t, r)}
+	}
+
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, workers := range workerCounts {
+		eng := Engine{Pool: workpool.NewPool(workers)}
+		got := eng.RunBatch(context.Background(), reqs)
+		if len(got) != len(reqs) {
+			t.Fatalf("workers=%d: %d results for %d requests", workers, len(got), len(reqs))
+		}
+		for i, br := range got {
+			w := want[i]
+			if (br.Err == nil) != (w.err == nil) {
+				t.Fatalf("workers=%d slot %d (%s): batch err %v, serial err %v",
+					workers, i, reqs[i].Approach, br.Err, w.err)
+			}
+			if w.err != nil {
+				if br.Err.Error() != w.err.Error() {
+					t.Errorf("workers=%d slot %d: batch error %q, serial error %q",
+						workers, i, br.Err, w.err)
+				}
+				// Same taxonomy, not just same text: sentinel matching must
+				// agree so the serving layer classifies both identically.
+				for _, sentinel := range []error{ErrInfeasible, ErrBadConfig} {
+					if errors.Is(br.Err, sentinel) != errors.Is(w.err, sentinel) {
+						t.Errorf("workers=%d slot %d: errors.Is(%v) disagrees between batch and serial", workers, i, sentinel)
+					}
+				}
+				continue
+			}
+			if !bytes.Equal(renderForDiff(t, br.Result), w.body) {
+				t.Errorf("workers=%d slot %d (%s): batch result differs from serial\nbatch:  %s\nserial: %s",
+					workers, i, reqs[i].Approach, renderForDiff(t, br.Result), w.body)
+			}
+		}
+		if got := eng.Pool.InFlight(); got != 0 {
+			t.Errorf("workers=%d: pool still holds %d slots after RunBatch returned", workers, got)
+		}
+	}
+}
+
+// TestRunBatchSerialEngine: a nil-pool engine runs the batch serially with
+// identical results — the degenerate case the parallel path must match.
+func TestRunBatchSerialEngine(t *testing.T) {
+	reqs := batchWorkload(t)[:8]
+	serial := (&Engine{}).RunBatch(context.Background(), reqs)
+	parallel := (&Engine{Pool: workpool.NewPool(4)}).RunBatch(context.Background(), reqs)
+	for i := range reqs {
+		if (serial[i].Err == nil) != (parallel[i].Err == nil) {
+			t.Fatalf("slot %d: serial err %v, parallel err %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Err != nil {
+			continue
+		}
+		if !bytes.Equal(renderForDiff(t, serial[i].Result), renderForDiff(t, parallel[i].Result)) {
+			t.Errorf("slot %d: nil-pool and pooled batch results differ", i)
+		}
+	}
+}
+
+// TestRunBatchEmpty: an empty batch returns nil without touching the pool.
+func TestRunBatchEmpty(t *testing.T) {
+	eng := Engine{Pool: workpool.NewPool(2)}
+	if got := eng.RunBatch(context.Background(), nil); got != nil {
+		t.Fatalf("RunBatch(nil) = %v, want nil", got)
+	}
+}
+
+// TestRunBatchPanicIsolation: a heuristic panicking on one request poisons
+// only that request's slot (ErrBatchPanic); every other request of the
+// batch completes normally. The panic trigger is a custom priority policy,
+// the injection point the engine exposes for a specific graph.
+func TestRunBatchPanicIsolation(t *testing.T) {
+	m := power.Default70nm()
+	g := buildFig4a(t, coarseWeight)
+	bomb := buildFig4a(t, coarseWeight)
+	good := DeadlineFactor(g, m, 2)
+	evil := DeadlineFactor(bomb, m, 2)
+	evil.Priorities = func(*dag.Graph) []int64 { panic("boom") }
+
+	reqs := []BatchRequest{
+		{Approach: ApproachLAMPS, Graph: g, Config: good},
+		{Approach: ApproachLAMPS, Graph: bomb, Config: evil},
+		{Approach: ApproachSSPS, Graph: g, Config: good},
+	}
+	for _, workers := range []int{0, 2} { // 0 = nil pool (serial)
+		eng := Engine{}
+		if workers > 0 {
+			eng.Pool = workpool.NewPool(workers)
+		}
+		got := eng.RunBatch(context.Background(), reqs)
+		if got[1].Err == nil || !errors.Is(got[1].Err, ErrBatchPanic) {
+			t.Fatalf("workers=%d: panicking request err = %v, want ErrBatchPanic", workers, got[1].Err)
+		}
+		for _, i := range []int{0, 2} {
+			if got[i].Err != nil {
+				t.Errorf("workers=%d: request %d failed alongside the panicking one: %v", workers, i, got[i].Err)
+			}
+			if got[i].Result == nil || got[i].Result.TotalEnergy() <= 0 {
+				t.Errorf("workers=%d: request %d returned no usable result", workers, i)
+			}
+		}
+	}
+}
+
+// TestRunBatchCancelledContext: with ctx already done, every slot reports
+// the context error and no heuristic runs at all.
+func TestRunBatchCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var runs atomic.Int32
+	g := buildFig4a(t, coarseWeight)
+	cfg := DeadlineFactor(g, power.Default70nm(), 2)
+	cfg.Priorities = func(gr *dag.Graph) []int64 {
+		runs.Add(1)
+		return nil
+	}
+	reqs := []BatchRequest{
+		{Approach: ApproachLAMPS, Graph: g, Config: cfg},
+		{Approach: ApproachSS, Graph: g, Config: cfg},
+	}
+	for _, pool := range []*workpool.Pool{nil, workpool.NewPool(2)} {
+		eng := Engine{Pool: pool}
+		for i, br := range eng.RunBatch(ctx, reqs) {
+			if !errors.Is(br.Err, context.Canceled) {
+				t.Errorf("pool=%v slot %d: err = %v, want context.Canceled", pool != nil, i, br.Err)
+			}
+			if br.Result != nil {
+				t.Errorf("pool=%v slot %d: got a result from a cancelled batch", pool != nil, i)
+			}
+		}
+	}
+	if n := runs.Load(); n != 0 {
+		t.Errorf("%d heuristic runs executed under an already-cancelled context", n)
+	}
+}
+
+// TestRunBatchMidBatchCancellation: cancelling the batch context while the
+// serial batch is inside request 0 makes request 0 abort cooperatively and
+// every later request complete with the context error without starting.
+func TestRunBatchMidBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := power.Default70nm()
+	g := buildFig4a(t, coarseWeight)
+	var started atomic.Int32
+	cfg := DeadlineFactor(g, m, 2)
+	cfg.Priorities = func(gr *dag.Graph) []int64 {
+		started.Add(1)
+		cancel() // fires during request 0's run
+		return nil
+	}
+	reqs := make([]BatchRequest, 4)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Approach: ApproachLAMPS, Graph: g, Config: cfg}
+	}
+	got := (&Engine{}).RunBatch(ctx, reqs)
+	if !errors.Is(got[0].Err, context.Canceled) {
+		t.Errorf("request 0: err = %v, want context.Canceled (cooperative abort)", got[0].Err)
+	}
+	for i := 1; i < len(got); i++ {
+		if !errors.Is(got[i].Err, context.Canceled) {
+			t.Errorf("request %d: err = %v, want context.Canceled", i, got[i].Err)
+		}
+	}
+	if n := started.Load(); n != 1 {
+		t.Errorf("%d requests started after cancellation; only request 0 should have run", n)
+	}
+}
+
+// TestRunBatchSteadyStateZeroAlloc is the batch half of the CI alloc gate:
+// once the scratch pools are warm, the per-request allocation count of the
+// batch hot loop must stay bounded by a small constant — the Result
+// assembly and memoised schedules the API must hand out — rather than
+// growing with re-allocated kernels, profiles or priority slices. The
+// bound is deliberately loose against Go-version drift but tight enough
+// that losing scratch reuse (one kernel re-allocation is ~10 allocs, a
+// gap-profile rebuild more) fails it.
+func TestRunBatchSteadyStateZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate skipped in -short mode")
+	}
+	m := power.Default70nm()
+	g := buildFig4a(t, coarseWeight)
+	reqs := []BatchRequest{
+		{Approach: ApproachLAMPS, Graph: g, Config: DeadlineFactor(g, m, 2)},
+		{Approach: ApproachLAMPSPS, Graph: g, Config: DeadlineFactor(g, m, 2)},
+	}
+	eng := Engine{} // serial: measure the per-request loop itself, not goroutine scheduling
+	ctx := context.Background()
+
+	// Warm the kernel and profile pools.
+	for i := 0; i < 5; i++ {
+		for _, br := range eng.RunBatch(ctx, reqs) {
+			if br.Err != nil {
+				t.Fatal(br.Err)
+			}
+		}
+	}
+	const rounds = 50
+	avg := testing.AllocsPerRun(rounds, func() {
+		for _, br := range eng.RunBatch(ctx, reqs) {
+			if br.Err != nil {
+				t.Fatal(br.Err)
+			}
+		}
+	})
+	perRequest := avg / float64(len(reqs))
+	const maxAllocsPerRequest = 60
+	if perRequest > maxAllocsPerRequest {
+		t.Errorf("batch hot loop allocates %.1f allocs/request, want <= %d — per-request scratch reuse regressed",
+			perRequest, maxAllocsPerRequest)
+	}
+	t.Logf("batch steady state: %.1f allocs/request", perRequest)
+}

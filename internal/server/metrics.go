@@ -76,6 +76,10 @@ type metrics struct {
 	sweepCellsOK  uint64 // sweep cells that produced a result
 	sweepCellsErr uint64 // sweep cells that produced an error
 
+	batchLinesOK  uint64     // batch lines that produced a result
+	batchLinesErr uint64     // batch lines that produced an error (invalid lines included)
+	batchItems    *histogram // request lines per /v1/batch call
+
 	runsCancelled uint64 // runs aborted because every waiter departed
 
 	verifyFailures uint64 // runs rejected by the self-check verifier
@@ -103,6 +107,7 @@ func newMetrics() *metrics {
 		queueShed:       newHistogram(latencyBuckets),
 		schedulesBuilt:  newHistogram(effortBuckets),
 		levelsEvaluated: newHistogram(effortBuckets),
+		batchItems:      newHistogram(effortBuckets),
 	}
 }
 
@@ -136,6 +141,26 @@ func (m *metrics) recordSweepCell(ok bool) {
 	} else {
 		m.sweepCellsErr++
 	}
+}
+
+// recordBatchLine counts one /v1/batch line by outcome. Invalid lines that
+// never executed count as errors: the client sees an error line either way.
+func (m *metrics) recordBatchLine(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.batchLinesOK++
+	} else {
+		m.batchLinesErr++
+	}
+}
+
+// recordBatch records one whole /v1/batch call with its request-line count,
+// the batch-size distribution capacity planning needs.
+func (m *metrics) recordBatch(items int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchItems.observe(float64(items))
 }
 
 // recordRun records one completed scheduling run (a cache miss that executed
@@ -253,6 +278,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE lampsd_sweep_cells_total counter\n")
 	fmt.Fprintf(w, "lampsd_sweep_cells_total{outcome=\"ok\"} %d\n", m.sweepCellsOK)
 	fmt.Fprintf(w, "lampsd_sweep_cells_total{outcome=\"error\"} %d\n", m.sweepCellsErr)
+
+	fmt.Fprintf(w, "# HELP lampsd_batch_lines_total Batch request lines served, by outcome.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_batch_lines_total counter\n")
+	fmt.Fprintf(w, "lampsd_batch_lines_total{outcome=\"ok\"} %d\n", m.batchLinesOK)
+	fmt.Fprintf(w, "lampsd_batch_lines_total{outcome=\"error\"} %d\n", m.batchLinesErr)
+
+	fmt.Fprintf(w, "# HELP lampsd_batch_items Request lines per /v1/batch call.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_batch_items histogram\n")
+	m.batchItems.write(w, "lampsd_batch_items", "")
 
 	fmt.Fprintf(w, "# HELP lampsd_schedules_built_total List-scheduling invocations across all completed runs (core.Stats).\n")
 	fmt.Fprintf(w, "# TYPE lampsd_schedules_built_total counter\n")

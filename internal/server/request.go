@@ -87,16 +87,26 @@ func decodeRequest(body io.Reader) (*scheduleRequest, error) {
 	if dec.More() {
 		return nil, badRequest("trailing data after request object")
 	}
-	if (req.Graph == nil) == (req.STG == "") {
-		return nil, badRequest("exactly one of \"graph\" and \"stg\" must be set")
-	}
-	if (req.DeadlineSec > 0) == (req.DeadlineFactor > 0) {
-		return nil, badRequest("exactly one of \"deadline_sec\" and \"deadline_factor\" must be positive")
-	}
-	if req.MaxProcs < 0 {
-		return nil, badRequest("max_procs must be non-negative, got %d", req.MaxProcs)
+	if err := req.validate(); err != nil {
+		return nil, err
 	}
 	return &req, nil
+}
+
+// validate checks the structural invariants shared by every surface that
+// accepts a scheduleRequest — the single-shot endpoint and each line of a
+// /v1/batch stream — so the two reject malformed requests identically.
+func (req *scheduleRequest) validate() error {
+	if (req.Graph == nil) == (req.STG == "") {
+		return badRequest("exactly one of \"graph\" and \"stg\" must be set")
+	}
+	if (req.DeadlineSec > 0) == (req.DeadlineFactor > 0) {
+		return badRequest("exactly one of \"deadline_sec\" and \"deadline_factor\" must be positive")
+	}
+	if req.MaxProcs < 0 {
+		return badRequest("max_procs must be non-negative, got %d", req.MaxProcs)
+	}
+	return nil
 }
 
 // buildGraph materialises a task graph from exactly one of an inline spec

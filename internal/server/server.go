@@ -10,6 +10,9 @@
 //	POST /v1/schedule  schedule one task graph (inline JSON or STG text)
 //	POST /v1/sweep     evaluate a grid of {approaches × deadlines × procs}
 //	                   over one graph, streaming per-cell results (NDJSON)
+//	POST /v1/batch     execute many independent scheduling problems — one
+//	                   /v1/schedule request object per input line — across
+//	                   the worker pool, streaming per-line results (NDJSON)
 //	POST /schedule     legacy alias of /v1/schedule
 //	GET  /healthz      liveness probe
 //	GET  /metrics      Prometheus text exposition
@@ -62,6 +65,7 @@ const (
 	DefaultMaxBodyBytes  = 8 << 20 // 8 MiB
 	DefaultCacheSize     = 1024    // result cache entries
 	DefaultSweepMaxCells = 256     // largest /v1/sweep grid
+	DefaultBatchMaxItems = 1024    // largest /v1/batch request count
 )
 
 // CacheHeader is the response header reporting how the result was obtained:
@@ -94,6 +98,9 @@ type Options struct {
 	// SweepMaxCells rejects /v1/sweep grids with more cells with 413
 	// (0 = DefaultSweepMaxCells).
 	SweepMaxCells int
+	// BatchMaxItems rejects /v1/batch streams with more request lines with
+	// 413 (0 = DefaultBatchMaxItems).
+	BatchMaxItems int
 	// SearchWorkers bounds the core engine's intra-run search parallelism
 	// (candidate schedule builds and +PS level sweeps), shared across all
 	// concurrent runs (0 = GOMAXPROCS, negative = serial search). Results
@@ -148,6 +155,9 @@ func New(opts Options) *Server {
 	if opts.SweepMaxCells <= 0 {
 		opts.SweepMaxCells = DefaultSweepMaxCells
 	}
+	if opts.BatchMaxItems <= 0 {
+		opts.BatchMaxItems = DefaultBatchMaxItems
+	}
 	if opts.Logger == nil {
 		opts.Logger = slog.Default()
 	}
@@ -168,6 +178,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
