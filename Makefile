@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke smoke verify-campaign bench alloc-gate serve ci
+.PHONY: all build vet test race fuzz-smoke smoke verify-campaign bench alloc-gate store-gate serve ci
 
 all: ci
 
@@ -46,7 +46,23 @@ smoke:
 	$(GO) run ./cmd/loadgen -smoke -out $$tmp/loadgen.json >/dev/null; \
 	$(GO) build -o $$tmp/lampsd ./cmd/lampsd; \
 	echo "== lampsd (2s, SIGINT drain)"; \
-	timeout --preserve-status -s INT 2 $$tmp/lampsd -addr 127.0.0.1:0 2>/dev/null
+	timeout --preserve-status -s INT 2 $$tmp/lampsd -addr 127.0.0.1:0 2>/dev/null; \
+	echo "== lampsd warm restart (-store-dir: populate, drain, restart, byte-identical)"; \
+	req='{"approach":"lamps+ps","deadline_factor":2,"graph":{"tasks":[{"weight_cycles":3100000},{"weight_cycles":6200000},{"weight_cycles":4650000}],"edges":[[0,1],[0,2]]}}'; \
+	getaddr() { sed -n 's/.*"msg":"listening","addr":"\([^"]*\)".*/\1/p' "$$1" | head -n1; }; \
+	$$tmp/lampsd -addr 127.0.0.1:0 -store-dir $$tmp/store 2>$$tmp/log1 & pid=$$!; \
+	addr=; for i in $$(seq 100); do addr=$$(getaddr $$tmp/log1); [ -n "$$addr" ] && break; sleep 0.1; done; \
+	[ -n "$$addr" ] || { echo "lampsd did not start"; cat $$tmp/log1; exit 1; }; \
+	curl -sf -d "$$req" "http://$$addr/v1/schedule" -o $$tmp/resp1.json; \
+	kill -INT $$pid; wait $$pid; \
+	$$tmp/lampsd -addr 127.0.0.1:0 -store-dir $$tmp/store 2>$$tmp/log2 & pid=$$!; \
+	addr=; for i in $$(seq 100); do addr=$$(getaddr $$tmp/log2); [ -n "$$addr" ] && break; sleep 0.1; done; \
+	[ -n "$$addr" ] || { echo "lampsd did not restart"; cat $$tmp/log2; exit 1; }; \
+	src=$$(curl -sf -D - -d "$$req" "http://$$addr/v1/schedule" -o $$tmp/resp2.json | tr -d '\r' | sed -n 's/^X-Lamps-Cache: //p'); \
+	curl -sf "http://$$addr/metrics" | grep -q '^lampsd_cache_hits_total 1' || { echo "warm restart: no cache hit recorded"; exit 1; }; \
+	kill -INT $$pid; wait $$pid; \
+	[ "$$src" = "hit" ] || { echo "warm restart: cache header '$$src', want hit"; exit 1; }; \
+	cmp -s $$tmp/resp1.json $$tmp/resp2.json || { echo "warm restart: response bytes differ across restart"; exit 1; }
 
 # The independent-verifier campaign: 200 random graphs re-checked from first
 # principles (schedule legality, energy accounting, cross-heuristic and
@@ -80,6 +96,18 @@ alloc-gate:
 	$(GO) test -run 'TestScheduleIntoSteadyStateZeroAlloc' -count=1 -v ./internal/sched
 	$(GO) test -run 'TestGapProfileEvaluateZeroAlloc' -count=1 -v ./internal/energy
 	$(GO) test -run 'TestRunBatchSteadyStateZeroAlloc' -count=1 -v ./internal/core
+
+# The persistence and overload gate: the segment-log store must round-trip
+# byte-identical records, drop truncated or corrupt tails at every byte
+# boundary, and skip stale-stamp segments; the serving layer must warm-load
+# persisted results across a restart and derive Retry-After from observed
+# queue waits rather than a constant. Run by name with -count=1 so the
+# crash-recovery sweep executes on every invocation, and under -race where
+# the serving layer is involved.
+store-gate:
+	$(GO) test -run 'TestRoundTrip|TestTruncationAtEveryByteBoundary|TestChecksumMismatchDropsTail|TestMidSegmentCorruptionKeepsPrefixOnly|TestStaleStampSkipsSegment' -count=1 -v ./internal/store
+	$(GO) test -race -run 'TestPersistenceAcrossServers|TestPersistenceSkipsStaleStamp|TestRetryAfterReflectsQueueWait|TestQueueFullReturns429' -count=1 -v ./internal/server
+	$(GO) test -race -run 'TestWarmRestartServesPersistedResults' -count=1 -v ./cmd/lampsd
 
 # Run the scheduling service locally.
 serve:

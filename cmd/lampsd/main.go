@@ -12,10 +12,20 @@
 //	lampsd -addr :8080 -workers 8 -cache 4096 -request-timeout 60s
 //
 // Every request is bounded by -request-timeout end to end (queueing plus
-// scheduling time): requests shed before execution return 503, runs that
-// outlive the deadline return 504, both with Retry-After. The server drains
-// gracefully on SIGINT/SIGTERM: in-flight requests get up to -drain to
-// complete before the process exits.
+// scheduling time): requests shed before execution return 503 (or 429 when
+// their cost class's admission queue is full), runs that outlive the
+// deadline return 504 — all with a Retry-After derived from the observed
+// queue-wait distribution. The server drains gracefully on SIGINT/SIGTERM:
+// in-flight requests get up to -drain to complete before the process exits.
+//
+// With -store-dir set, every cached result is also appended to a
+// crash-tolerant segment log in that directory and warm-loaded into the
+// cache on the next start, so a restarted server answers previously seen
+// problems from the first request on — byte-identical, because the store
+// persists the rendered response bytes keyed by the canonical problem
+// digest. Segments written by an incompatible binary (a different digest or
+// result-format version) are skipped wholesale; truncated or corrupt
+// segment tails are detected by per-record checksums and dropped.
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 
 	"lamps/internal/power"
 	"lamps/internal/server"
+	"lamps/internal/store"
 )
 
 func main() {
@@ -62,6 +73,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		reqTO     = fs.Duration("request-timeout", 60*time.Second, "end-to-end per-request deadline covering queueing and scheduling (0 disables)")
 		maxCells  = fs.Int("sweep-max-cells", server.DefaultSweepMaxCells, "largest accepted /v1/sweep grid, in cells")
 		selfcheck = fs.Bool("selfcheck", false, "re-verify every scheduling result from first principles (canary mode; failures return 500 and count in lampsd_verify_failures_total)")
+		storeDir  = fs.String("store-dir", "", "persist cached results to this directory and warm-load them on startup (empty disables persistence)")
+		queue     = fs.Int("queue-depth", server.DefaultQueueDepth, "per-cost-class admission queue depth; excess requests are shed with 429 + Retry-After")
 	)
 	fs.SetOutput(logw)
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +96,23 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 
 	logger := slog.New(slog.NewJSONHandler(logw, nil))
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = server.OpenStore(*storeDir, logger)
+		if err != nil {
+			return fmt.Errorf("opening result store: %w", err)
+		}
+		defer func() {
+			if cerr := st.Close(); cerr != nil {
+				logger.Warn("closing result store", "err", cerr)
+			}
+			stats := st.Stats()
+			logger.Info("result store closed",
+				"dir", *storeDir, "loaded", stats.Loaded, "appended", stats.Appended,
+				"dropped_tails", stats.DroppedTails, "stale_segments", stats.Stale)
+		}()
+	}
 	srv := server.New(server.Options{
 		Model:          m,
 		Workers:        *workers,
@@ -93,6 +123,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		RequestTimeout: *reqTO,
 		SweepMaxCells:  *maxCells,
 		SelfCheck:      *selfcheck,
+		Store:          st,
+		QueueDepth:     *queue,
 		Logger:         logger,
 	})
 

@@ -140,6 +140,90 @@ func TestServeAndGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestWarmRestartServesPersistedResults is the restart contract end to end:
+// boot the daemon with -store-dir, schedule a problem (a cache miss), drain
+// gracefully, boot a second daemon on the same directory, and require the
+// same request to come back as a cache hit with byte-identical bytes.
+func TestWarmRestartServesPersistedResults(t *testing.T) {
+	dir := t.TempDir()
+	reqBody := `{"approach":"lamps+ps","deadline_factor":2,"graph":{"tasks":[{"weight_cycles":3100000},{"weight_cycles":6200000},{"weight_cycles":4650000}],"edges":[[0,1],[0,2]]}}`
+
+	boot := func() (base string, lc *logCapture, stop func() error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		lc = newLogCapture()
+		done := make(chan error, 1)
+		go func() {
+			done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain", "5s", "-store-dir", dir}, lc)
+		}()
+		var addr string
+		select {
+		case addr = <-lc.addr:
+		case <-time.After(10 * time.Second):
+			cancel()
+			t.Fatalf("server did not report a listen address; log:\n%s", lc.String())
+		}
+		return "http://" + addr, lc, func() error {
+			cancel()
+			select {
+			case err := <-done:
+				return err
+			case <-time.After(10 * time.Second):
+				t.Fatalf("server did not shut down; log:\n%s", lc.String())
+				return nil
+			}
+		}
+	}
+
+	schedule := func(base string) (body []byte, cacheHeader string) {
+		resp, err := http.Post(base+"/schedule", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("schedule: status %d, body %s", resp.StatusCode, body)
+		}
+		return body, resp.Header.Get("X-Lamps-Cache")
+	}
+
+	base, _, stop := boot()
+	firstBody, src := schedule(base)
+	if src != "miss" {
+		t.Errorf("first run: cache header %q, want miss", src)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first run shutdown: %v", err)
+	}
+
+	base, lc, stop := boot()
+	secondBody, src := schedule(base)
+	if src != "hit" {
+		t.Errorf("after restart: cache header %q, want hit", src)
+	}
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Errorf("restart changed response bytes:\nbefore: %s\nafter:  %s", firstBody, secondBody)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"lampsd_cache_hits_total 1", "lampsd_store_loaded_total 1"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics after restart missing %q", want)
+		}
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("second run shutdown: %v", err)
+	}
+	if log := lc.String(); !strings.Contains(log, "warm-loaded persisted results") {
+		t.Errorf("second run log missing warm-load line:\n%s", log)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	err := run(context.Background(), []string{"-definitely-not-a-flag"}, io.Discard)
 	if err == nil {

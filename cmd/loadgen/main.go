@@ -320,6 +320,22 @@ func summarise(samples []time.Duration) latencyStats {
 	return st
 }
 
+// tallyClosed folds one RunBatch's results into the closed-loop report:
+// only successful requests count toward Requests (and hence RPS), errored
+// ones count in Errors alone. Counting whole batches used to inflate
+// throughput under partial failure — a batch of 64 with 60 errors reported
+// 64 requests served.
+func tallyClosed(results []core.BatchResult, rep *closedReport, samples *[]time.Duration) {
+	for _, br := range results {
+		if br.Err != nil {
+			rep.Errors++
+			continue
+		}
+		rep.Requests++
+		*samples = append(*samples, br.Elapsed)
+	}
+}
+
 // runClosed measures closed-loop capacity at one worker count: batches of
 // batchSize requests are pushed through RunBatch back to back for the
 // duration, per-request latencies taken from BatchResult.Elapsed.
@@ -338,19 +354,9 @@ func runClosed(reqs []core.BatchRequest, workers, batchSize int, warmup, duratio
 	drain := func(window time.Duration, record bool, rep *closedReport, samples *[]time.Duration) error {
 		start := time.Now()
 		for time.Since(start) < window {
-			for _, br := range eng.RunBatch(ctx, takeBatch()) {
-				if br.Err != nil {
-					if record {
-						rep.Errors++
-					}
-					continue
-				}
-				if record {
-					*samples = append(*samples, br.Elapsed)
-				}
-			}
+			results := eng.RunBatch(ctx, takeBatch())
 			if record {
-				rep.Requests += batchSize
+				tallyClosed(results, rep, samples)
 			}
 		}
 		if record {
@@ -428,9 +434,9 @@ func runOpen(reqs []core.BatchRequest, rps float64, duration time.Duration) (ope
 	if rep.Errors > 0 {
 		return rep, fmt.Errorf("open loop: %d request errors", rep.Errors)
 	}
-	rep.Requests = total
+	rep.Requests = total - rep.Errors // successes only, matching the closed loop
 	rep.DurationSec = wall.Seconds()
-	rep.AchievedRPS = float64(total) / wall.Seconds()
+	rep.AchievedRPS = float64(rep.Requests) / wall.Seconds()
 	rep.Latency = summarise(lats)
 	return rep, nil
 }

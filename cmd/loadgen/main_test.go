@@ -2,11 +2,68 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"lamps/internal/core"
+	"lamps/internal/power"
+	"lamps/internal/taskgen"
 )
+
+// TestTallyClosedCountsSuccessesOnly pins the throughput accounting: errored
+// requests go to Errors, not Requests. The old per-batch accounting
+// (Requests += batchSize) counted failures as served traffic, inflating RPS
+// exactly when the system was failing.
+func TestTallyClosedCountsSuccessesOnly(t *testing.T) {
+	results := []core.BatchResult{
+		{Result: &core.Result{}, Elapsed: time.Millisecond},
+		{Err: errors.New("injected failure")},
+		{Result: &core.Result{}, Elapsed: 2 * time.Millisecond},
+		{Err: errors.New("injected failure")},
+	}
+	var rep closedReport
+	var samples []time.Duration
+	tallyClosed(results, &rep, &samples)
+	if rep.Requests != 2 {
+		t.Errorf("Requests = %d, want 2 (successes only)", rep.Requests)
+	}
+	if rep.Errors != 2 {
+		t.Errorf("Errors = %d, want 2", rep.Errors)
+	}
+	if len(samples) != 2 {
+		t.Errorf("latency samples = %d, want 2: errored requests must not contribute", len(samples))
+	}
+}
+
+// TestRunClosedRejectsAllErrorWorkload drives the real closed loop with a
+// workload whose every request fails (deadline far below the critical path)
+// and requires zero reported throughput — under the old accounting this
+// reported batchSize requests per drained batch.
+func TestRunClosedRejectsAllErrorWorkload(t *testing.T) {
+	g, err := taskgen.Member(24, 0, 24000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = taskgen.Coarse.Scale(g)
+	infeasible := core.BatchRequest{
+		Approach: core.ApproachLAMPS,
+		Graph:    g,
+		Config:   core.DeadlineFactor(g, power.Default70nm(), 0.01),
+	}
+	rep, err := runClosed([]core.BatchRequest{infeasible}, 1, 4, 0, 20*time.Millisecond)
+	if err == nil {
+		t.Fatal("runClosed reported success on an all-error workload")
+	}
+	if rep.Errors == 0 {
+		t.Fatal("no errors recorded for an infeasible workload")
+	}
+	if rep.Requests != 0 {
+		t.Errorf("Requests = %d with every request erroring, want 0 (error-inflation regression)", rep.Requests)
+	}
+}
 
 func TestSummarisePercentiles(t *testing.T) {
 	// 1ms..100ms in 1ms steps: p50 = 50ms, p99 = 99ms, max = 100ms.

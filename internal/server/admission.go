@@ -1,0 +1,228 @@
+package server
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"lamps/internal/core"
+	"lamps/internal/workpool"
+)
+
+// Cost classes. A request's class is a function of (approach, task count)
+// only — the two inputs that determine its compute cost by orders of
+// magnitude: the LIMIT bounds are closed-form-plus-one-pass computations in
+// the microseconds, the scheduling heuristics on small graphs take tens of
+// microseconds to low milliseconds, and a LAMPS+PS search over a
+// thousand-task graph is a milliseconds-to-seconds affair. Classing them
+// separately means a flood of expensive requests saturates its own queue —
+// and is shed with an honest Retry-After — while cheap traffic keeps flowing.
+const (
+	classMicro    = "micro"    // LIMIT-SF / LIMIT-MF bounds: microseconds
+	classStandard = "standard" // heuristics on graphs below heavyTaskThreshold
+	classHeavy    = "heavy"    // heuristics on large graphs: milliseconds and up
+)
+
+// heavyTaskThreshold is the task count at which a heuristic run is classed
+// heavy. Half the pool (rounded down, minimum one slot) may run heavy work
+// concurrently; the rest is always available to the cheaper classes.
+const heavyTaskThreshold = 512
+
+// maxRetryAfterSec caps the advertised Retry-After: beyond two minutes the
+// estimate is noise and clients should re-resolve rather than sleep longer.
+const maxRetryAfterSec = 120
+
+// costClass maps one request onto its admission class.
+func costClass(approach string, numTasks int) string {
+	switch approach {
+	case core.ApproachLimitSF, core.ApproachLimitMF:
+		return classMicro
+	}
+	if numTasks >= heavyTaskThreshold {
+		return classHeavy
+	}
+	return classStandard
+}
+
+// admission is the per-class front door to the shared worker pool: one
+// bounded waiting room per cost class (full → immediate 429), plus a
+// concurrency cap on the heavy class so expensive runs can never occupy the
+// whole pool. Each class keeps a histogram of observed queue waits; the
+// Retry-After advertised on shed responses is derived from it (see
+// retryAfterSeconds), not hardcoded.
+type admission struct {
+	micro    *costClassQueue
+	standard *costClassQueue
+	heavy    *costClassQueue
+}
+
+// newAdmission sizes the per-class queues for a pool of workers slots and a
+// per-class waiting room of depth entries.
+func newAdmission(workers, depth int) *admission {
+	heavySlots := workers / 2
+	if heavySlots < 1 {
+		heavySlots = 1
+	}
+	return &admission{
+		micro:    newCostClassQueue(classMicro, depth, 0),
+		standard: newCostClassQueue(classStandard, depth, 0),
+		heavy:    newCostClassQueue(classHeavy, depth, heavySlots),
+	}
+}
+
+// class returns the queue handling (approach, numTasks) requests.
+func (a *admission) class(approach string, numTasks int) *costClassQueue {
+	switch costClass(approach, numTasks) {
+	case classMicro:
+		return a.micro
+	case classHeavy:
+		return a.heavy
+	default:
+		return a.standard
+	}
+}
+
+// all lists the queues in stable order for metrics exposition.
+func (a *admission) all() []*costClassQueue {
+	return []*costClassQueue{a.micro, a.standard, a.heavy}
+}
+
+// costClassQueue is one class's bounded waiting room and wait accounting.
+type costClassQueue struct {
+	name    string
+	waiting chan struct{} // tokens: requests queued for a slot (not yet running)
+	slots   chan struct{} // per-class concurrency cap; nil = bounded by the pool only
+
+	mu          sync.Mutex
+	waits       *histogram // observed queue waits, admitted and shed alike
+	admitted    uint64
+	shedFull    uint64 // shed instantly: waiting room full
+	shedTimeout uint64 // shed after queueing: context expired before a slot freed
+}
+
+func newCostClassQueue(name string, depth, slots int) *costClassQueue {
+	q := &costClassQueue{
+		name:    name,
+		waiting: make(chan struct{}, depth),
+		waits:   newHistogram(latencyBuckets),
+	}
+	if slots > 0 {
+		q.slots = make(chan struct{}, slots)
+	}
+	return q
+}
+
+// tryEnter claims a waiting-room token without blocking; false means the
+// class is saturated beyond its queue bound and the request must be shed
+// immediately (429), before it costs the server anything further.
+func (q *costClassQueue) tryEnter() bool {
+	select {
+	case q.waiting <- struct{}{}:
+		return true
+	default:
+		q.mu.Lock()
+		q.shedFull++
+		q.mu.Unlock()
+		return false
+	}
+}
+
+// leave releases one waiting-room token: the request either reached a worker
+// slot or was shed while queueing. Exactly one leave per successful tryEnter.
+func (q *costClassQueue) leave() { <-q.waiting }
+
+// acquire runs fn on the shared pool under this class's concurrency cap.
+// The waiting-room token must already be held; fn itself must release it
+// (via leave) as its first action so queue depth counts only waiters.
+func (q *costClassQueue) acquire(ctx context.Context, pool *workpool.Pool, fn func()) error {
+	if q.slots != nil {
+		select {
+		case q.slots <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		defer func() { <-q.slots }()
+	}
+	return pool.Do(ctx, fn)
+}
+
+// observeAdmitted records the queue wait of a request that reached a worker.
+func (q *costClassQueue) observeAdmitted(waitSec float64) {
+	q.mu.Lock()
+	q.waits.observe(waitSec)
+	q.admitted++
+	q.mu.Unlock()
+}
+
+// observeShed records the queue wait of a request shed on context expiry —
+// precisely the waits Retry-After must reflect: how long a caller queues
+// here without being served.
+func (q *costClassQueue) observeShed(waitSec float64) {
+	q.mu.Lock()
+	q.waits.observe(waitSec)
+	q.shedTimeout++
+	q.mu.Unlock()
+}
+
+// retryAfterSeconds estimates how long a retry should wait before this class
+// is likely to have capacity: the p90 of observed queue waits scaled by the
+// current backlog (each queued request ahead represents roughly one more
+// wait), rounded up to whole seconds and clamped to [1, maxRetryAfterSec].
+// With no observations yet it degrades to the 1-second floor. This is the
+// load-aware replacement for the historical hardcoded Retry-After: 1 — an
+// idle server still answers 1, a server with a deep saturated queue tells
+// clients to stay away proportionally longer.
+func (q *costClassQueue) retryAfterSeconds() int {
+	q.mu.Lock()
+	p90 := q.waits.quantile(0.9)
+	q.mu.Unlock()
+	backlog := len(q.waiting) + 1
+	sec := int(math.Ceil(p90 * float64(backlog)))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > maxRetryAfterSec {
+		sec = maxRetryAfterSec
+	}
+	return sec
+}
+
+// snapshot returns the counters for metrics exposition.
+func (q *costClassQueue) snapshot() (waits histogram, admitted, shedFull, shedTimeout uint64, depth int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waits.clone(), q.admitted, q.shedFull, q.shedTimeout, len(q.waiting)
+}
+
+// admit is the leader-side admission path wrapped around one scheduling run:
+// claim a waiting-room token (or shed 429), queue for a worker slot under
+// ctx, then execute fn with the wait recorded. Returns the apiError to shed
+// with, or nil if fn ran.
+func (s *Server) admit(ctx context.Context, q *costClassQueue, fn func()) *apiError {
+	if !q.tryEnter() {
+		return tooBusy(q.retryAfterSeconds(),
+			"%s-class waiting room is full (%d queued); shed before queueing", q.name, cap(q.waiting))
+	}
+	queued := time.Now()
+	started := false
+	err := q.acquire(ctx, s.pool, func() {
+		q.leave() // out of the waiting room: executing now
+		started = true
+		q.observeAdmitted(time.Since(queued).Seconds())
+		fn()
+	})
+	if err == nil {
+		return nil
+	}
+	// Shed while queueing: release the token, then account the wait — it is
+	// exactly the signal retryAfterSeconds feeds back to clients.
+	if !started {
+		q.leave()
+	}
+	waitSec := time.Since(queued).Seconds()
+	q.observeShed(waitSec)
+	s.metrics.recordQueueShed(waitSec)
+	return overloaded("no worker slot within the request deadline: %v", err).
+		withRetryAfter(q.retryAfterSeconds())
+}

@@ -1,0 +1,150 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lamps/internal/server"
+)
+
+// shedResult is one shed response's status and Retry-After header.
+type shedResult struct {
+	status     int
+	retryAfter int
+}
+
+func postForShed(t *testing.T, ts *httptest.Server, req map[string]any) shedResult {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		t.Error(err)
+		return shedResult{}
+	}
+	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", &buf)
+	if err != nil {
+		t.Error(err)
+		return shedResult{}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	ra := 0
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		ra, err = strconv.Atoi(h)
+		if err != nil {
+			t.Errorf("non-integer Retry-After %q", h)
+		}
+	}
+	return shedResult{resp.StatusCode, ra}
+}
+
+// TestRetryAfterReflectsQueueWait is the regression test for the hardcoded
+// Retry-After: 1. A single-worker server pinned by a slow run sheds a burst
+// of queued requests after the 150ms request deadline; with ~24 requests
+// queueing ~150ms each, the hint derived from the observed queue-wait
+// histogram (p90 × backlog) must exceed the historical constant 1 for at
+// least the early-shed responses, which still see a deep backlog.
+func TestRetryAfterReflectsQueueWait(t *testing.T) {
+	ts := newTestServer(t, server.Options{
+		Workers:        1,
+		CacheSize:      -1,
+		RequestTimeout: 150 * time.Millisecond,
+		Runner:         slowRunner(2 * time.Second),
+	})
+
+	// Pin the only worker slot with an uncancellable 2s run.
+	pin := make(chan shedResult, 1)
+	go func() { pin <- postForShed(t, ts, scheduleReq("ss", diamondGraph(), 2)) }()
+	time.Sleep(50 * time.Millisecond)
+
+	// Flood with distinct problems (deadline_factor varies the digest) that
+	// all queue behind it and shed together at the request deadline.
+	const burst = 24
+	results := make([]shedResult, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = postForShed(t, ts, scheduleReq("ss", diamondGraph(), 2+float64(i)*0.01))
+		}(i)
+	}
+	wg.Wait()
+
+	maxRetryAfter := 0
+	for _, r := range results {
+		switch r.status {
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests, http.StatusGatewayTimeout:
+			if r.retryAfter < 1 {
+				t.Errorf("shed response %d missing Retry-After", r.status)
+			}
+			if r.retryAfter > maxRetryAfter {
+				maxRetryAfter = r.retryAfter
+			}
+		default:
+			t.Errorf("unexpected status %d during saturation", r.status)
+		}
+	}
+	if maxRetryAfter <= 1 {
+		t.Errorf("max Retry-After across %d shed responses = %d; the hint is not "+
+			"derived from observed queue wait (hardcoded-1 regression)", burst, maxRetryAfter)
+	}
+
+	if r := <-pin; r.status != http.StatusGatewayTimeout {
+		t.Errorf("pinned request: status %d, want 504", r.status)
+	}
+}
+
+// TestQueueFullReturns429 pins the waiting-room bound: with QueueDepth 1 and
+// the only worker pinned, the first excess request queues and the second is
+// shed instantly with 429 + Retry-After, before costing the server anything.
+func TestQueueFullReturns429(t *testing.T) {
+	ts := newTestServer(t, server.Options{
+		Workers:        1,
+		QueueDepth:     1,
+		CacheSize:      -1,
+		RequestTimeout: 400 * time.Millisecond,
+		Runner:         slowRunner(2 * time.Second),
+	})
+
+	done := make(chan shedResult, 2)
+	go func() { done <- postForShed(t, ts, scheduleReq("ss", diamondGraph(), 2)) }()
+	time.Sleep(100 * time.Millisecond) // request A holds the only worker slot
+	go func() { done <- postForShed(t, ts, scheduleReq("ss", diamondGraph(), 2.1)) }()
+	time.Sleep(100 * time.Millisecond) // request B holds the only waiting-room token
+
+	r := postForShed(t, ts, scheduleReq("ss", diamondGraph(), 2.2))
+	if r.status != http.StatusTooManyRequests {
+		t.Fatalf("third request: status %d, want 429", r.status)
+	}
+	if r.retryAfter < 1 {
+		t.Errorf("429 response missing Retry-After")
+	}
+
+	text := metricsText(t, ts)
+	if !strings.Contains(text, `lampsd_admission_shed_total{class="standard",reason="queue-full"} 1`) {
+		t.Errorf("metrics missing queue-full shed counter:\n%s", grepMetrics(text, "lampsd_admission"))
+	}
+	<-done
+	<-done
+}
+
+// grepMetrics filters exposition text to lines containing substr, keeping
+// failure output readable.
+func grepMetrics(text, substr string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

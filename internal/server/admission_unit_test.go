@@ -1,0 +1,118 @@
+package server
+
+import (
+	"testing"
+
+	"lamps/internal/core"
+)
+
+func TestCostClass(t *testing.T) {
+	cases := []struct {
+		approach string
+		numTasks int
+		want     string
+	}{
+		{core.ApproachLimitSF, 4, classMicro},
+		{core.ApproachLimitMF, 5000, classMicro}, // bounds are micro at any size
+		{"SS", 4, classStandard},
+		{"LAMPS+PS", heavyTaskThreshold - 1, classStandard},
+		{"SS", heavyTaskThreshold, classHeavy},
+		{"LAMPS+PS", 5000, classHeavy},
+	}
+	for _, c := range cases {
+		if got := costClass(c.approach, c.numTasks); got != c.want {
+			t.Errorf("costClass(%q, %d) = %q, want %q", c.approach, c.numTasks, got, c.want)
+		}
+	}
+}
+
+func TestAdmissionClassRouting(t *testing.T) {
+	a := newAdmission(4, 8)
+	if q := a.class("SS", 4); q != a.standard {
+		t.Errorf("SS/4 routed to %q, want standard", q.name)
+	}
+	if q := a.class(core.ApproachLimitSF, 5000); q != a.micro {
+		t.Errorf("LIMIT-SF/5000 routed to %q, want micro", q.name)
+	}
+	if q := a.class("LAMPS+PS", 5000); q != a.heavy {
+		t.Errorf("LAMPS+PS/5000 routed to %q, want heavy", q.name)
+	}
+}
+
+func TestHeavyClassSlotCap(t *testing.T) {
+	if got := cap(newAdmission(8, 4).heavy.slots); got != 4 {
+		t.Errorf("heavy slots for 8 workers = %d, want 4", got)
+	}
+	// A one-worker pool still grants the heavy class one slot rather than zero.
+	if got := cap(newAdmission(1, 4).heavy.slots); got != 1 {
+		t.Errorf("heavy slots for 1 worker = %d, want 1", got)
+	}
+	if newAdmission(8, 4).standard.slots != nil {
+		t.Error("standard class should be bounded by the pool only")
+	}
+}
+
+// TestRetryAfterSeconds pins the load-aware hint: 1 second when idle, the
+// p90 observed wait scaled by the backlog when loaded, clamped to
+// maxRetryAfterSec — never the historical hardcoded constant under load.
+func TestRetryAfterSeconds(t *testing.T) {
+	q := newCostClassQueue(classStandard, 8, 0)
+
+	if got := q.retryAfterSeconds(); got != 1 {
+		t.Errorf("idle retry-after = %d, want the 1-second floor", got)
+	}
+
+	// Ten observed waits of ~2s: p90 lands in the 2.5s bucket. With an
+	// empty waiting room the backlog factor is 1, so the hint is ceil(2.5).
+	for i := 0; i < 10; i++ {
+		q.observeShed(2.0)
+	}
+	if got := q.retryAfterSeconds(); got != 3 {
+		t.Errorf("retry-after with p90=2.5s, empty queue = %d, want 3", got)
+	}
+
+	// Three queued requests ahead: backlog factor 4 → ceil(2.5 * 4) = 10.
+	for i := 0; i < 3; i++ {
+		if !q.tryEnter() {
+			t.Fatal("tryEnter failed below capacity")
+		}
+	}
+	if got := q.retryAfterSeconds(); got != 10 {
+		t.Errorf("retry-after with p90=2.5s, 3 queued = %d, want 10", got)
+	}
+
+	// Pathological waits and a deep backlog clamp to maxRetryAfterSec
+	// rather than telling clients to sleep for hours. Waits beyond the
+	// largest finite bucket clamp to that bound (10s), so 15 queued ahead
+	// gives ceil(10 * 16) = 160 → 120.
+	deep := newCostClassQueue(classHeavy, 16, 0)
+	for i := 0; i < 10; i++ {
+		deep.observeShed(100.0)
+	}
+	for i := 0; i < 15; i++ {
+		if !deep.tryEnter() {
+			t.Fatal("tryEnter failed below capacity")
+		}
+	}
+	if got := deep.retryAfterSeconds(); got != maxRetryAfterSec {
+		t.Errorf("retry-after under pathological load = %d, want clamp %d", got, maxRetryAfterSec)
+	}
+}
+
+func TestWaitingRoomBound(t *testing.T) {
+	q := newCostClassQueue(classStandard, 2, 0)
+	if !q.tryEnter() || !q.tryEnter() {
+		t.Fatal("tryEnter failed below capacity")
+	}
+	if q.tryEnter() {
+		t.Fatal("tryEnter succeeded beyond capacity")
+	}
+	_, _, shedFull, _, depth := q.snapshot()
+	if shedFull != 1 || depth != 2 {
+		t.Errorf("shedFull = %d, depth = %d, want 1 and 2", shedFull, depth)
+	}
+	q.leave()
+	if !q.tryEnter() {
+		t.Fatal("tryEnter failed after leave freed a token")
+	}
+}

@@ -45,8 +45,14 @@ func New(capacity int) *LRU {
 }
 
 // Get returns the cached value and true on a hit, marking the entry most
-// recently used. Callers must not modify the returned slice.
+// recently used. Callers must not modify the returned slice. A disabled
+// cache reports no traffic: lookups against it count neither hits nor
+// misses, so its stats stay zero instead of suggesting a 0% hit rate on a
+// cache that was never in play.
 func (c *LRU) Get(key string) ([]byte, bool) {
+	if c.cap == 0 {
+		return nil, false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -87,6 +93,10 @@ func (c *LRU) Len() int {
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// Enabled reports whether the cache stores anything at all; false means it
+// was created with capacity <= 0 and every operation is a silent no-op.
+func (c *LRU) Enabled() bool { return c.cap > 0 }
 
 // Stats reports lifetime hit, miss and eviction counts.
 func (c *LRU) Stats() (hits, misses, evictions uint64) {

@@ -68,6 +68,33 @@ func TestZeroCapacityDisables(t *testing.T) {
 	}
 }
 
+// TestDisabledCacheReportsNoTraffic pins the stats contract of a disabled
+// cache: lookups against it are not misses — a cache that was never in play
+// must not report a 0% hit rate. Enabled distinguishes the two states.
+func TestDisabledCacheReportsNoTraffic(t *testing.T) {
+	c := New(0)
+	if c.Enabled() {
+		t.Error("zero-capacity cache reports Enabled")
+	}
+	c.Put("a", []byte("A"))
+	for i := 0; i < 5; i++ {
+		c.Get("a")
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 0 || misses != 0 || evictions != 0 {
+		t.Errorf("disabled cache stats = %d/%d/%d, want all zero", hits, misses, evictions)
+	}
+
+	on := New(2)
+	if !on.Enabled() {
+		t.Error("capacity-2 cache reports disabled")
+	}
+	on.Get("a")
+	if _, misses, _ := on.Stats(); misses != 1 {
+		t.Errorf("enabled cache misses = %d, want 1", misses)
+	}
+}
+
 // TestConcurrent hammers the cache from many goroutines; run under -race it
 // proves the locking is sound.
 func TestConcurrent(t *testing.T) {

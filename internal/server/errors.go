@@ -17,7 +17,8 @@ import (
 // path converts domain errors into one of these before writing the
 // response, so clients can rely on the status code: 400 for malformed
 // input, 413 for oversized input, 422 for well-formed but unschedulable
-// problems, 503 for shed load, 504 for runs that exceeded the request
+// problems, 429 for requests shed because their cost class's waiting room
+// is full, 503 for shed load, 504 for runs that exceeded the request
 // deadline. Anything that escapes classification is a genuine server bug
 // and surfaces as 500.
 type apiError struct {
@@ -27,6 +28,21 @@ type apiError struct {
 }
 
 func (e *apiError) Error() string { return e.msg }
+
+// withRetryAfter sets the Retry-After hint, clamped to [1, maxRetryAfterSec].
+// Callers that know the observed queue-wait distribution (the admission
+// layer) use it to replace the 1-second floor the retryable constructors
+// default to.
+func (e *apiError) withRetryAfter(sec int) *apiError {
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > maxRetryAfterSec {
+		sec = maxRetryAfterSec
+	}
+	e.retryAfter = sec
+	return e
+}
 
 func badRequest(format string, args ...any) *apiError {
 	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
@@ -41,16 +57,28 @@ func unprocessable(format string, args ...any) *apiError {
 }
 
 // overloaded is the 503 for requests shed before execution (queue timeout,
-// draining). Retryable: the same request succeeds once load subsides.
+// draining). Retryable: the same request succeeds once load subsides. The
+// default Retry-After is the 1-second floor; paths that know the observed
+// queue-wait distribution override it via withRetryAfter.
 func overloaded(format string, args ...any) *apiError {
 	return &apiError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf(format, args...), retryAfter: 1}
+}
+
+// tooBusy is the 429 for requests shed instantly because their cost class's
+// bounded waiting room is full — queueing them would only add latency to
+// work the server cannot reach. retryAfter comes from the class's observed
+// queue-wait histogram.
+func tooBusy(retryAfter int, format string, args ...any) *apiError {
+	return (&apiError{status: http.StatusTooManyRequests, msg: fmt.Sprintf(format, args...)}).
+		withRetryAfter(retryAfter)
 }
 
 // timedOut is the 504 for requests whose scheduling run outlived the
 // server-side request deadline. The run keeps going — and warms the cache —
 // only while some other request still waits on it; once the last waiter
 // departs it is cancelled and its worker slot reclaimed, so a retry
-// re-executes from scratch.
+// re-executes from scratch. Default Retry-After is the 1-second floor;
+// see withRetryAfter.
 func timedOut(format string, args ...any) *apiError {
 	return &apiError{status: http.StatusGatewayTimeout, msg: fmt.Sprintf(format, args...), retryAfter: 1}
 }

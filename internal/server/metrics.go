@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -41,6 +42,36 @@ func (h *histogram) observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.count++
+}
+
+// quantile returns an upper bound on the q-quantile of the observed values:
+// the upper bound of the bucket where the cumulative count crosses
+// ceil(q·count). Observations in the overflow (+Inf) bucket clamp to the
+// largest finite bound. Returns 0 with no observations.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		if cum >= target {
+			return ub
+		}
+	}
+	return h.buckets[len(h.buckets)-1]
+}
+
+// clone copies the histogram so callers can render it outside the owner's
+// lock.
+func (h *histogram) clone() histogram {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return c
 }
 
 // write renders the histogram in Prometheus text exposition form. labels is
@@ -214,6 +245,13 @@ func (m *metrics) recordStages(schedules, levels int) {
 	m.levelsEvaluated.observe(float64(levels))
 }
 
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // handleMetrics renders the counters in the Prometheus text exposition
 // format (hand-rolled: the repo is standard-library only).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -253,6 +291,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "lampsd_cache_evictions_total %d\n", evictions)
 	fmt.Fprintf(w, "# TYPE lampsd_cache_entries gauge\n")
 	fmt.Fprintf(w, "lampsd_cache_entries %d\n", s.cache.Len())
+	fmt.Fprintf(w, "# HELP lampsd_cache_enabled 1 when the LRU result cache is active, 0 when disabled (capacity 0): a disabled cache reports no hit/miss traffic at all.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_cache_enabled gauge\n")
+	fmt.Fprintf(w, "lampsd_cache_enabled %d\n", boolToInt(s.cache.Enabled()))
+
+	if s.store != nil {
+		st := s.store.Stats()
+		fmt.Fprintf(w, "# HELP lampsd_store_loaded_total Records recovered from the persistent result store on startup.\n")
+		fmt.Fprintf(w, "# TYPE lampsd_store_loaded_total counter\n")
+		fmt.Fprintf(w, "lampsd_store_loaded_total %d\n", st.Loaded)
+		fmt.Fprintf(w, "# HELP lampsd_store_appended_total Records appended to the persistent result store by this process.\n")
+		fmt.Fprintf(w, "# TYPE lampsd_store_appended_total counter\n")
+		fmt.Fprintf(w, "lampsd_store_appended_total %d\n", st.Appended)
+		fmt.Fprintf(w, "# HELP lampsd_store_dropped_tails_total Segments whose truncated or corrupt tail was detected and dropped on startup.\n")
+		fmt.Fprintf(w, "# TYPE lampsd_store_dropped_tails_total counter\n")
+		fmt.Fprintf(w, "lampsd_store_dropped_tails_total %d\n", st.DroppedTails)
+		fmt.Fprintf(w, "# HELP lampsd_store_stale_segments_total Segments skipped wholesale because their version stamp no longer matches.\n")
+		fmt.Fprintf(w, "# TYPE lampsd_store_stale_segments_total counter\n")
+		fmt.Fprintf(w, "lampsd_store_stale_segments_total %d\n", st.Stale)
+	}
+
+	fmt.Fprintf(w, "# HELP lampsd_admission_admitted_total Requests that reached a worker slot, by cost class.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_admission_admitted_total counter\n")
+	for _, q := range s.admission.all() {
+		_, admitted, _, _, _ := q.snapshot()
+		fmt.Fprintf(w, "lampsd_admission_admitted_total{class=%q} %d\n", q.name, admitted)
+	}
+	fmt.Fprintf(w, "# HELP lampsd_admission_shed_total Requests shed by admission control, by cost class and reason (queue-full = 429 before queueing, timeout = 503 after queueing).\n")
+	fmt.Fprintf(w, "# TYPE lampsd_admission_shed_total counter\n")
+	for _, q := range s.admission.all() {
+		_, _, full, timeout, _ := q.snapshot()
+		fmt.Fprintf(w, "lampsd_admission_shed_total{class=%q,reason=\"queue-full\"} %d\n", q.name, full)
+		fmt.Fprintf(w, "lampsd_admission_shed_total{class=%q,reason=\"timeout\"} %d\n", q.name, timeout)
+	}
+	fmt.Fprintf(w, "# HELP lampsd_admission_waiting Requests currently queued for a worker slot, by cost class.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_admission_waiting gauge\n")
+	for _, q := range s.admission.all() {
+		_, _, _, _, depth := q.snapshot()
+		fmt.Fprintf(w, "lampsd_admission_waiting{class=%q} %d\n", q.name, depth)
+	}
+	fmt.Fprintf(w, "# HELP lampsd_queue_wait_seconds Observed queue waits by cost class (admitted and shed requests alike) — the distribution Retry-After hints derive from.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_queue_wait_seconds histogram\n")
+	for _, q := range s.admission.all() {
+		waits, _, _, _, _ := q.snapshot()
+		waits.write(w, "lampsd_queue_wait_seconds", fmt.Sprintf("class=%q,", q.name))
+	}
+	fmt.Fprintf(w, "# HELP lampsd_retry_after_hint_seconds The Retry-After a request shed right now would receive, by cost class.\n")
+	fmt.Fprintf(w, "# TYPE lampsd_retry_after_hint_seconds gauge\n")
+	for _, q := range s.admission.all() {
+		fmt.Fprintf(w, "lampsd_retry_after_hint_seconds{class=%q} %d\n", q.name, q.retryAfterSeconds())
+	}
 
 	fmt.Fprintf(w, "# HELP lampsd_coalesced_total Requests coalesced onto another request's in-flight scheduling run.\n")
 	fmt.Fprintf(w, "# TYPE lampsd_coalesced_total counter\n")

@@ -1,0 +1,98 @@
+package server_test
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"testing"
+
+	"lamps/internal/server"
+	"lamps/internal/store"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := server.OpenStore(dir, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestPersistenceAcrossServers is the store round-trip at the serving layer:
+// results cached by one Server instance are served byte-identically — and as
+// cache hits from the very first request — by a second instance opened on
+// the same store directory, the restart contract lampsd's -store-dir flag
+// builds on.
+func TestPersistenceAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+	req := scheduleReq("lamps+ps", diamondGraph(), 2)
+
+	st1 := openStore(t, dir)
+	ts1 := newTestServer(t, server.Options{Store: st1})
+	status, firstBody, source := post(t, ts1, req)
+	if status != http.StatusOK || source != "miss" {
+		t.Fatalf("first request: status %d, source %q, want 200 miss", status, source)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	ts2 := newTestServer(t, server.Options{Store: st2})
+	status, body, source := post(t, ts2, req)
+	if status != http.StatusOK {
+		t.Fatalf("after restart: status %d", status)
+	}
+	if source != "hit" {
+		t.Errorf("after restart: source %q, want a warm-loaded cache hit", source)
+	}
+	if !bytes.Equal(body, firstBody) {
+		t.Errorf("restarted server served different bytes:\nbefore: %s\nafter:  %s", firstBody, body)
+	}
+	if v := metricValue(t, ts2, "lampsd_store_loaded_total"); v < 1 {
+		t.Errorf("lampsd_store_loaded_total = %g, want >= 1", v)
+	}
+	if v := metricValue(t, ts2, "lampsd_cache_hits_total"); v < 1 {
+		t.Errorf("lampsd_cache_hits_total = %g, want >= 1", v)
+	}
+}
+
+// TestPersistenceSkipsStaleStamp pins the invalidation rule: a store written
+// under a different version stamp (an older digest or result encoding) warm
+// loads nothing — the restarted server recomputes rather than replaying
+// bytes a current binary would never produce.
+func TestPersistenceSkipsStaleStamp(t *testing.T) {
+	dir := t.TempDir()
+	old, err := store.Open(dir, "lamps/old-stamp", quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Put("some-key", []byte("stale bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := openStore(t, dir)
+	defer st.Close()
+	ts := newTestServer(t, server.Options{Store: st})
+	if v := metricValue(t, ts, "lampsd_store_loaded_total"); v != 0 {
+		t.Errorf("lampsd_store_loaded_total = %g, want 0: stale segments must not warm the cache", v)
+	}
+	if v := metricValue(t, ts, "lampsd_store_stale_segments_total"); v != 1 {
+		t.Errorf("lampsd_store_stale_segments_total = %g, want 1", v)
+	}
+	status, _, source := post(t, ts, scheduleReq("ss", diamondGraph(), 2))
+	if status != http.StatusOK || source != "miss" {
+		t.Errorf("request against stale store: status %d, source %q, want 200 miss", status, source)
+	}
+}

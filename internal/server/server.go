@@ -55,6 +55,7 @@ import (
 	"lamps/internal/graphhash"
 	"lamps/internal/power"
 	"lamps/internal/server/cache"
+	"lamps/internal/store"
 	"lamps/internal/verify"
 	"lamps/internal/workpool"
 )
@@ -66,7 +67,30 @@ const (
 	DefaultCacheSize     = 1024    // result cache entries
 	DefaultSweepMaxCells = 256     // largest /v1/sweep grid
 	DefaultBatchMaxItems = 1024    // largest /v1/batch request count
+	DefaultQueueDepth    = 256     // per-cost-class waiting-room capacity
 )
+
+// resultFormatVersion stamps persisted result bytes. Bump it whenever the
+// rendered response format changes incompatibly; together with
+// graphhash.Version it forms the store stamp, so stale segments are skipped
+// wholesale on startup instead of replaying bytes a current server would
+// never produce.
+const resultFormatVersion = "lamps/server/result/v1"
+
+// StoreStamp is the version stamp a Server writes into (and requires from)
+// persistent store segments: the canonical problem-digest version plus the
+// rendered-result format version. Either changing invalidates every
+// previously persisted record.
+func StoreStamp() string {
+	return graphhash.Version + "|" + resultFormatVersion
+}
+
+// OpenStore opens (creating if needed) the persistent result store at dir
+// with the stamp a Server built at this version expects. Pass the returned
+// store as Options.Store and close it after the server drains.
+func OpenStore(dir string, logger *slog.Logger) (*store.Store, error) {
+	return store.Open(dir, StoreStamp(), logger)
+}
 
 // CacheHeader is the response header reporting how the result was obtained:
 // "hit" (served from cache), "miss" (scheduled by this request) or
@@ -115,6 +139,18 @@ type Options struct {
 	// extra O(V+E) pass per built schedule; intended for canary deployments
 	// rather than every production replica.
 	SelfCheck bool
+	// Store, when non-nil, persists every cached result to disk and warm-loads
+	// previously persisted results into the LRU cache at construction time, so
+	// a restarted server answers every digest it had cached before shutdown
+	// with byte-identical bytes. Open one with OpenStore; the caller owns its
+	// lifecycle and must Close it after the server has drained. Records with a
+	// stale version stamp are skipped on load, never replayed.
+	Store *store.Store
+	// QueueDepth bounds each cost class's admission waiting room: requests
+	// beyond it are shed immediately with 429 + Retry-After instead of
+	// queueing for a worker slot they are unlikely to reach
+	// (0 = DefaultQueueDepth, negative = minimum depth 1).
+	QueueDepth int
 	// Runner executes one scheduling problem under ctx; returning an error
 	// satisfying errors.Is(err, context.Canceled/DeadlineExceeded) counts
 	// the run as cancelled. Nil selects the built-in engine runner (which
@@ -128,14 +164,16 @@ type Options struct {
 // Server is the lampsd HTTP service. Create one with New; it is safe for
 // concurrent use and carries no background goroutines of its own.
 type Server struct {
-	opts    Options
-	pool    *workpool.Pool // admission: one slot per scheduling run
-	search  *workpool.Pool // intra-run search parallelism (nil = serial)
-	cache   *cache.LRU
-	flight  flightGroup
-	metrics *metrics
-	mux     *http.ServeMux
-	log     *slog.Logger
+	opts      Options
+	pool      *workpool.Pool // one slot per executing scheduling run
+	search    *workpool.Pool // intra-run search parallelism (nil = serial)
+	cache     *cache.LRU
+	store     *store.Store // nil = no persistence
+	admission *admission   // per-cost-class front door to the pool
+	flight    flightGroup
+	metrics   *metrics
+	mux       *http.ServeMux
+	log       *slog.Logger
 }
 
 // New returns a Server with the given options.
@@ -158,6 +196,12 @@ func New(opts Options) *Server {
 	if opts.BatchMaxItems <= 0 {
 		opts.BatchMaxItems = DefaultBatchMaxItems
 	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.QueueDepth < 1 {
+		opts.QueueDepth = 1
+	}
 	if opts.Logger == nil {
 		opts.Logger = slog.Default()
 	}
@@ -165,11 +209,21 @@ func New(opts Options) *Server {
 		opts:    opts,
 		pool:    workpool.NewPool(opts.Workers),
 		cache:   cache.New(opts.CacheSize),
+		store:   opts.Store,
 		metrics: newMetrics(),
 		log:     opts.Logger,
 	}
+	s.admission = newAdmission(s.pool.Cap(), opts.QueueDepth)
 	if opts.SearchWorkers >= 0 {
 		s.search = workpool.NewPool(opts.SearchWorkers)
+	}
+	if s.store != nil {
+		loaded := s.store.WarmLoad(func(key string, val []byte) {
+			s.cache.Put(key, val)
+		})
+		if loaded > 0 {
+			s.log.Info("warm-loaded persisted results into cache", "records", loaded)
+		}
 	}
 	if s.opts.Runner == nil {
 		s.opts.Runner = s.coreRunner
@@ -366,7 +420,8 @@ func (s *Server) execute(ctx context.Context, key, approach string, g *dag.Graph
 		case <-time.After(20 * time.Millisecond):
 		}
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			return execResult{source: source, err: timedOut("scheduling run exceeded the request deadline")}
+			hint := s.admission.class(approach, g.NumTasks()).retryAfterSeconds()
+			return execResult{source: source, err: timedOut("scheduling run exceeded the request deadline").withRetryAfter(hint)}
 		}
 		return execResult{source: source, err: overloaded("request abandoned before the run completed: %v", context.Cause(ctx))}
 	}
@@ -378,24 +433,25 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// runProblem is the single-flight leader body: acquire a pool slot (ctx
-// bounds the queueing time), run the heuristic under ctx, record metrics,
-// render and cache the result. ctx here is the flight's run context: it
-// fires when every waiter has departed, at which point the engine aborts
-// within one list-scheduling call and the pool slot is released.
+// runProblem is the single-flight leader body: pass admission control for
+// the request's cost class (ctx bounds the queueing time; a full waiting
+// room or an expired wait sheds with 429/503 + a Retry-After derived from
+// the class's observed queue waits), run the heuristic under ctx, record
+// metrics, render, cache and persist the result. ctx here is the flight's
+// run context: it fires when every waiter has departed, at which point the
+// engine aborts within one list-scheduling call and the pool slot is
+// released.
 func (s *Server) runProblem(ctx context.Context, key, approach string, g *dag.Graph, cfg core.Config) (int, []byte, error) {
 	var result *core.Result
 	var coreErr error
 	var ranFor time.Duration
-	queued := time.Now()
-	poolErr := s.pool.Do(ctx, func() {
+	q := s.admission.class(approach, g.NumTasks())
+	if shed := s.admit(ctx, q, func() {
 		start := time.Now()
 		result, coreErr = s.opts.Runner(ctx, approach, g, cfg)
 		ranFor = time.Since(start)
-	})
-	if poolErr != nil {
-		s.metrics.recordQueueShed(time.Since(queued).Seconds())
-		return 0, nil, overloaded("no worker slot within the request deadline: %v", poolErr)
+	}); shed != nil {
+		return 0, nil, shed
 	}
 	if coreErr != nil {
 		if isCancellation(coreErr) {
@@ -412,6 +468,11 @@ func (s *Server) runProblem(ctx context.Context, key, approach string, g *dag.Gr
 		return 0, nil, err
 	}
 	s.cache.Put(key, body)
+	if s.store != nil {
+		if err := s.store.Put(key, body); err != nil {
+			s.log.Warn("persisting result failed", "key", key, "error", err)
+		}
+	}
 	return http.StatusOK, body, nil
 }
 

@@ -500,6 +500,12 @@ func TestMetricsExposition(t *testing.T) {
 		"lampsd_schedules_built_total",
 		"lampsd_levels_evaluated_total",
 		`lampsd_schedule_seconds_count{approach="LAMPS"} 1`,
+		"lampsd_cache_enabled 1",
+		`lampsd_admission_admitted_total{class="standard"} 1`,
+		`lampsd_admission_shed_total{class="standard",reason="queue-full"} 0`,
+		`lampsd_admission_waiting{class="micro"} 0`,
+		`lampsd_queue_wait_seconds_count{class="standard"} 1`,
+		`lampsd_retry_after_hint_seconds{class="heavy"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, text)

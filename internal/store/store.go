@@ -1,0 +1,354 @@
+// Package store implements lampsd's persistent, content-addressed result
+// store: an append-only segment log mapping canonical problem digests
+// (internal/graphhash keys) to fully rendered response bodies, so a restarted
+// server serves byte-identical results for every digest it had cached before
+// shutdown.
+//
+// On-disk layout: a directory of segment files named seg-NNNNNN.log, each
+// opened exactly once for append by the process that created it and read-only
+// ever after. A segment starts with a fixed magic (the file-format version)
+// and a caller-supplied version stamp; records follow back to back:
+//
+//	magic    [8]byte  "LAMPSEG1"
+//	stampLen uint32   little endian
+//	stamp    []byte   invalidation token (e.g. graphhash + result encoding
+//	                  versions): a segment whose stamp differs from the
+//	                  opener's is stale and skipped wholesale
+//
+//	record := keyLen uint32 | valLen uint32 | key | val | crc32 uint32
+//
+// where crc32 is the IEEE checksum of key||val. The format is deliberately
+// recoverable in one forward pass: a crash can only damage the tail of the
+// newest segment, and Open detects any anomaly — short header, impossible
+// length, truncated payload, checksum mismatch — logs a warning, drops the
+// tail from that point on and keeps every intact record before it. A damaged
+// or stale segment can therefore never crash the server or resurface wrong
+// bytes; at worst some results are recomputed.
+//
+// Writes are buffered; Flush pushes them to the OS and Close additionally
+// fsyncs, so a graceful drain persists everything and a hard crash loses at
+// most the unflushed tail (which the next Open then cleanly drops). Keys are
+// content addresses: one key maps to one immutable value forever, so Put
+// deduplicates against everything already persisted and re-putting a loaded
+// key is a cheap no-op — restarting a warm server does not grow the log.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// magic identifies the segment file format; changing the record encoding
+// means changing this string, which makes old segments unreadable-as-stale
+// rather than misread.
+var magic = [8]byte{'L', 'A', 'M', 'P', 'S', 'E', 'G', '1'}
+
+// Sanity bounds on record framing: anything larger is treated as corruption,
+// not as an instruction to allocate gigabytes.
+const (
+	maxKeyLen = 1 << 20 // 1 MiB: digests are 64 bytes, this is generous
+	maxValLen = 1 << 30 // 1 GiB
+)
+
+// ErrClosed is returned by Put and Flush after Close.
+var ErrClosed = errors.New("store: closed")
+
+// Stats reports what Open found on disk and what has happened since.
+type Stats struct {
+	Segments     int // readable segment files found by Open (stale included)
+	Stale        int // segments skipped wholesale: different version stamp
+	Loaded       int // records recovered by Open across all live segments
+	DroppedTails int // segments whose trailing bytes were truncated/corrupt and dropped
+	Appended     int // records appended by this process
+}
+
+// Store is an open result store. All methods are safe for concurrent use.
+// Create one with Open; Close it to flush and fsync the active segment.
+type Store struct {
+	dir   string
+	stamp string
+	log   *slog.Logger
+
+	mu      sync.Mutex
+	pending []record // records recovered by Open, in on-disk order; nil after WarmLoad
+	seen    map[string]struct{}
+	nextSeg int
+	f       *os.File      // active segment; nil until the first Put
+	w       *bufio.Writer // nil until the first Put
+	closed  bool
+	stats   Stats
+}
+
+type record struct {
+	key string
+	val []byte
+}
+
+// Open opens (creating if necessary) the store directory and recovers every
+// intact record from its segments. stamp is the invalidation token: segments
+// written under a different stamp — an older kernel, a changed digest or
+// response encoding — are skipped wholesale, which is how version changes
+// invalidate the persisted cache cleanly. A nil logger selects slog.Default().
+func Open(dir, stamp string, logger *slog.Logger) (*Store, error) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:     dir,
+		stamp:   stamp,
+		log:     logger,
+		seen:    make(map[string]struct{}),
+		nextSeg: 1,
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
+	}
+	sort.Strings(names) // zero-padded numbers: lexical order = creation order
+	for _, name := range names {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%d.log", &n); err == nil && n >= s.nextSeg {
+			s.nextSeg = n + 1
+		}
+		s.loadSegment(name)
+	}
+	return s, nil
+}
+
+// loadSegment recovers the intact prefix of one segment file into pending.
+// Any anomaly — unreadable header, wrong magic, stale stamp, truncated or
+// checksum-failing record — is logged and terminates the scan of this
+// segment; it never returns an error, because a damaged segment must degrade
+// to a smaller warm set, not a failed startup.
+func (s *Store) loadSegment(name string) {
+	f, err := os.Open(name)
+	if err != nil {
+		s.log.Warn("store: skipping unreadable segment", "segment", name, "err", err)
+		return
+	}
+	defer f.Close()
+	s.stats.Segments++
+
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil || hdr != magic {
+		s.log.Warn("store: segment has no valid header, skipping", "segment", name)
+		s.stats.Stale++
+		return
+	}
+	stamp, err := readFramed(r, maxKeyLen)
+	if err != nil {
+		s.log.Warn("store: segment stamp unreadable, skipping", "segment", name, "err", err)
+		s.stats.Stale++
+		return
+	}
+	if string(stamp) != s.stamp {
+		s.log.Info("store: skipping stale segment (version stamp changed)",
+			"segment", name, "stamp", string(stamp), "want", s.stamp)
+		s.stats.Stale++
+		return
+	}
+
+	offset := int64(8 + 4 + len(stamp))
+	loaded := 0
+	for {
+		rec, n, rerr := readRecord(r)
+		if rerr == io.EOF {
+			break // clean end of segment
+		}
+		if rerr != nil {
+			s.stats.DroppedTails++
+			s.log.Warn("store: segment tail truncated or corrupt, dropping",
+				"segment", name, "offset", offset, "records_kept", loaded, "err", rerr)
+			break
+		}
+		s.pending = append(s.pending, rec)
+		s.seen[rec.key] = struct{}{}
+		offset += n
+		loaded++
+	}
+	s.stats.Loaded += loaded
+}
+
+// readFramed reads one uint32-length-framed byte string.
+func readFramed(r io.Reader, max uint32) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > max {
+		return nil, fmt.Errorf("framed length %d exceeds bound %d", n, max)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// readRecord reads one record. io.EOF means the segment ended cleanly at a
+// record boundary; any other error means the tail from here on is damaged.
+// n is the record's encoded size in bytes.
+func readRecord(r io.Reader) (rec record, n int64, err error) {
+	var lens [8]byte
+	if _, err := io.ReadFull(r, lens[:]); err != nil {
+		if err == io.EOF {
+			return record{}, 0, io.EOF
+		}
+		return record{}, 0, fmt.Errorf("short record header: %w", err)
+	}
+	keyLen := binary.LittleEndian.Uint32(lens[0:4])
+	valLen := binary.LittleEndian.Uint32(lens[4:8])
+	if keyLen == 0 || keyLen > maxKeyLen || valLen > maxValLen {
+		return record{}, 0, fmt.Errorf("implausible record framing (key %d, val %d bytes)", keyLen, valLen)
+	}
+	payload := make([]byte, int(keyLen)+int(valLen))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return record{}, 0, fmt.Errorf("truncated record payload: %w", err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return record{}, 0, fmt.Errorf("truncated record checksum: %w", err)
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != crc32.ChecksumIEEE(payload) {
+		return record{}, 0, errors.New("record checksum mismatch")
+	}
+	return record{key: string(payload[:keyLen]), val: payload[keyLen:]},
+		8 + int64(keyLen) + int64(valLen) + 4, nil
+}
+
+// WarmLoad hands every recovered record to fn in on-disk (oldest-first)
+// order — replayed into an LRU, the newest results win residency — then
+// releases the recovered data. A second call is a no-op.
+func (s *Store) WarmLoad(fn func(key string, val []byte)) int {
+	s.mu.Lock()
+	pending := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	for _, rec := range pending {
+		fn(rec.key, rec.val)
+	}
+	return len(pending)
+}
+
+// Put appends one record to the active segment, creating the segment on
+// first use. Keys are content addresses, so a key that is already persisted —
+// loaded from disk or appended earlier — is skipped silently. The write is
+// buffered; see Flush and Close.
+func (s *Store) Put(key string, val []byte) error {
+	if key == "" || len(key) > maxKeyLen || len(val) > maxValLen {
+		return fmt.Errorf("store: unstorable record (key %d, val %d bytes)", len(key), len(val))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.seen[key]; ok {
+		return nil
+	}
+	if s.w == nil {
+		if err := s.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	var lens [8]byte
+	binary.LittleEndian.PutUint32(lens[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(lens[4:8], uint32(len(val)))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte(key))
+	crc.Write(val)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	for _, b := range [][]byte{lens[:], []byte(key), val, sum[:]} {
+		if _, err := s.w.Write(b); err != nil {
+			return fmt.Errorf("store: appending record: %w", err)
+		}
+	}
+	s.seen[key] = struct{}{}
+	s.stats.Appended++
+	return nil
+}
+
+// openSegmentLocked creates the process's append segment and writes its
+// header. Called lazily by the first Put, so a process that never stores
+// anything new leaves no empty segment behind.
+func (s *Store) openSegmentLocked() error {
+	name := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.log", s.nextSeg))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating segment: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s.stamp)))
+	buf.Write(n[:])
+	buf.WriteString(s.stamp)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing segment header: %w", err)
+	}
+	s.f, s.w, s.nextSeg = f, w, s.nextSeg+1
+	return nil
+}
+
+// Flush pushes buffered appends to the operating system (no fsync).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.w == nil {
+		return nil
+	}
+	return s.w.Flush()
+}
+
+// Close flushes, fsyncs and closes the active segment. The store rejects
+// further writes; a graceful drain calls this exactly once.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.w == nil {
+		return nil
+	}
+	var firstErr error
+	if err := s.w.Flush(); err != nil {
+		firstErr = err
+	}
+	if err := s.f.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := s.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.f, s.w = nil, nil
+	return firstErr
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,386 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const testStamp = "test/v1"
+
+// quietLogger discards log output; capturedLogger collects it for assertions
+// on the warning paths.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(discard{}, nil))
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func capturedLogger() (*slog.Logger, *logBuf) {
+	b := &logBuf{}
+	return slog.New(slog.NewTextHandler(b, nil)), b
+}
+
+type logBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// fill writes n deterministic records and closes the store, returning the
+// expected contents.
+func fill(t *testing.T, dir string, n int) map[string][]byte {
+	t.Helper()
+	st, err := Open(dir, testStamp, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("digest-%04d", i)
+		val := bytes.Repeat([]byte{byte(i)}, 10+i*7)
+		if err := st.Put(key, val); err != nil {
+			t.Fatalf("Put(%s): %v", key, err)
+		}
+		want[key] = val
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return want
+}
+
+// loadAll reopens the store and collects every recovered record.
+func loadAll(t *testing.T, dir string, logger *slog.Logger) (map[string][]byte, Stats) {
+	t.Helper()
+	st, err := Open(dir, testStamp, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got := make(map[string][]byte)
+	st.WarmLoad(func(k string, v []byte) { got[k] = v })
+	return got, st.Stats()
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := fill(t, dir, 25)
+	got, stats := loadAll(t, dir, quietLogger())
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if !bytes.Equal(got[k], v) {
+			t.Errorf("key %s: recovered %d bytes, want %d (byte-identical)", k, len(got[k]), len(v))
+		}
+	}
+	if stats.Loaded != 25 || stats.Segments != 1 || stats.DroppedTails != 0 || stats.Stale != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestPutDeduplicates(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, testStamp, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if st.Stats().Appended != 1 {
+		t.Errorf("Appended = %d, want 1 (second Put of the same key is a no-op)", st.Stats().Appended)
+	}
+
+	// Reopen: loaded keys must not be re-appended either, so a warm restart
+	// does not grow the log.
+	st2, err := Open(dir, testStamp, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	if st2.Stats().Appended != 0 {
+		t.Errorf("Appended after reopen = %d, want 0", st2.Stats().Appended)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(names) != 1 {
+		t.Errorf("%d segments on disk, want 1 (no new segment without new records)", len(names))
+	}
+}
+
+func TestAppendsAfterReopenUseNewSegment(t *testing.T) {
+	dir := t.TempDir()
+	fill(t, dir, 3)
+	st, err := Open(dir, testStamp, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("extra", []byte("E")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(names) != 2 {
+		t.Fatalf("%d segments, want 2 (append never reopens an old segment)", len(names))
+	}
+	got, stats := loadAll(t, dir, quietLogger())
+	if len(got) != 4 || stats.Loaded != 4 || stats.Segments != 2 {
+		t.Errorf("recovered %d records, stats %+v", len(got), stats)
+	}
+}
+
+// TestTruncationAtEveryByteBoundary is the crash-recovery gate: a segment cut
+// anywhere inside its final record must reopen to exactly the intact prefix,
+// with the tail dropped, a warning logged, and never a panic or a partial
+// record.
+func TestTruncationAtEveryByteBoundary(t *testing.T) {
+	master := t.TempDir()
+	const n = 5
+	want := fill(t, master, n)
+	names, _ := filepath.Glob(filepath.Join(master, "seg-*.log"))
+	if len(names) != 1 {
+		t.Fatalf("%d segments, want 1", len(names))
+	}
+	whole, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Locate the start of the last record by encoding the known sizes: the
+	// record layout is 8 (lens) + len(key) + len(val) + 4 (crc).
+	lastKey := fmt.Sprintf("digest-%04d", n-1)
+	lastLen := 8 + len(lastKey) + len(want[lastKey]) + 4
+	lastStart := len(whole) - lastLen
+
+	for cut := lastStart; cut < len(whole); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "seg-000001.log"), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		logger, logs := capturedLogger()
+		got, stats := loadAll(t, dir, logger)
+		if len(got) != n-1 {
+			t.Fatalf("cut at byte %d: recovered %d records, want %d", cut, len(got), n-1)
+		}
+		for i := 0; i < n-1; i++ {
+			key := fmt.Sprintf("digest-%04d", i)
+			if !bytes.Equal(got[key], want[key]) {
+				t.Fatalf("cut at byte %d: record %s not byte-identical", cut, key)
+			}
+		}
+		if _, ok := got[lastKey]; ok {
+			t.Fatalf("cut at byte %d: truncated final record was served", cut)
+		}
+		if cut == lastStart {
+			// Cut exactly on the record boundary: the segment ends cleanly,
+			// nothing was dropped and nothing should be warned about.
+			if stats.DroppedTails != 0 {
+				t.Fatalf("clean boundary cut: DroppedTails = %d, want 0", stats.DroppedTails)
+			}
+			continue
+		}
+		if stats.DroppedTails != 1 {
+			t.Fatalf("cut at byte %d: DroppedTails = %d, want 1", cut, stats.DroppedTails)
+		}
+		if !strings.Contains(logs.String(), "truncated or corrupt") {
+			t.Fatalf("cut at byte %d: no warning logged; log:\n%s", cut, logs.String())
+		}
+	}
+}
+
+func TestChecksumMismatchDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	want := fill(t, dir, 4)
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	whole, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the final record (its value area: somewhere in
+	// the last record but before the trailing 4-byte CRC).
+	whole[len(whole)-10] ^= 0xFF
+	if err := os.WriteFile(names[0], whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logger, logs := capturedLogger()
+	got, stats := loadAll(t, dir, logger)
+	if len(got) != 3 {
+		t.Fatalf("recovered %d records, want 3 (corrupt final record dropped)", len(got))
+	}
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("digest-%04d", i)
+		if !bytes.Equal(got[key], want[key]) {
+			t.Errorf("record %s not byte-identical after tail drop", key)
+		}
+	}
+	if stats.DroppedTails != 1 {
+		t.Errorf("DroppedTails = %d, want 1", stats.DroppedTails)
+	}
+	if !strings.Contains(logs.String(), "checksum mismatch") {
+		t.Errorf("warning should name the checksum mismatch; log:\n%s", logs.String())
+	}
+}
+
+// TestMidSegmentCorruptionKeepsPrefixOnly: damage in the middle of a segment
+// drops everything from the damage onward — a record after a corrupt one can
+// never be trusted to start at a true boundary.
+func TestMidSegmentCorruptionKeepsPrefixOnly(t *testing.T) {
+	dir := t.TempDir()
+	fill(t, dir, 6)
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	whole, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole[len(whole)/2] ^= 0xFF
+	if err := os.WriteFile(names[0], whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := loadAll(t, dir, quietLogger())
+	if len(got) >= 6 {
+		t.Fatalf("recovered %d records from a damaged segment, want fewer than 6", len(got))
+	}
+	if stats.DroppedTails != 1 {
+		t.Errorf("DroppedTails = %d, want 1", stats.DroppedTails)
+	}
+}
+
+func TestStaleStampSkipsSegment(t *testing.T) {
+	dir := t.TempDir()
+	fill(t, dir, 3)
+	st, err := Open(dir, "test/v2-new-kernel", quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	n := st.WarmLoad(func(string, []byte) {})
+	if n != 0 {
+		t.Errorf("loaded %d records across a version-stamp change, want 0", n)
+	}
+	if s := st.Stats(); s.Stale != 1 || s.Loaded != 0 {
+		t.Errorf("stats = %+v, want 1 stale segment and nothing loaded", s)
+	}
+	// The old-stamp segment stays on disk untouched; a new-stamp writer gets
+	// its own segment.
+	if err := st.Put("fresh", []byte("F")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	got, _ := loadAll(t, dir, quietLogger()) // back under testStamp
+	if _, ok := got["fresh"]; ok {
+		t.Error("record written under a different stamp visible to the old stamp")
+	}
+	if len(got) != 3 {
+		t.Errorf("old-stamp records: %d, want 3 (untouched)", len(got))
+	}
+}
+
+func TestGarbageFileSkipped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-000001.log"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := loadAll(t, dir, quietLogger())
+	if len(got) != 0 || stats.Stale != 1 {
+		t.Errorf("garbage segment: recovered %d records, stats %+v", len(got), stats)
+	}
+}
+
+func TestWarmLoadOrderOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	fill(t, dir, 3)
+	st, err := Open(dir, testStamp, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var order []string
+	st.WarmLoad(func(k string, _ []byte) { order = append(order, k) })
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("warm-load order not oldest-first: %v", order)
+		}
+	}
+	if n := st.WarmLoad(func(string, []byte) { t.Error("second WarmLoad delivered records") }); n != 0 {
+		t.Errorf("second WarmLoad returned %d", n)
+	}
+}
+
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	st, err := Open(t.TempDir(), testStamp, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if err := st.Put("k", []byte("v")); err != ErrClosed {
+		t.Errorf("Put after Close = %v, want ErrClosed", err)
+	}
+	if err := st.Flush(); err != ErrClosed {
+		t.Errorf("Flush after Close = %v, want ErrClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+}
+
+// TestConcurrentPuts hammers Put from many goroutines; under -race it proves
+// the locking is sound, and the reopened store must hold every record intact.
+func TestConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, testStamp, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if err := st.Put(key, []byte(key)); err != nil {
+					t.Errorf("Put(%s): %v", key, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := loadAll(t, dir, quietLogger())
+	if len(got) != 400 || stats.DroppedTails != 0 {
+		t.Fatalf("recovered %d records (stats %+v), want 400 intact", len(got), stats)
+	}
+	for k, v := range got {
+		if string(v) != k {
+			t.Fatalf("record %s holds %q", k, v)
+		}
+	}
+}
