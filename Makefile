@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke smoke verify-campaign bench alloc-gate store-gate serve ci
+.PHONY: all build vet test race fuzz-smoke smoke verify-campaign bench alloc-gate store-gate hetero-gate serve ci
 
 all: ci
 
@@ -96,6 +96,22 @@ alloc-gate:
 	$(GO) test -run 'TestScheduleIntoSteadyStateZeroAlloc' -count=1 -v ./internal/sched
 	$(GO) test -run 'TestGapProfileEvaluateZeroAlloc' -count=1 -v ./internal/energy
 	$(GO) test -run 'TestRunBatchSteadyStateZeroAlloc' -count=1 -v ./internal/core
+
+# The heterogeneous-platform gate. The parity half is the tentpole
+# behaviour-preservation contract: an N-identical-core Platform must produce
+# results byte-identical to the legacy single-model configuration at every
+# layer — kernel placements, energy breakdowns bit for bit, engine results
+# and stats. The invariant half holds the genuinely heterogeneous path to
+# the independent verifier (scaled-slot legality, first-principles energy,
+# LIMIT bounds, the HP-core feasibility separation) and to the platform
+# digest/serving contract. Under -race: the engine evaluates platform
+# candidates from many goroutines.
+hetero-gate:
+	$(GO) test -race -run 'TestScheduleIntoPlatformHomogeneousParity|TestEvaluatePointHomogeneousParity|TestMinFeasiblePointHomogeneousParity' -count=1 -v ./internal/sched ./internal/energy
+	$(GO) test -race -run 'TestHomogeneousPlatformParity|TestHeterogeneous|TestHetero' -count=1 -v ./internal/core
+	$(GO) test -race -run 'TestPlatformEnergyParity|TestSelfTestPlatformDetectsEveryClass' -count=1 -v ./internal/verify
+	$(GO) test -race -run 'TestPlatform' -count=1 -v ./internal/graphhash
+	$(GO) test -race -run 'TestSchedulePlatform' -count=1 -v ./internal/server
 
 # The persistence and overload gate: the segment-log store must round-trip
 # byte-identical records, drop truncated or corrupt tails at every byte

@@ -193,6 +193,56 @@ func kernelBenchmarks(gs []*dag.Graph) ([]kernelReport, error) {
 			}
 		}),
 	}
+
+	// Heterogeneous counterparts of the two reused-scratch rows: the
+	// per-class dispatch kernel and the operating-grid sweep on an
+	// LP×(nprocs−1) + HP×1 machine. Their allocs/op must also be 0 — the
+	// zero-allocation contract covers the platform paths.
+	lpm := *power.Default70nm()
+	lpm.VddMax = 0.85
+	lpm.POn = 0.04
+	if err := lpm.Build(); err != nil {
+		return nil, err
+	}
+	procs := make([]int, nprocs)
+	procs[nprocs-1] = 1
+	pf, err := power.NewPlatform(
+		[]power.CoreClass{{Name: "lp", Model: &lpm}, {Name: "hp", Model: power.Default70nm()}},
+		procs,
+	)
+	if err != nil {
+		return nil, err
+	}
+	var kp sched.Scheduler
+	var plat sched.Schedule
+	if err := kp.ScheduleIntoPlatform(&plat, g, pf, nprocs, prio, nil); err != nil {
+		return nil, err
+	}
+	var pprof energy.GapProfile
+	pprof.ResetPlatform(&plat, pf)
+	grid := pf.Points()
+	platDeadline := 1.5 * float64(plat.Makespan) / grid[len(grid)-1].TimelineFreq
+	out = append(out,
+		measure("schedule_platform_reused_kernel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := kp.ScheduleIntoPlatform(&plat, g, pf, nprocs, prio, nil); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		}),
+		measure("energy_sweep_platform_gap_profile", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pprof.ResetPlatform(&plat, pf)
+				for _, pt := range grid {
+					if _, err := pprof.EvaluatePoint(pf, pt, platDeadline, energy.Options{PS: true}); err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+				}
+			}
+		}),
+	)
 	return out, benchErr
 }
 

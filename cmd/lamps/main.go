@@ -88,6 +88,7 @@ func run(args []string, out io.Writer) error {
 		jsonOut   = fs.String("json", "", "write the winning schedule (with graph) as JSON to this file")
 		ext       = fs.Bool("extensions", false, "also compare the multiple-frequency extensions (voltage islands, per-task DVS)")
 		model     = fs.String("model", "", "load the power model from a JSON file (see -dump-model)")
+		platform  = fs.String("platform", "", "load a heterogeneous platform from a JSON file (see examples/platforms); excludes -model")
 		dumpModel = fs.Bool("dump-model", false, "print the default 70nm power model as JSON and exit")
 		verbose   = fs.Bool("v", false, "narrate the search progress (phases, schedule builds, evaluations) on stderr")
 	)
@@ -100,6 +101,9 @@ func run(args []string, out io.Writer) error {
 		return m.WriteJSON(out)
 	}
 	if *model != "" {
+		if *platform != "" {
+			return fmt.Errorf("-model and -platform are mutually exclusive")
+		}
 		f, err := os.Open(*model)
 		if err != nil {
 			return err
@@ -110,6 +114,17 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	var pf *power.Platform
+	if *platform != "" {
+		f, err := os.Open(*platform)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if pf, err = power.LoadPlatformJSON(f); err != nil {
+			return err
+		}
+	}
 	g, dl, err := loadGraph(*stgPath, *useMPEG, *app, *random, *seed, *grain)
 	if err != nil {
 		return err
@@ -117,8 +132,15 @@ func run(args []string, out io.Writer) error {
 	if *dot {
 		return g.WriteDOT(out)
 	}
+	fref := m.FMax()
 	cfg := core.Config{Model: m, Deadline: dl}
-	if cfg.Deadline == 0 {
+	if pf != nil {
+		fref = pf.RefFMax()
+		cfg = core.Config{Platform: pf, Deadline: dl}
+		if cfg.Deadline == 0 {
+			cfg = core.DeadlineFactorPlatform(g, pf, *factor)
+		}
+	} else if cfg.Deadline == 0 {
 		cfg = core.DeadlineFactor(g, m, *factor)
 	}
 	if *deadline > 0 {
@@ -127,9 +149,12 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "graph %q: %d tasks, %d edges, CPL %d cycles (%.4gs at fmax), work %d cycles, parallelism %.2f\n",
 		g.Name(), g.NumTasks(), g.NumEdges(), g.CriticalPathLength(),
-		float64(g.CriticalPathLength())/m.FMax(), g.TotalWork(), g.Parallelism())
+		float64(g.CriticalPathLength())/fref, g.TotalWork(), g.Parallelism())
+	if pf != nil {
+		fmt.Fprintf(out, "platform: %s\n", pf)
+	}
 	fmt.Fprintf(out, "deadline: %.6gs (%.2fx CPL)\n\n",
-		cfg.Deadline, cfg.Deadline*m.FMax()/float64(g.CriticalPathLength()))
+		cfg.Deadline, cfg.Deadline*fref/float64(g.CriticalPathLength()))
 
 	approaches := core.Approaches
 	if *approach != "" {
@@ -207,6 +232,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "\nwrote %s schedule to %s\n", best.Approach, *jsonOut)
 	}
 	if *trace != "" && best != nil {
+		if pf != nil {
+			return fmt.Errorf("-trace is not supported with -platform: the simulator models a homogeneous machine")
+		}
 		tr, err := sim.Run(best.Schedule, m, sim.Options{
 			Level:       best.Level,
 			PS:          best.Approach == core.ApproachSSPS || best.Approach == core.ApproachLAMPSPS,

@@ -70,6 +70,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		maxBody   = fs.Int64("max-body", server.DefaultMaxBodyBytes, "largest accepted request body, in bytes")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 		model     = fs.String("model", "", "load the power model from a JSON file (default: built-in 70nm)")
+		platform  = fs.String("platform", "", "load a heterogeneous default platform from a JSON file (see examples/platforms); excludes -model")
 		reqTO     = fs.Duration("request-timeout", 60*time.Second, "end-to-end per-request deadline covering queueing and scheduling (0 disables)")
 		maxCells  = fs.Int("sweep-max-cells", server.DefaultSweepMaxCells, "largest accepted /v1/sweep grid, in cells")
 		selfcheck = fs.Bool("selfcheck", false, "re-verify every scheduling result from first principles (canary mode; failures return 500 and count in lampsd_verify_failures_total)")
@@ -83,12 +84,28 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 
 	m := power.Default70nm()
 	if *model != "" {
+		if *platform != "" {
+			return fmt.Errorf("-model and -platform are mutually exclusive")
+		}
 		f, err := os.Open(*model)
 		if err != nil {
 			return err
 		}
 		var perr error
 		m, perr = power.LoadJSON(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+	}
+	var pf *power.Platform
+	if *platform != "" {
+		f, err := os.Open(*platform)
+		if err != nil {
+			return err
+		}
+		var perr error
+		pf, perr = power.LoadPlatformJSON(f)
 		f.Close()
 		if perr != nil {
 			return perr
@@ -115,6 +132,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	srv := server.New(server.Options{
 		Model:          m,
+		Platform:       pf,
 		Workers:        *workers,
 		SearchWorkers:  *searchers,
 		CacheSize:      *cacheSize,

@@ -36,7 +36,17 @@ var (
 // heuristics.
 type Config struct {
 	// Model is the processor power model. Nil selects power.Default70nm().
+	// Mutually exclusive with Platform.
 	Model *power.Model
+
+	// Platform optionally describes a heterogeneous machine: an ordered
+	// vector of processors drawn from named core classes, each with its own
+	// power model and frequency ladder. Nil (or a single-class platform)
+	// reproduces the paper's identical-processor machine exactly — a
+	// homogeneous Platform of n copies of model m yields results
+	// byte-identical to Model: m with MaxProcs: n. Setting both Model and
+	// Platform is rejected by validate.
+	Platform *power.Platform
 
 	// Deadline is the global deadline in seconds. The paper evaluates
 	// deadlines of 1.5, 2, 4 and 8 times the critical path length at maximum
@@ -86,11 +96,24 @@ func DeadlineFactor(g *dag.Graph, m *power.Model, factor float64) Config {
 	}
 }
 
+// model returns the single power model of the homogeneous code path: the
+// explicit Model, a homogeneous Platform's only class, or the default. The
+// heterogeneous engine path never consults it.
 func (c *Config) model() *power.Model {
-	if c.Model == nil {
-		return power.Default70nm()
+	if c.Model != nil {
+		return c.Model
 	}
-	return c.Model
+	if c.Platform != nil {
+		return c.Platform.ClassModel(0)
+	}
+	return power.Default70nm()
+}
+
+// heterogeneous reports whether the config selects the heterogeneous engine
+// path: a platform with more than one core class. A nil or single-class
+// platform runs the legacy homogeneous path bit for bit.
+func (c *Config) heterogeneous() bool {
+	return c.Platform != nil && !c.Platform.IsHomogeneous()
 }
 
 func (c *Config) validate(g *dag.Graph) error {
@@ -103,20 +126,44 @@ func (c *Config) validate(g *dag.Graph) error {
 	if c.MaxProcs < 0 {
 		return fmt.Errorf("%w: MaxProcs %d", ErrBadConfig, c.MaxProcs)
 	}
+	if c.Model != nil && c.Platform != nil {
+		return fmt.Errorf("%w: both Model and Platform set", ErrBadConfig)
+	}
 	return nil
 }
 
 // maxUsefulProcs returns the largest processor count worth considering:
 // the graph's maximum width (with that many processors LS-EDF dispatches
-// every task at its earliest start, achieving the CPL makespan), optionally
-// clipped by MaxProcs.
+// every task at its earliest start, achieving the CPL makespan), clipped by
+// MaxProcs and — when a Platform is set — by the platform's physical size.
+// On a heterogeneous machine the width cap does not apply: the processor
+// count selects a prefix of the platform vector, so counts beyond the
+// graph's width can still shorten the schedule by bringing faster-class
+// cores into play (a serial chain needs the whole prefix up to the HP core).
 func (c *Config) maxUsefulProcs(g *dag.Graph) int {
 	n := g.MaxWidth()
+	if c.heterogeneous() {
+		n = c.Platform.NumProcs()
+	}
 	if c.MaxProcs > 0 && c.MaxProcs < n {
 		n = c.MaxProcs
+	}
+	if c.Platform != nil && c.Platform.NumProcs() < n {
+		n = c.Platform.NumProcs()
 	}
 	if n < 1 {
 		n = 1
 	}
 	return n
+}
+
+// DeadlineFactorPlatform is DeadlineFactor for a heterogeneous platform: the
+// deadline is factor times the critical path length at the platform's
+// reference frequency — the best case, with the whole critical path on the
+// fastest class.
+func DeadlineFactorPlatform(g *dag.Graph, pf *power.Platform, factor float64) Config {
+	return Config{
+		Platform: pf,
+		Deadline: factor * float64(g.CriticalPathLength()) / pf.RefFMax(),
+	}
 }

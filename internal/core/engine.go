@@ -154,11 +154,17 @@ func (h *obsHub) levelEvaluated(lvl power.Level, b energy.Breakdown) {
 	h.o.OnLevelEvaluated(lvl, b)
 }
 
-// run is the per-invocation state shared by the engine's phases.
+// run is the per-invocation state shared by the engine's phases. Exactly one
+// of the two operating modes is active: on the homogeneous path m is the
+// single model and pf is nil; on the heterogeneous path pf is the platform
+// and m is unused. fref is the frequency one schedule cycle corresponds to
+// at full speed in either mode (m.FMax() or pf.RefFMax()).
 type run struct {
 	ctx  context.Context
 	cfg  *Config
 	m    *power.Model
+	pf   *power.Platform
+	fref float64
 	pool *workpool.Pool
 	obs  obsHub
 	sc   *scheduler
@@ -171,9 +177,20 @@ func (e *Engine) newRun(ctx context.Context, g *dag.Graph) (*run, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r := &run{ctx: ctx, cfg: &e.Config, m: e.Config.model(), pool: e.Pool}
+	r := &run{ctx: ctx, cfg: &e.Config, pool: e.Pool}
+	if e.Config.heterogeneous() {
+		r.pf = e.Config.Platform
+		r.fref = r.pf.RefFMax()
+	} else {
+		// A nil platform — or a homogeneous one, normalised to its only class
+		// model here — takes the legacy single-model path unchanged, which is
+		// what makes homogeneous-platform results byte-identical to the
+		// pre-platform engine (pinned by TestHomogeneousPlatformParity).
+		r.m = e.Config.model()
+		r.fref = r.m.FMax()
+	}
 	r.obs.o = e.Observer
-	r.sc = newScheduler(ctx, g, e.priorities(g), &r.obs, e.Config.SelfCheck)
+	r.sc = newScheduler(ctx, g, e.priorities(g), &r.obs, e.Config.SelfCheck, r.pf)
 	return r, nil
 }
 
@@ -187,8 +204,15 @@ func (r *run) selfCheckResult(res *Result, ps bool) error {
 	if !r.cfg.SelfCheck || res.Schedule == nil {
 		return nil
 	}
-	if err := verify.EnergyMatches(res.Schedule, r.m, res.Level, r.cfg.Deadline,
-		energy.Options{PS: ps}, res.Energy); err != nil {
+	var err error
+	if r.pf != nil {
+		err = verify.PlatformEnergyMatches(res.Schedule, r.pf, res.Point, r.cfg.Deadline,
+			energy.Options{PS: ps}, res.Energy)
+	} else {
+		err = verify.EnergyMatches(res.Schedule, r.m, res.Level, r.cfg.Deadline,
+			energy.Options{PS: ps}, res.Energy)
+	}
+	if err != nil {
 		return fmt.Errorf("core: self-check: %s result: %w", res.Approach, err)
 	}
 	return nil
@@ -224,8 +248,9 @@ func (r *run) each(n int, fn func(i int)) {
 type candidate struct {
 	n       int
 	s       *sched.Schedule
-	prof    *energy.GapProfile // pooled; set lazily by profile, released by releaseProfiles
-	lvl     power.Level
+	prof    *energy.GapProfile   // pooled; set lazily by profileIn, released by releaseProfiles
+	lvl     power.Level          // homogeneous path: the winning level
+	pt      power.OperatingPoint // heterogeneous path: the winning platform point
 	b       energy.Breakdown
 	levels  int // (schedule, level) evaluations charged to this candidate
 	skipped int // sweep levels pruned by Config.PruneSweep
@@ -237,13 +262,18 @@ type candidate struct {
 // nothing.
 var profilePool = sync.Pool{New: func() any { return new(energy.GapProfile) }}
 
-// profile returns the candidate's gap profile, extracting it from the built
-// schedule on first use. Each candidate is profiled by exactly one
-// goroutine; concurrent Evaluate calls on the finished profile are safe.
-func (c *candidate) profile() *energy.GapProfile {
+// profileIn returns the candidate's gap profile, extracting it from the
+// built schedule on first use — per core class on the heterogeneous path.
+// Each candidate is profiled by exactly one goroutine; concurrent
+// Evaluate/EvaluatePoint calls on the finished profile are safe.
+func (c *candidate) profileIn(r *run) *energy.GapProfile {
 	if c.prof == nil {
 		c.prof = profilePool.Get().(*energy.GapProfile)
-		c.prof.Reset(c.s)
+		if r.pf != nil {
+			c.prof.ResetPlatform(c.s, r.pf)
+		} else {
+			c.prof.Reset(c.s)
+		}
 	}
 	return c.prof
 }
@@ -278,9 +308,22 @@ func (r *run) buildAll(cands []*candidate) error {
 // evalAll picks each candidate's operating point and energy. With sweep
 // (the +PS heuristics) every feasible level is evaluated — in parallel as
 // flat (candidate, level) pairs when a pool is set — unless
-// Config.PruneSweep cuts each walk at the first energy rise.
+// Config.PruneSweep cuts each walk at the first energy rise. The
+// heterogeneous path runs the same three shapes over the platform's
+// operating grid instead of the single model's ladder.
 func (r *run) evalAll(cands []*candidate, ps bool) {
 	r.obs.phase(PhaseEvaluate)
+	if r.pf != nil {
+		switch {
+		case !ps:
+			r.each(len(cands), func(i int) { r.evalMinPlatform(cands[i], ps) })
+		case r.cfg.PruneSweep:
+			r.each(len(cands), func(i int) { r.evalPrunedPlatform(cands[i]) })
+		default:
+			r.evalPairsPlatform(cands)
+		}
+		return
+	}
 	switch {
 	case !ps:
 		r.each(len(cands), func(i int) { r.evalMin(cands[i], ps) })
@@ -303,7 +346,7 @@ func (r *run) evalMin(c *candidate, ps bool) {
 		c.err = err
 		return
 	}
-	b, err := c.profile().Evaluate(r.m, lvl, r.cfg.Deadline, energy.Options{PS: ps})
+	b, err := c.profileIn(r).Evaluate(r.m, lvl, r.cfg.Deadline, energy.Options{PS: ps})
 	c.levels = 1
 	if err != nil {
 		c.err = err
@@ -311,6 +354,28 @@ func (r *run) evalMin(c *candidate, ps bool) {
 	}
 	c.lvl, c.b = lvl, b
 	r.obs.levelEvaluated(lvl, b)
+}
+
+// evalMinPlatform is evalMin over the platform grid: the candidate runs at
+// the slowest feasible operating point.
+func (r *run) evalMinPlatform(c *candidate, ps bool) {
+	if err := r.ctx.Err(); err != nil {
+		c.err = err
+		return
+	}
+	pt, err := energy.MinFeasiblePoint(c.s, r.pf, r.cfg.Deadline)
+	if err != nil {
+		c.err = err
+		return
+	}
+	b, err := c.profileIn(r).EvaluatePoint(r.pf, pt, r.cfg.Deadline, energy.Options{PS: ps})
+	c.levels = 1
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.pt, c.lvl, c.b = pt, pt.Levels[r.pf.RefClass()], b
+	r.obs.levelEvaluated(c.lvl, b)
 }
 
 // evalPairs evaluates every (candidate, feasible level) pair of the +PS
@@ -336,7 +401,7 @@ func (r *run) evalPairs(cands []*candidate) {
 			c.err = err
 			continue
 		}
-		c.profile() // extracted once here, shared read-only by all pairs
+		c.profileIn(r) // extracted once here, shared read-only by all pairs
 		for _, lvl := range levels {
 			pairs = append(pairs, &pair{c: c, lvl: lvl})
 		}
@@ -371,6 +436,59 @@ func (r *run) evalPairs(cands []*candidate) {
 	}
 }
 
+// evalPairsPlatform is evalPairs over the platform grid: one flat
+// (candidate, operating point) pair per leaf work item, reduced in
+// fastest-point-first order exactly like the level sweep.
+func (r *run) evalPairsPlatform(cands []*candidate) {
+	type pair struct {
+		c   *candidate
+		pt  power.OperatingPoint
+		b   energy.Breakdown
+		err error
+	}
+	var pairs []*pair
+	for _, c := range cands {
+		if err := r.ctx.Err(); err != nil {
+			c.err = err
+			return
+		}
+		points, err := energy.FeasiblePoints(c.s, r.pf, r.cfg.Deadline)
+		if err != nil {
+			c.err = err
+			continue
+		}
+		c.profileIn(r) // extracted once here, shared read-only by all pairs
+		for _, pt := range points {
+			pairs = append(pairs, &pair{c: c, pt: pt})
+		}
+	}
+	r.each(len(pairs), func(i int) {
+		p := pairs[i]
+		if err := r.ctx.Err(); err != nil {
+			p.err = err
+			return
+		}
+		p.b, p.err = p.c.prof.EvaluatePoint(r.pf, p.pt, r.cfg.Deadline, energy.Options{PS: true})
+		if p.err == nil {
+			r.obs.levelEvaluated(p.pt.Levels[r.pf.RefClass()], p.b)
+		}
+	})
+	for _, p := range pairs {
+		c := p.c
+		c.levels++
+		if c.err != nil {
+			continue
+		}
+		if p.err != nil {
+			c.err = p.err
+			continue
+		}
+		if c.levels == 1 || p.b.Total() < c.b.Total() {
+			c.pt, c.lvl, c.b = p.pt, p.pt.Levels[r.pf.RefClass()], p.b
+		}
+	}
+}
+
 // evalPruned walks one candidate's feasible levels fastest→slowest and stops
 // at the first level whose total energy strictly exceeds the running
 // minimum. This relies on the total energy being unimodal in the supply
@@ -388,7 +506,7 @@ func (r *run) evalPruned(c *candidate) {
 		return
 	}
 	for i, lvl := range levels {
-		b, err := c.profile().Evaluate(r.m, lvl, r.cfg.Deadline, energy.Options{PS: true})
+		b, err := c.profileIn(r).Evaluate(r.m, lvl, r.cfg.Deadline, energy.Options{PS: true})
 		c.levels++
 		if err != nil {
 			c.err = err
@@ -400,6 +518,36 @@ func (r *run) evalPruned(c *candidate) {
 			c.lvl, c.b = lvl, b
 		case b.Total() > c.b.Total():
 			c.skipped = len(levels) - i - 1
+			return
+		}
+	}
+}
+
+// evalPrunedPlatform is evalPruned over the platform grid, with the same
+// unimodality assumption applied to the grid's σ axis.
+func (r *run) evalPrunedPlatform(c *candidate) {
+	if err := r.ctx.Err(); err != nil {
+		c.err = err
+		return
+	}
+	points, err := energy.FeasiblePoints(c.s, r.pf, r.cfg.Deadline)
+	if err != nil {
+		c.err = err
+		return
+	}
+	for i, pt := range points {
+		b, err := c.profileIn(r).EvaluatePoint(r.pf, pt, r.cfg.Deadline, energy.Options{PS: true})
+		c.levels++
+		if err != nil {
+			c.err = err
+			return
+		}
+		r.obs.levelEvaluated(pt.Levels[r.pf.RefClass()], b)
+		switch {
+		case c.levels == 1 || b.Total() < c.b.Total():
+			c.pt, c.lvl, c.b = pt, pt.Levels[r.pf.RefClass()], b
+		case b.Total() > c.b.Total():
+			c.skipped = len(points) - i - 1
 			return
 		}
 	}
@@ -422,7 +570,10 @@ func (r *run) stats(cands []*candidate) Stats {
 // strictly lower total energy wins, ties keep the earlier candidate (lower
 // processor count, the N_max fallback last). Any candidate error — the
 // first in candidate order — fails the whole run, as the serial walk did.
-func reduce(approach string, g *dag.Graph, cands []*candidate) (*Result, error) {
+// On the heterogeneous path the result additionally carries the platform
+// and the winning operating point (Level stays the reference-class level
+// for homogeneous-consumer compatibility).
+func reduce(r *run, approach string, g *dag.Graph, cands []*candidate) (*Result, error) {
 	for _, c := range cands {
 		if c.err != nil {
 			return nil, wrapInfeasible(c.err)
@@ -434,14 +585,19 @@ func reduce(approach string, g *dag.Graph, cands []*candidate) (*Result, error) 
 			best = c
 		}
 	}
-	return &Result{
+	res := &Result{
 		Approach: approach,
 		Graph:    g,
 		NumProcs: best.n,
 		Level:    best.lvl,
 		Schedule: best.s,
 		Energy:   best.b,
-	}, nil
+	}
+	if r.pf != nil {
+		res.Platform = r.pf
+		res.Point = best.pt
+	}
+	return res, nil
 }
 
 // ss implements the shared S&S structure: schedule on as many processors as
@@ -463,7 +619,7 @@ func (e *Engine) ss(ctx context.Context, approach string, g *dag.Graph, ps bool)
 		return nil, err
 	}
 	r.evalAll(cands, ps)
-	best, err := reduce(approach, g, cands)
+	best, err := reduce(r, approach, g, cands)
 	if err != nil {
 		return nil, err
 	}
@@ -487,7 +643,7 @@ func (e *Engine) lamps(ctx context.Context, approach string, g *dag.Graph, ps bo
 		return nil, err
 	}
 	r.obs.phase(PhaseMinProcs)
-	deadlineCycles := r.cfg.Deadline * r.m.FMax()
+	deadlineCycles := r.cfg.Deadline * r.fref
 	hi := r.cfg.maxUsefulProcs(g)
 	nmin, err := r.sc.minProcsForDeadline(deadlineCycles, hi)
 	if err != nil {
@@ -516,7 +672,7 @@ func (e *Engine) lamps(ctx context.Context, approach string, g *dag.Graph, ps bo
 		return nil, err
 	}
 	r.evalAll(cands, ps)
-	best, err := reduce(approach, g, cands)
+	best, err := reduce(r, approach, g, cands)
 	if err != nil {
 		return nil, err
 	}

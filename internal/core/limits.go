@@ -5,6 +5,7 @@ import (
 
 	"lamps/internal/dag"
 	"lamps/internal/energy"
+	"lamps/internal/power"
 )
 
 // LimitSF computes the paper's single-frequency lower bound (Section 4.4).
@@ -19,6 +20,9 @@ import (
 func LimitSF(g *dag.Graph, cfg Config) (*Result, error) {
 	if err := cfg.validate(g); err != nil {
 		return nil, err
+	}
+	if cfg.heterogeneous() {
+		return limitSFPlatform(g, cfg)
 	}
 	m := cfg.model()
 	need := float64(g.CriticalPathLength()) / cfg.Deadline
@@ -57,6 +61,9 @@ func LimitMF(g *dag.Graph, cfg Config) (*Result, error) {
 	if err := cfg.validate(g); err != nil {
 		return nil, err
 	}
+	if cfg.heterogeneous() {
+		return limitMFPlatform(g, cfg)
+	}
 	m := cfg.model()
 	lvl := m.CriticalLevel()
 	e := float64(g.TotalWork()) * m.EnergyPerCycle(lvl)
@@ -70,6 +77,86 @@ func LimitMF(g *dag.Graph, cfg Config) (*Result, error) {
 		},
 		Stats: Stats{LevelsEvaluated: 1},
 	}, nil
+}
+
+// limitSFPlatform generalises LIMIT-SF to a heterogeneous platform: among
+// the grid points whose timeline frequency still fits the critical path in
+// the deadline (best case: the whole critical path on the reference class),
+// pick the one minimising W times the *cheapest* class's energy per cycle.
+// Charging every work cycle at the cheapest class is what keeps this a true
+// lower bound — no placement can execute a cycle for less — at the price of
+// being looser than the homogeneous bound when classes differ.
+func limitSFPlatform(g *dag.Graph, cfg Config) (*Result, error) {
+	pf := cfg.Platform
+	need := float64(g.CriticalPathLength()) / cfg.Deadline
+	min, err := pf.PointForFrequency(need)
+	if err != nil {
+		return nil, fmt.Errorf("%w: CPL %d cycles does not fit %.4gs at the reference f_max",
+			ErrInfeasible, g.CriticalPathLength(), cfg.Deadline)
+	}
+	// Per-class energy per cycle is not monotone across grid points sourced
+	// from different ladders, so scan every feasible point instead of jumping
+	// to the critical level.
+	points := pf.Points()[:min.Index+1]
+	best, bestE := points[0], minEnergyPerCycle(pf, points[0])
+	for _, pt := range points[1:] {
+		if e := minEnergyPerCycle(pf, pt); e < bestE {
+			best, bestE = pt, e
+		}
+	}
+	e := float64(g.TotalWork()) * bestE
+	lvl := best.Levels[pf.RefClass()]
+	return &Result{
+		Approach: ApproachLimitSF,
+		Graph:    g,
+		Level:    lvl,
+		Platform: pf,
+		Point:    best,
+		Energy: energy.Breakdown{
+			Active:     e,
+			ActiveTime: float64(g.TotalWork()) / best.TimelineFreq,
+		},
+		Stats: Stats{LevelsEvaluated: len(points)},
+	}, nil
+}
+
+// limitMFPlatform generalises LIMIT-MF: with per-processor time-varying
+// frequencies and free idle processors, no cycle can cost less than the
+// cheapest class's critical-level energy per cycle.
+func limitMFPlatform(g *dag.Graph, cfg Config) (*Result, error) {
+	pf := cfg.Platform
+	bestC := 0
+	bestE := pf.ClassModel(0).EnergyPerCycle(pf.ClassModel(0).CriticalLevel())
+	for c := 1; c < pf.NumClasses(); c++ {
+		m := pf.ClassModel(c)
+		if e := m.EnergyPerCycle(m.CriticalLevel()); e < bestE {
+			bestC, bestE = c, e
+		}
+	}
+	lvl := pf.ClassModel(bestC).CriticalLevel()
+	e := float64(g.TotalWork()) * bestE
+	return &Result{
+		Approach: ApproachLimitMF,
+		Graph:    g,
+		Level:    lvl,
+		Platform: pf,
+		Energy: energy.Breakdown{
+			Active:     e,
+			ActiveTime: float64(g.TotalWork()) / lvl.Freq,
+		},
+		Stats: Stats{LevelsEvaluated: 1},
+	}, nil
+}
+
+// minEnergyPerCycle returns the cheapest class's energy per cycle at pt.
+func minEnergyPerCycle(pf *power.Platform, pt power.OperatingPoint) float64 {
+	best := pf.ClassModel(0).EnergyPerCycle(pt.Levels[0])
+	for c := 1; c < pf.NumClasses(); c++ {
+		if e := pf.ClassModel(c).EnergyPerCycle(pt.Levels[c]); e < best {
+			best = e
+		}
+	}
+	return best
 }
 
 // EnergySaving returns the fraction of the possible energy reduction that a

@@ -90,7 +90,7 @@ func (e *Engine) PerTask(ctx context.Context, g *dag.Graph, ps bool) (*PerTaskRe
 		return nil, err
 	}
 	r.obs.phase(PhaseMinProcs)
-	deadlineCycles := r.cfg.Deadline * r.m.FMax()
+	deadlineCycles := r.cfg.Deadline * r.fref
 	hi := r.cfg.maxUsefulProcs(g)
 	nmin, err := r.sc.minProcsForDeadline(deadlineCycles, hi)
 	if err != nil {
@@ -120,7 +120,11 @@ func (e *Engine) PerTask(ctx context.Context, g *dag.Graph, ps bool) (*PerTaskRe
 	}
 	slots := make([]slot, len(cands))
 	r.each(len(cands), func(i int) {
-		slots[i].res, slots[i].err = reclaimSchedule(r.ctx, cands[i].s, r.m, r.cfg.Deadline, ps, &slots[i].stats)
+		if r.pf != nil {
+			slots[i].res, slots[i].err = reclaimSchedulePlatform(r.ctx, cands[i].s, r.pf, r.cfg.Deadline, ps, &slots[i].stats)
+		} else {
+			slots[i].res, slots[i].err = reclaimSchedule(r.ctx, cands[i].s, r.m, r.cfg.Deadline, ps, &slots[i].stats)
+		}
 	})
 
 	var best *PerTaskResult
@@ -266,6 +270,146 @@ func reclaimSchedule(ctx context.Context, s *sched.Schedule, m *power.Model, dea
 			cursor = res.FinishSec[v]
 		}
 		chargeGap(deadline - cursor)
+	}
+	res.Energy = bd
+	return res, nil
+}
+
+// reclaimSchedulePlatform is reclaimSchedule on a heterogeneous platform:
+// every task picks a level from the ladder of *its processor's class*, and
+// idle gaps park at each class's own critical level. The latest-finish bound
+// uses the slowest class's maximum frequency —
+//
+//	lft(v) = D − (blevelAug(v) − w(v))/min_c f_max(c)
+//
+// — which is conservative (every downstream task runs at its own class's
+// maximum or faster), so a task finishing by lft(v) can never push the tail
+// past the deadline whatever the downstream placement.
+func reclaimSchedulePlatform(ctx context.Context, s *sched.Schedule, pf *power.Platform, deadline float64, ps bool, stats *Stats) (*PerTaskResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := s.Graph
+	n := g.NumTasks()
+	if float64(s.Makespan)/pf.RefFMax() > deadline*(1+1e-12) {
+		return nil, fmt.Errorf("%w: makespan %d timeline cycles exceeds deadline %.6gs at full speed",
+			ErrInfeasible, s.Makespan, deadline)
+	}
+	fmin := pf.ClassModel(0).FMax()
+	for c := 1; c < pf.NumClasses(); c++ {
+		if f := pf.ClassModel(c).FMax(); f < fmin {
+			fmin = f
+		}
+	}
+
+	// Augmented bottom levels, exactly as in the homogeneous pass.
+	procNext := make([]int32, n)
+	for v := range procNext {
+		procNext[v] = -1
+	}
+	for p := 0; p < s.NumProcs; p++ {
+		tasks := s.TasksOn(p)
+		for i := 0; i+1 < len(tasks); i++ {
+			procNext[tasks[i]] = tasks[i+1]
+		}
+	}
+	order := make([]int32, n)
+	for v := range order {
+		order[v] = int32(v)
+	}
+	sort.Slice(order, func(i, j int) bool { return s.Start[order[i]] > s.Start[order[j]] })
+	blevelAug := make([]int64, n)
+	for _, v := range order {
+		var succMax int64
+		for _, u := range g.Succs(int(v)) {
+			if blevelAug[u] > succMax {
+				succMax = blevelAug[u]
+			}
+		}
+		if u := procNext[v]; u >= 0 && blevelAug[u] > succMax {
+			succMax = blevelAug[u]
+		}
+		blevelAug[v] = g.Weight(int(v)) + succMax
+	}
+
+	res := &PerTaskResult{
+		Graph:     g,
+		NumProcs:  s.NumProcs,
+		Schedule:  s,
+		Levels:    make([]power.Level, n),
+		StartSec:  make([]float64, n),
+		FinishSec: make([]float64, n),
+	}
+	procFree := make([]float64, s.NumProcs)
+	var bd energy.Breakdown
+
+	for i := n - 1; i >= 0; i-- { // order is by decreasing start: walk back-to-front
+		v := int(order[i])
+		w := g.Weight(v)
+		m := pf.ModelOf(int(s.Proc[v]))
+		minIdx := len(m.Levels()) - 1
+		if ps {
+			minIdx = m.CriticalLevel().Index
+		}
+		st := procFree[s.Proc[v]]
+		for _, p := range g.Preds(v) {
+			if res.FinishSec[p] > st {
+				st = res.FinishSec[p]
+			}
+		}
+		lft := deadline - float64(blevelAug[v]-w)/fmin
+		chosen := m.MaxLevel()
+		for idx := 1; idx <= minIdx; idx++ {
+			l := m.Level(idx)
+			if st+float64(w)/l.Freq <= lft*(1+1e-12) {
+				chosen = l
+			} else {
+				break
+			}
+		}
+		stats.LevelsEvaluated++
+		fin := st + float64(w)/chosen.Freq
+		if fin > deadline*(1+1e-9) {
+			return nil, fmt.Errorf("%w: task %d cannot meet its window", ErrInfeasible, v)
+		}
+		res.Levels[v] = chosen
+		res.StartSec[v] = st
+		res.FinishSec[v] = fin
+		procFree[s.Proc[v]] = fin
+		bd.Active += float64(w) / chosen.Freq * m.LevelPower(chosen)
+		bd.ActiveTime += float64(w) / chosen.Freq
+	}
+
+	// Gap accounting per processor, parked at its own class's critical level.
+	for p := 0; p < s.NumProcs; p++ {
+		tasks := s.TasksOn(p)
+		if len(tasks) == 0 {
+			continue // unused processors are off
+		}
+		m := pf.ModelOf(p)
+		idleLevel := m.CriticalLevel()
+		pIdle := m.IdlePower(idleLevel)
+		breakeven := m.BreakevenTime(idleLevel)
+		charge := func(t float64) {
+			if t <= 0 {
+				return
+			}
+			if ps && t > breakeven {
+				bd.Sleep += t * m.PSleep
+				bd.SleepTime += t
+				bd.Overhead += m.EOverhead
+				bd.Shutdowns++
+			} else {
+				bd.Idle += t * pIdle
+				bd.IdleTime += t
+			}
+		}
+		cursor := 0.0
+		for _, v := range tasks {
+			charge(res.StartSec[v] - cursor)
+			cursor = res.FinishSec[v]
+		}
+		charge(deadline - cursor)
 	}
 	res.Energy = bd
 	return res, nil

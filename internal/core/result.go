@@ -53,10 +53,23 @@ type Result struct {
 	// LIMIT-* bounds, which assume idle processors consume nothing, it is 0.
 	NumProcs int
 
-	// Level is the common operating point of all employed processors.
+	// Level is the common operating point of all employed processors. On a
+	// heterogeneous platform it is the reference class's ladder level of
+	// Point, kept for homogeneous consumers.
 	Level power.Level
 
-	// Schedule is the task placement (nil for the LIMIT-* bounds).
+	// Platform is the heterogeneous machine the result was computed for, or
+	// nil on the legacy single-model path (including a homogeneous Platform
+	// config, which is normalised to its only class model).
+	Platform *power.Platform
+
+	// Point is the winning platform operating point: one per-class ladder
+	// level vector plus the shared timeline frequency. Point.Levels is nil
+	// when Platform is.
+	Point power.OperatingPoint
+
+	// Schedule is the task placement (nil for the LIMIT-* bounds). On a
+	// heterogeneous platform its times are reference-class timeline cycles.
 	Schedule *sched.Schedule
 
 	// Energy is the full energy breakdown.
@@ -69,10 +82,14 @@ type Result struct {
 func (r *Result) TotalEnergy() float64 { return r.Energy.Total() }
 
 // MakespanSec returns the stretched schedule length in seconds, or 0 for
-// the LIMIT-* bounds.
+// the LIMIT-* bounds. On a heterogeneous platform the schedule's timeline
+// cycles convert at the operating point's timeline frequency.
 func (r *Result) MakespanSec() float64 {
 	if r.Schedule == nil {
 		return 0
+	}
+	if r.Platform != nil {
+		return float64(r.Schedule.Makespan) / r.Point.TimelineFreq
 	}
 	return float64(r.Schedule.Makespan) / r.Level.Freq
 }

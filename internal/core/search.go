@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"lamps/internal/dag"
+	"lamps/internal/power"
 	"lamps/internal/sched"
 	"lamps/internal/verify"
 )
@@ -23,20 +24,22 @@ type scheduler struct {
 	g         *dag.Graph
 	prio      []int64
 	obs       *obsHub
-	selfCheck bool // Config.SelfCheck: verify every freshly built schedule
+	selfCheck bool            // Config.SelfCheck: verify every freshly built schedule
+	pf        *power.Platform // non-nil on the heterogeneous path: build with ScheduleIntoPlatform
 
 	mu    sync.Mutex
 	cache map[int]*sched.Schedule
 	built int
 }
 
-func newScheduler(ctx context.Context, g *dag.Graph, prio []int64, obs *obsHub, selfCheck bool) *scheduler {
+func newScheduler(ctx context.Context, g *dag.Graph, prio []int64, obs *obsHub, selfCheck bool, pf *power.Platform) *scheduler {
 	return &scheduler{
 		ctx:       ctx,
 		g:         g,
 		prio:      prio,
 		obs:       obs,
 		selfCheck: selfCheck,
+		pf:        pf,
 		cache:     make(map[int]*sched.Schedule),
 	}
 }
@@ -62,7 +65,12 @@ func (sc *scheduler) at(n int) (*sched.Schedule, error) {
 	sc.mu.Unlock()
 	k := kernelPool.Get().(*sched.Scheduler)
 	s := new(sched.Schedule)
-	err := k.ScheduleInto(s, sc.g, n, sc.prio, nil)
+	var err error
+	if sc.pf != nil {
+		err = k.ScheduleIntoPlatform(s, sc.g, sc.pf, n, sc.prio, nil)
+	} else {
+		err = k.ScheduleInto(s, sc.g, n, sc.prio, nil)
+	}
 	kernelPool.Put(k)
 	if err != nil {
 		return nil, err
@@ -70,7 +78,13 @@ func (sc *scheduler) at(n int) (*sched.Schedule, error) {
 	if sc.selfCheck {
 		// Config.SelfCheck: every schedule the kernel emits is re-checked
 		// from first principles before any search step may consume it.
-		if verr := verify.Schedule(sc.g, s); verr != nil {
+		var verr error
+		if sc.pf != nil {
+			verr = verify.PlatformSchedule(sc.g, sc.pf, s)
+		} else {
+			verr = verify.Schedule(sc.g, s)
+		}
+		if verr != nil {
 			return nil, fmt.Errorf("core: self-check: schedule on %d processors: %w", n, verr)
 		}
 	}

@@ -40,6 +40,11 @@ type GapProfile struct {
 	innerSum []int64 // innerSum[i] = sum of inner[:i]; len(inner)+1
 	last     []int64 // per-employed-processor last finish, sorted ascending
 	lastSum  []int64 // lastSum[i] = sum of last[:i]; len(last)+1
+
+	// classes holds the per-core-class profile of a heterogeneous platform
+	// schedule, populated by ResetPlatform and read by EvaluatePoint. The
+	// homogeneous Reset/Evaluate pair above ignores it entirely.
+	classes []classGaps
 }
 
 // NewGapProfile returns the profile of s. Equivalent to a Reset on a zero

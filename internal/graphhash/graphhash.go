@@ -40,24 +40,31 @@ const Version = "lamps/graphhash/v1"
 // Problem is one cacheable scheduling problem.
 type Problem struct {
 	Graph    *dag.Graph
-	Model    *power.Model // nil selects power.Default70nm()
-	Deadline float64      // seconds
-	MaxProcs int          // 0 = bounded only by graph parallelism
-	Approach string       // canonical approach name, e.g. "LAMPS+PS"
+	Model    *power.Model    // nil selects power.Default70nm(); ignored when Platform is set
+	Platform *power.Platform // optional heterogeneous platform; nil = homogeneous Model machine
+	Deadline float64         // seconds
+	MaxProcs int             // 0 = bounded only by graph parallelism
+	Approach string          // canonical approach name, e.g. "LAMPS+PS"
 }
 
 // Sum returns the hex-encoded SHA-256 digest of the problem's canonical
 // encoding.
 func Sum(p Problem) string {
 	h := sha256.New()
-	writePrefix(h, p.Graph, p.Model)
+	writePrefix(h, p.Graph, p.Model, p.Platform)
 	writeCell(h, p.Deadline, p.MaxProcs, p.Approach)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 // writePrefix encodes the cell-independent part of a problem: the version
-// string, the graph structure and the power model.
-func writePrefix(h hash.Hash, g *dag.Graph, m *power.Model) {
+// string, the graph structure and the power model — followed, for platform
+// problems only, by a tagged platform block (class names and model
+// constants in class order, then the processor-to-class assignment). A nil
+// platform writes nothing extra, so every pre-platform digest — and the
+// golden files and persistent stores keyed by them — is unchanged; the tag
+// plus framing guarantees no platform stream can collide with a
+// non-platform one.
+func writePrefix(h hash.Hash, g *dag.Graph, m *power.Model, pf *power.Platform) {
 	writeString(h, Version)
 
 	writeInt(h, int64(g.NumTasks()))
@@ -78,6 +85,25 @@ func writePrefix(h hash.Hash, g *dag.Graph, m *power.Model) {
 	if m == nil {
 		m = power.Default70nm()
 	}
+	writeModel(h, m)
+
+	if pf != nil {
+		writeString(h, "platform")
+		writeInt(h, int64(pf.NumClasses()))
+		for c := 0; c < pf.NumClasses(); c++ {
+			writeString(h, pf.Class(c).Name)
+			writeModel(h, pf.ClassModel(c))
+		}
+		writeInt(h, int64(pf.NumProcs()))
+		for p := 0; p < pf.NumProcs(); p++ {
+			writeInt(h, int64(pf.ClassOf(p)))
+		}
+	}
+}
+
+// writeModel encodes a power model's defining constants (the built ladder is
+// derived from them).
+func writeModel(h hash.Hash, m *power.Model) {
 	for _, f := range []float64{
 		m.K1, m.K2, m.K3, m.K4, m.K5, m.K6, m.K7,
 		m.Vdd0, m.Vbs, m.Alpha, m.Vth1, m.Ij, m.Ceff, m.Ld, m.Lg,
@@ -103,17 +129,29 @@ func writeCell(h hash.Hash, deadline float64, maxProcs int, approach string) {
 // Hasher.Cell and Sum are guaranteed to agree: both write through the same
 // encoder functions.
 type Hasher struct {
-	graph *dag.Graph
-	model *power.Model
-	state []byte // marshaled sha256 state after the prefix; nil = recompute
+	graph    *dag.Graph
+	model    *power.Model
+	platform *power.Platform
+	state    []byte // marshaled sha256 state after the prefix; nil = recompute
 }
 
 // NewHasher returns a Hasher for problems over the given graph and model
 // (nil model selects power.Default70nm()).
 func NewHasher(g *dag.Graph, m *power.Model) *Hasher {
-	hr := &Hasher{graph: g, model: m}
+	return newHasher(g, m, nil)
+}
+
+// NewPlatformHasher returns a Hasher for problems over the given graph and
+// heterogeneous platform; its cells agree with Sum of the equivalent
+// Problem{Platform: pf}.
+func NewPlatformHasher(g *dag.Graph, pf *power.Platform) *Hasher {
+	return newHasher(g, nil, pf)
+}
+
+func newHasher(g *dag.Graph, m *power.Model, pf *power.Platform) *Hasher {
+	hr := &Hasher{graph: g, model: m, platform: pf}
 	h := sha256.New()
-	writePrefix(h, g, m)
+	writePrefix(h, g, m, pf)
 	if mb, ok := h.(encoding.BinaryMarshaler); ok {
 		if st, err := mb.MarshalBinary(); err == nil {
 			hr.state = st
@@ -133,7 +171,7 @@ func (hr *Hasher) Cell(deadline float64, maxProcs int, approach string) string {
 		}
 	}
 	if !restored {
-		writePrefix(h, hr.graph, hr.model)
+		writePrefix(h, hr.graph, hr.model, hr.platform)
 	}
 	writeCell(h, deadline, maxProcs, approach)
 	return hex.EncodeToString(h.Sum(nil))

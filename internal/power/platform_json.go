@@ -1,0 +1,88 @@
+package power
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// platformJSON is the serialised form of a Platform: the classes with their
+// model parameters, and the processor vector as class names (readable in
+// committed golden files). Derived data — ladders, the reference class, the
+// operating grid — is rebuilt on load.
+type platformJSON struct {
+	Classes []classJSON `json:"classes"`
+	Procs   []string    `json:"procs"`
+}
+
+type classJSON struct {
+	Name  string    `json:"name"`
+	Model modelJSON `json:"model"`
+}
+
+// WriteJSON serialises the platform so it can be committed next to
+// experiments and loaded with LoadPlatformJSON (or the CLIs' -platform
+// flag).
+func (pf *Platform) WriteJSON(w io.Writer) error {
+	doc := platformJSON{
+		Classes: make([]classJSON, len(pf.classes)),
+		Procs:   make([]string, len(pf.procs)),
+	}
+	for c, cl := range pf.classes {
+		m := cl.Model
+		doc.Classes[c] = classJSON{
+			Name: cl.Name,
+			Model: modelJSON{
+				K1: m.K1, K2: m.K2, K3: m.K3, K4: m.K4, K5: m.K5, K6: m.K6, K7: m.K7,
+				Vdd0: m.Vdd0, Vbs: m.Vbs, Alpha: m.Alpha, Vth1: m.Vth1, Ij: m.Ij,
+				Ceff: m.Ceff, Ld: m.Ld, Lg: m.Lg,
+				Activity: m.Activity, POn: m.POn, PSleep: m.PSleep, EOverhead: m.EOverhead,
+				VddMax: m.VddMax, VddMin: m.VddMin, VddStep: m.VddStep,
+			},
+		}
+	}
+	for p, c := range pf.procs {
+		doc.Procs[p] = pf.classes[c].Name
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadPlatformJSON reads a platform serialised by Platform.WriteJSON (or
+// written by hand), builds every class model and validates the processor
+// assignment.
+func LoadPlatformJSON(r io.Reader) (*Platform, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc platformJSON
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("power: decoding platform: %w", err)
+	}
+	classes := make([]CoreClass, len(doc.Classes))
+	byName := make(map[string]int, len(doc.Classes))
+	for c, cj := range doc.Classes {
+		j := cj.Model
+		m := &Model{
+			K1: j.K1, K2: j.K2, K3: j.K3, K4: j.K4, K5: j.K5, K6: j.K6, K7: j.K7,
+			Vdd0: j.Vdd0, Vbs: j.Vbs, Alpha: j.Alpha, Vth1: j.Vth1, Ij: j.Ij,
+			Ceff: j.Ceff, Ld: j.Ld, Lg: j.Lg,
+			Activity: j.Activity, POn: j.POn, PSleep: j.PSleep, EOverhead: j.EOverhead,
+			VddMax: j.VddMax, VddMin: j.VddMin, VddStep: j.VddStep,
+		}
+		if err := m.Build(); err != nil {
+			return nil, fmt.Errorf("power: class %q: %w", cj.Name, err)
+		}
+		classes[c] = CoreClass{Name: cj.Name, Model: m}
+		byName[cj.Name] = c
+	}
+	procs := make([]int, len(doc.Procs))
+	for p, name := range doc.Procs {
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: processor %d references unknown class %q", ErrBadParams, p, name)
+		}
+		procs[p] = c
+	}
+	return NewPlatform(classes, procs)
+}

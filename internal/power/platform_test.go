@@ -1,0 +1,309 @@
+package power
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// lpModel returns the low-power core class used across the platform tests:
+// the 70 nm constants with a lower voltage ceiling (slower fmax), a smaller
+// switched capacitance and cheaper on/sleep powers — the same parameters as
+// the committed examples/platforms/lp3hp1.json golden.
+func lpModel(t *testing.T) *Model {
+	t.Helper()
+	lp := *Default70nm()
+	lp.VddMax = 0.85
+	lp.Ceff = 0.20e-9
+	lp.POn = 0.04
+	lp.PSleep = 25e-6
+	lp.EOverhead = 200e-6
+	if err := lp.Build(); err != nil {
+		t.Fatalf("building LP model: %v", err)
+	}
+	return &lp
+}
+
+// lp3hp1 returns the canonical heterogeneous test platform: three LP cores
+// and one HP core.
+func lp3hp1(t *testing.T) *Platform {
+	t.Helper()
+	pf, err := NewPlatform(
+		[]CoreClass{{Name: "lp", Model: lpModel(t)}, {Name: "hp", Model: Default70nm()}},
+		[]int{0, 0, 0, 1},
+	)
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	return pf
+}
+
+func TestPlatformConstructionErrors(t *testing.T) {
+	m := Default70nm()
+	unbuilt := &Model{}
+	cases := []struct {
+		name    string
+		classes []CoreClass
+		procs   []int
+		want    error
+	}{
+		{"no classes", nil, []int{0}, ErrBadParams},
+		{"no procs", []CoreClass{{Name: "a", Model: m}}, nil, ErrBadParams},
+		{"empty name", []CoreClass{{Name: "", Model: m}}, []int{0}, ErrBadParams},
+		{"duplicate name", []CoreClass{{Name: "a", Model: m}, {Name: "a", Model: m}}, []int{0}, ErrBadParams},
+		{"nil model", []CoreClass{{Name: "a", Model: nil}}, []int{0}, ErrNotBuilt},
+		{"unbuilt model", []CoreClass{{Name: "a", Model: unbuilt}}, []int{0}, ErrNotBuilt},
+		{"bad class ref", []CoreClass{{Name: "a", Model: m}}, []int{1}, ErrBadParams},
+		{"negative class ref", []CoreClass{{Name: "a", Model: m}}, []int{-1}, ErrBadParams},
+	}
+	for _, tc := range cases {
+		if _, err := NewPlatform(tc.classes, tc.procs); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestHomogeneousPlatformGridMatchesLadder pins the degenerate case every
+// legacy caller relies on: a single-class platform's operating grid is the
+// class ladder, bit for bit — same norms, same exact level frequencies as
+// the timeline frequency.
+func TestHomogeneousPlatformGridMatchesLadder(t *testing.T) {
+	m := Default70nm()
+	pf, err := Homogeneous(4, m)
+	if err != nil {
+		t.Fatalf("Homogeneous: %v", err)
+	}
+	if !pf.IsHomogeneous() {
+		t.Fatal("IsHomogeneous = false")
+	}
+	if pf.NumProcs() != 4 || pf.NumClasses() != 1 {
+		t.Fatalf("shape = %d procs, %d classes", pf.NumProcs(), pf.NumClasses())
+	}
+	levels := m.Levels()
+	pts := pf.Points()
+	if len(pts) != len(levels) {
+		t.Fatalf("grid has %d points, ladder has %d levels", len(pts), len(levels))
+	}
+	for i, pt := range pts {
+		l := levels[i]
+		if pt.Norm != l.Norm {
+			t.Errorf("point %d: Norm = %v, want %v", i, pt.Norm, l.Norm)
+		}
+		if pt.TimelineFreq != l.Freq {
+			t.Errorf("point %d: TimelineFreq = %v, want exact ladder Freq %v", i, pt.TimelineFreq, l.Freq)
+		}
+		if pt.Levels[0] != l {
+			t.Errorf("point %d: realising level = %+v, want %+v", i, pt.Levels[0], l)
+		}
+	}
+	if pf.Scale(0) != 1 {
+		t.Errorf("Scale(0) = %v, want 1", pf.Scale(0))
+	}
+	if got := pf.ScaledWeight(0, 12345); got != 12345 {
+		t.Errorf("ScaledWeight = %d, want identity", got)
+	}
+}
+
+func TestPlatformRefClassAndScale(t *testing.T) {
+	pf := lp3hp1(t)
+	if pf.RefClass() != 1 {
+		t.Fatalf("RefClass = %d, want 1 (hp has the higher fmax)", pf.RefClass())
+	}
+	if pf.RefFMax() != pf.ClassModel(1).FMax() {
+		t.Errorf("RefFMax = %v, want hp fmax %v", pf.RefFMax(), pf.ClassModel(1).FMax())
+	}
+	if pf.Scale(1) != 1 {
+		t.Errorf("reference scale = %v, want 1", pf.Scale(1))
+	}
+	if s := pf.Scale(0); s <= 1 {
+		t.Errorf("LP scale = %v, want > 1", s)
+	}
+	for p := 0; p < 3; p++ {
+		if pf.ClassOf(p) != 0 || pf.ModelOf(p) != pf.ClassModel(0) {
+			t.Errorf("proc %d not assigned to class lp", p)
+		}
+	}
+	if pf.ClassOf(3) != 1 {
+		t.Errorf("proc 3 class = %d, want 1", pf.ClassOf(3))
+	}
+	if pf.IsHomogeneous() {
+		t.Error("IsHomogeneous = true for a two-class platform")
+	}
+}
+
+// TestPlatformGridShape checks the heterogeneous operating grid: strictly
+// descending deduplicated norms, descending timeline frequency, and per
+// class a realising level that actually sustains the point's σ.
+func TestPlatformGridShape(t *testing.T) {
+	pf := lp3hp1(t)
+	pts := pf.Points()
+	if len(pts) == 0 {
+		t.Fatal("empty grid")
+	}
+	if pts[0].Norm != 1 {
+		t.Errorf("fastest point Norm = %v, want 1", pts[0].Norm)
+	}
+	if pts[0].TimelineFreq != pf.RefFMax() {
+		t.Errorf("fastest TimelineFreq = %v, want RefFMax %v", pts[0].TimelineFreq, pf.RefFMax())
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Norm >= pts[i-1].Norm {
+			t.Errorf("norms not strictly descending at %d: %v then %v", i, pts[i-1].Norm, pts[i].Norm)
+		}
+		if pts[i].TimelineFreq >= pts[i-1].TimelineFreq {
+			t.Errorf("timeline freq not descending at %d", i)
+		}
+	}
+	for i, pt := range pts {
+		if pt.Index != i {
+			t.Errorf("point %d has Index %d", i, pt.Index)
+		}
+		for c := 0; c < pf.NumClasses(); c++ {
+			if l := pt.Levels[c]; l.Norm < pt.Norm*(1-1e-12) {
+				t.Errorf("point %d class %d: level norm %v does not sustain σ=%v", i, c, l.Norm, pt.Norm)
+			}
+		}
+	}
+	// The union grid is at least as fine as the bigger of the two ladders.
+	if n := len(pf.ClassModel(1).Levels()); len(pts) < n {
+		t.Errorf("grid has %d points, hp ladder alone has %d", len(pts), n)
+	}
+}
+
+func TestScaledWeightNeverShort(t *testing.T) {
+	pf := lp3hp1(t)
+	for _, w := range []int64{1, 2, 3, 7, 1000, 3_100_000, 1 << 40} {
+		for c := 0; c < pf.NumClasses(); c++ {
+			sw := pf.ScaledWeight(c, w)
+			// The slot in seconds must cover the execution time at the
+			// class's own frequency.
+			if float64(sw)/pf.RefFMax() < float64(w)/pf.ClassModel(c).FMax()*(1-1e-12) {
+				t.Errorf("class %d weight %d: slot %d too short", c, w, sw)
+			}
+			if c == pf.RefClass() && sw != w {
+				t.Errorf("reference class weight %d scaled to %d", w, sw)
+			}
+		}
+	}
+}
+
+func TestPointForFrequency(t *testing.T) {
+	pf := lp3hp1(t)
+	pts := pf.Points()
+	if _, err := pf.PointForFrequency(pf.RefFMax() * 1.01); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("above-max frequency: err = %v, want ErrInfeasible", err)
+	}
+	for _, pt := range pts {
+		got, err := pf.PointForFrequency(pt.TimelineFreq)
+		if err != nil {
+			t.Fatalf("PointForFrequency(%v): %v", pt.TimelineFreq, err)
+		}
+		if got.Index != pt.Index {
+			t.Errorf("PointForFrequency(%v) = point %d, want %d", pt.TimelineFreq, got.Index, pt.Index)
+		}
+	}
+	// Slightly above a point's frequency selects the next faster point.
+	if len(pts) > 1 {
+		got, err := pf.PointForFrequency(pts[1].TimelineFreq * 1.0001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != 0 {
+			t.Errorf("just above point 1 = point %d, want 0", got.Index)
+		}
+	}
+}
+
+// samePlatform compares two platforms' observable state exactly.
+func samePlatform(t *testing.T, a, b *Platform) {
+	t.Helper()
+	if a.NumClasses() != b.NumClasses() || a.NumProcs() != b.NumProcs() {
+		t.Fatalf("shape mismatch: %d/%d classes, %d/%d procs",
+			a.NumClasses(), b.NumClasses(), a.NumProcs(), b.NumProcs())
+	}
+	for c := 0; c < a.NumClasses(); c++ {
+		if a.Class(c).Name != b.Class(c).Name {
+			t.Errorf("class %d name %q vs %q", c, a.Class(c).Name, b.Class(c).Name)
+		}
+		if !reflect.DeepEqual(a.ClassModel(c).Levels(), b.ClassModel(c).Levels()) {
+			t.Errorf("class %d ladders differ", c)
+		}
+	}
+	for p := 0; p < a.NumProcs(); p++ {
+		if a.ClassOf(p) != b.ClassOf(p) {
+			t.Errorf("proc %d class %d vs %d", p, a.ClassOf(p), b.ClassOf(p))
+		}
+	}
+	if a.RefClass() != b.RefClass() || a.RefFMax() != b.RefFMax() {
+		t.Errorf("reference mismatch")
+	}
+	if !reflect.DeepEqual(a.Points(), b.Points()) {
+		t.Errorf("operating grids differ")
+	}
+}
+
+func TestPlatformJSONRoundTrip(t *testing.T) {
+	pf := lp3hp1(t)
+	var buf bytes.Buffer
+	if err := pf.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := LoadPlatformJSON(&buf)
+	if err != nil {
+		t.Fatalf("LoadPlatformJSON: %v", err)
+	}
+	samePlatform(t, pf, got)
+}
+
+// TestGoldenPlatformFile pins the committed example platform: it must load,
+// describe the documented LP×3 + HP×1 machine, and round-trip bit-exactly —
+// the same file the CLIs' -platform flag is documented against.
+func TestGoldenPlatformFile(t *testing.T) {
+	f, err := os.Open("../../examples/platforms/lp3hp1.json")
+	if err != nil {
+		t.Fatalf("opening golden platform: %v", err)
+	}
+	defer f.Close()
+	pf, err := LoadPlatformJSON(f)
+	if err != nil {
+		t.Fatalf("loading golden platform: %v", err)
+	}
+	if pf.NumProcs() != 4 || pf.NumClasses() != 2 {
+		t.Fatalf("golden shape = %d procs, %d classes, want 4 and 2", pf.NumProcs(), pf.NumClasses())
+	}
+	if pf.Class(0).Name != "lp" || pf.Class(1).Name != "hp" {
+		t.Fatalf("golden classes = %q, %q", pf.Class(0).Name, pf.Class(1).Name)
+	}
+	samePlatform(t, lp3hp1(t), pf)
+	var buf bytes.Buffer
+	if err := pf.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile("../../examples/platforms/lp3hp1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), disk) {
+		t.Error("golden file is not the canonical WriteJSON encoding; regenerate it")
+	}
+}
+
+func TestLoadPlatformJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"unknown field", `{"classes": [], "procs": [], "extra": 1}`},
+		{"unknown proc class", `{"classes": [{"name": "a", "model": {"k1": 1}}], "procs": ["b"]}`},
+		{"invalid model", `{"classes": [{"name": "a", "model": {"vdd_max": 0}}], "procs": ["a"]}`},
+		{"empty platform", `{"classes": [], "procs": []}`},
+	}
+	for _, tc := range cases {
+		if _, err := LoadPlatformJSON(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

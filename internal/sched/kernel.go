@@ -21,6 +21,11 @@ type Scheduler struct {
 	idle    []procID      // min-heap: idle processor indices
 	order   []int32       // tasks in dispatch order, for the byProc counting sort
 	cursor  []int32       // per-processor write cursor of the counting sort
+
+	// idleByClass holds one idle-processor min-heap per platform core class
+	// for ScheduleIntoPlatform; unused by the homogeneous ScheduleInto. The
+	// outer slice and every inner heap are retained across calls.
+	idleByClass [][]procID
 }
 
 // procID is a processor index with the heap ordering "lowest index first",

@@ -238,7 +238,10 @@ func (s *Server) prepareBatchLine(req *scheduleRequest) batchItem {
 	if err != nil {
 		return batchItem{err: err}
 	}
-	cfg := s.config(req, g)
+	cfg, err := s.config(req, g)
+	if err != nil {
+		return batchItem{err: err}
+	}
 	return batchItem{
 		approach: approach,
 		g:        g,
@@ -246,6 +249,7 @@ func (s *Server) prepareBatchLine(req *scheduleRequest) batchItem {
 		key: graphhash.Sum(graphhash.Problem{
 			Graph:    g,
 			Model:    cfg.Model,
+			Platform: cfg.Platform,
 			Deadline: cfg.Deadline,
 			MaxProcs: cfg.MaxProcs,
 			Approach: approach,

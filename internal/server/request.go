@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 
 	"lamps/internal/core"
 	"lamps/internal/dag"
+	"lamps/internal/power"
 	"lamps/internal/stg"
 )
 
@@ -36,6 +38,13 @@ type scheduleRequest struct {
 
 	// MaxProcs optionally caps the processor count (0 = graph parallelism).
 	MaxProcs int `json:"max_procs,omitempty"`
+
+	// Platform optionally describes a heterogeneous machine for this request
+	// in the power.Platform JSON form ({"classes": [{"name", "model"}...],
+	// "procs": ["name"...]}); it overrides the server's default platform and
+	// model. Omitted: the server's platform (lampsd -platform) or, failing
+	// that, its single power model applies.
+	Platform json.RawMessage `json:"platform,omitempty"`
 }
 
 // graphSpec is the inline JSON task-graph representation.
@@ -147,14 +156,34 @@ func (s *Server) buildGraph(spec *graphSpec, stgText string) (*dag.Graph, error)
 	return b.Build()
 }
 
-// config assembles the core.Config for the request's graph.
-func (s *Server) config(req *scheduleRequest, g *dag.Graph) core.Config {
+// config assembles the core.Config for the request's graph. A platform —
+// the request's own, or else the server default — replaces the single
+// model: Config.Model stays nil so the digest and the engine agree on which
+// machine description is authoritative. A malformed request platform maps
+// to 400.
+func (s *Server) config(req *scheduleRequest, g *dag.Graph) (core.Config, error) {
+	pf := s.opts.Platform
+	if len(req.Platform) > 0 {
+		var err error
+		pf, err = power.LoadPlatformJSON(bytes.NewReader(req.Platform))
+		if err != nil {
+			return core.Config{}, badRequest("invalid platform: %v", err)
+		}
+	}
+	if pf != nil {
+		return core.Config{
+			Platform:  pf,
+			Deadline:  s.resolveDeadlineAt(g, req.DeadlineSec, req.DeadlineFactor, pf.RefFMax()),
+			MaxProcs:  req.MaxProcs,
+			SelfCheck: s.opts.SelfCheck,
+		}, nil
+	}
 	return core.Config{
 		Model:     s.opts.Model,
 		Deadline:  s.resolveDeadline(g, req.DeadlineSec, req.DeadlineFactor),
 		MaxProcs:  req.MaxProcs,
 		SelfCheck: s.opts.SelfCheck,
-	}
+	}, nil
 }
 
 // resolveDeadline converts the two request deadline forms onto absolute
@@ -163,24 +192,59 @@ func (s *Server) config(req *scheduleRequest, g *dag.Graph) core.Config {
 // frequency (the paper's parametric form). Shared by the schedule and sweep
 // paths so the two agree bit-for-bit on derived deadlines.
 func (s *Server) resolveDeadline(g *dag.Graph, sec, factor float64) float64 {
+	return s.resolveDeadlineAt(g, sec, factor, s.opts.Model.FMax())
+}
+
+// resolveDeadlineAt is resolveDeadline against an explicit full-speed
+// frequency — the platform's reference frequency on the heterogeneous path.
+func (s *Server) resolveDeadlineAt(g *dag.Graph, sec, factor, fmax float64) float64 {
 	if factor > 0 {
-		return factor * float64(g.CriticalPathLength()) / s.opts.Model.FMax()
+		return factor * float64(g.CriticalPathLength()) / fmax
 	}
 	return sec
 }
 
-// scheduleResponse is the body of a successful POST /schedule.
+// sweepDeadline resolves a sweep deadline factor against the server's
+// default machine: the platform's reference frequency when one is set,
+// otherwise the single model's maximum frequency.
+func (s *Server) sweepDeadline(g *dag.Graph, factor float64) float64 {
+	if s.opts.Platform != nil {
+		return s.resolveDeadlineAt(g, 0, factor, s.opts.Platform.RefFMax())
+	}
+	return s.resolveDeadline(g, 0, factor)
+}
+
+// scheduleResponse is the body of a successful POST /schedule. Platform is
+// present only for heterogeneous-platform results; every homogeneous
+// response stays byte-identical to the pre-platform encoding.
 type scheduleResponse struct {
-	Approach string       `json:"approach"`
-	Key      string       `json:"key"`
-	Graph    graphSummary `json:"graph"`
-	NumProcs int          `json:"num_procs"`
-	Level    levelJSON    `json:"level"`
-	Energy   energyJSON   `json:"energy"`
-	Deadline float64      `json:"deadline_sec"`
-	Makespan float64      `json:"makespan_sec"`
-	Tasks    []placedTask `json:"placement,omitempty"`
-	Stats    statsJSON    `json:"stats"`
+	Approach string           `json:"approach"`
+	Key      string           `json:"key"`
+	Graph    graphSummary     `json:"graph"`
+	NumProcs int              `json:"num_procs"`
+	Level    levelJSON        `json:"level"`
+	Platform *platformSummary `json:"platform,omitempty"`
+	Energy   energyJSON       `json:"energy"`
+	Deadline float64          `json:"deadline_sec"`
+	Makespan float64          `json:"makespan_sec"`
+	Tasks    []placedTask     `json:"placement,omitempty"`
+	Stats    statsJSON        `json:"stats"`
+}
+
+// platformSummary reports the heterogeneous machine and the winning
+// operating point: one realising ladder level per core class, plus the
+// processor-to-class assignment (class indices) and the shared timeline
+// frequency the placement cycles convert at.
+type platformSummary struct {
+	Classes        []platformClassJSON `json:"classes"`
+	Procs          []int               `json:"procs"`
+	RefClass       int                 `json:"ref_class"`
+	TimelineFreqHz float64             `json:"timeline_freq_hz"`
+}
+
+type platformClassJSON struct {
+	Name  string    `json:"name"`
+	Level levelJSON `json:"level"`
 }
 
 type graphSummary struct {
@@ -258,6 +322,25 @@ func renderResult(key string, cfg core.Config, r *core.Result) ([]byte, error) {
 			SchedulesBuilt:  r.Stats.SchedulesBuilt,
 			LevelsEvaluated: r.Stats.LevelsEvaluated,
 		},
+	}
+	if pf := r.Platform; pf != nil {
+		ps := &platformSummary{
+			Classes:        make([]platformClassJSON, pf.NumClasses()),
+			Procs:          make([]int, pf.NumProcs()),
+			RefClass:       pf.RefClass(),
+			TimelineFreqHz: r.Point.TimelineFreq,
+		}
+		for c := 0; c < pf.NumClasses(); c++ {
+			ps.Classes[c].Name = pf.Class(c).Name
+			if c < len(r.Point.Levels) {
+				l := r.Point.Levels[c]
+				ps.Classes[c].Level = levelJSON{Index: l.Index, Vdd: l.Vdd, FreqHz: l.Freq, Norm: l.Norm}
+			}
+		}
+		for p := 0; p < pf.NumProcs(); p++ {
+			ps.Procs[p] = pf.ClassOf(p)
+		}
+		resp.Platform = ps
 	}
 	if r.Schedule != nil {
 		resp.Tasks = make([]placedTask, r.Graph.NumTasks())

@@ -102,6 +102,12 @@ const CacheHeader = "X-Lamps-Cache"
 type Options struct {
 	// Model is the platform power model. Nil selects power.Default70nm().
 	Model *power.Model
+	// Platform optionally describes a heterogeneous default machine (ordered
+	// processors drawn from per-class power models). When set, requests
+	// without their own "platform" block are hashed and scheduled against it
+	// and Model is ignored for them; a request-level platform still takes
+	// precedence. Nil keeps the homogeneous Model machine.
+	Platform *power.Platform
 	// Workers bounds concurrently executing scheduling runs
 	// (0 = GOMAXPROCS). Excess requests queue.
 	Workers int
@@ -339,10 +345,15 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	cfg := s.config(req, g)
+	cfg, err := s.config(req, g)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	key := graphhash.Sum(graphhash.Problem{
 		Graph:    g,
 		Model:    cfg.Model,
+		Platform: cfg.Platform,
 		Deadline: cfg.Deadline,
 		MaxProcs: cfg.MaxProcs,
 		Approach: approach,

@@ -152,7 +152,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		deadlines = append(deadlines, axis{sec: sec})
 	}
 	for _, f := range req.DeadlineFactors {
-		deadlines = append(deadlines, axis{sec: s.resolveDeadline(g, 0, f), factor: f})
+		deadlines = append(deadlines, axis{sec: s.sweepDeadline(g, f), factor: f})
 	}
 	procs := req.MaxProcs
 	if len(procs) == 0 {
@@ -166,11 +166,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Enumerate the grid and derive each cell's cache key from the shared
-	// graph+model hash prefix.
+	// graph+machine hash prefix (platform-tagged when the server default
+	// machine is heterogeneous, so sweep cells and single-shot requests
+	// agree on every digest).
 	cells := make([]sweepCell, 0, n)
 	cfgs := make([]core.Config, 0, n)
 	keys := make([]string, 0, n)
 	hasher := graphhash.NewHasher(g, s.opts.Model)
+	if s.opts.Platform != nil {
+		hasher = graphhash.NewPlatformHasher(g, s.opts.Platform)
+	}
 	for _, a := range approaches {
 		for _, d := range deadlines {
 			for _, p := range procs {
@@ -181,7 +186,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					DeadlineFactor: d.factor,
 					MaxProcs:       p,
 				})
-				cfgs = append(cfgs, core.Config{Model: s.opts.Model, Deadline: d.sec, MaxProcs: p})
+				cfg := core.Config{Model: s.opts.Model, Deadline: d.sec, MaxProcs: p, SelfCheck: s.opts.SelfCheck}
+				if s.opts.Platform != nil {
+					cfg.Model, cfg.Platform = nil, s.opts.Platform
+				}
+				cfgs = append(cfgs, cfg)
 				keys = append(keys, hasher.Cell(d.sec, p, a))
 			}
 		}

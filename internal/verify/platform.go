@@ -1,0 +1,276 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"lamps/internal/dag"
+	"lamps/internal/energy"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+// PlatformSchedule checks a heterogeneous-platform schedule against g from
+// first principles. The invariants are those of Schedule with one change:
+// a task's slot on processor p must last pf.ScaledWeight(class(p), weight)
+// timeline cycles — the class-stretched duration — instead of the raw
+// weight.
+func PlatformSchedule(g *dag.Graph, pf *power.Platform, s *sched.Schedule) error {
+	return PlatformScheduleWithin(g, pf, s, ScheduleOptions{})
+}
+
+// PlatformScheduleWithin is PlatformSchedule plus release-time and deadline
+// checks (deadline in timeline cycles).
+func PlatformScheduleWithin(g *dag.Graph, pf *power.Platform, s *sched.Schedule, opt ScheduleOptions) error {
+	if pf == nil {
+		return &Violation{Check: CheckShape, Detail: "nil platform"}
+	}
+	if s != nil && s.NumProcs > pf.NumProcs() {
+		return violationf(CheckShape, g, s, nil,
+			"schedule uses %d processors of a %d-processor platform", s.NumProcs, pf.NumProcs())
+	}
+	opt.expectDur = func(v, proc int) int64 {
+		return pf.ScaledWeight(pf.ClassOf(proc), g.Weight(v))
+	}
+	return ScheduleWithin(g, s, opt)
+}
+
+// PlatformEnergy recomputes the full energy breakdown of running a platform
+// schedule at operating point pt until deadlineSec, from first principles
+// and sharing no code with GapProfile.EvaluatePoint. Semantics re-derived:
+// the shared timeline runs at pt.TimelineFreq; each class executes its raw
+// work cycles at its own ladder level, the slot remainder idles at the
+// class's idle power, and every gap of every employed processor is walked
+// linearly and classified against the class's break-even time.
+//
+// To agree with EvaluatePoint bit for bit, all cycle totals are exact int64
+// sums per class and the float conversions happen once per class in
+// ascending class order — the same expressions, in the same order.
+func PlatformEnergy(s *sched.Schedule, pf *power.Platform, pt power.OperatingPoint, deadlineSec float64, opts energy.Options) (energy.Breakdown, error) {
+	var b energy.Breakdown
+	if s == nil || pf == nil || len(pt.Levels) != pf.NumClasses() {
+		return b, fmt.Errorf("verify: nil schedule or platform, or malformed operating point")
+	}
+	ft := pt.TimelineFreq
+	makespanSec := float64(s.Makespan) / ft
+	if makespanSec > deadlineSec*(1+1e-12) {
+		return b, fmt.Errorf("verify: %w", energy.ErrDeadline)
+	}
+	horizon := int64(deadlineSec * ft)
+	if horizon < s.Makespan {
+		horizon = s.Makespan
+	}
+
+	byProc := make([][]int32, s.NumProcs)
+	for v := range s.Proc {
+		byProc[s.Proc[v]] = append(byProc[s.Proc[v]], int32(v))
+	}
+
+	for c := 0; c < pf.NumClasses(); c++ {
+		m := pf.ClassModel(c)
+		lvl := pt.Levels[c]
+		breakeven := m.BreakevenTime(lvl)
+
+		var busyWork, busySlot, idleCycles, sleepCycles int64
+		shutdowns := 0
+		employed := false
+		account := func(gap int64) {
+			if gap <= 0 {
+				return
+			}
+			if opts.PS && float64(gap)/ft > breakeven {
+				sleepCycles += gap
+				shutdowns++
+			} else {
+				idleCycles += gap
+			}
+		}
+		for p, tasks := range byProc {
+			if pf.ClassOf(p) != c || len(tasks) == 0 {
+				continue // other class, or unemployed: off, no gaps
+			}
+			employed = true
+			sort.Slice(tasks, func(i, j int) bool { return s.Start[tasks[i]] < s.Start[tasks[j]] })
+			cursor := int64(0)
+			for _, v := range tasks {
+				account(s.Start[v] - cursor)
+				cursor = s.Finish[v]
+				busySlot += s.Finish[v] - s.Start[v]
+				busyWork += s.Graph.Weight(int(v))
+			}
+			account(horizon - cursor)
+		}
+		if !employed {
+			continue
+		}
+
+		activeT := float64(busyWork) / lvl.Freq
+		b.ActiveTime += activeT
+		b.Active += activeT * m.LevelPower(lvl)
+		if opts.IgnoreIdle {
+			continue
+		}
+		pIdle := m.IdlePower(lvl)
+		if intra := float64(busySlot)/ft - activeT; intra > 0 {
+			b.IdleTime += intra
+			b.Idle += intra * pIdle
+		}
+		idleT := float64(idleCycles) / ft
+		b.IdleTime += idleT
+		b.Idle += idleT * pIdle
+		sleepT := float64(sleepCycles) / ft
+		b.SleepTime += sleepT
+		b.Sleep += sleepT * m.PSleep
+		b.Shutdowns += shutdowns
+		b.Overhead += float64(shutdowns) * m.EOverhead
+	}
+	return b, nil
+}
+
+// PlatformEnergyMatches recomputes the breakdown with PlatformEnergy and
+// requires got to be bit-identical, exactly as EnergyMatches does for the
+// homogeneous walk.
+func PlatformEnergyMatches(s *sched.Schedule, pf *power.Platform, pt power.OperatingPoint, deadlineSec float64, opts energy.Options, got energy.Breakdown) error {
+	want, err := PlatformEnergy(s, pf, pt, deadlineSec, opts)
+	if err != nil {
+		return &Violation{
+			Check:  CheckEnergy,
+			Detail: fmt.Sprintf("reported breakdown %+v for a platform schedule the reference walk rejects: %v", got, err),
+			Repro:  dump(s.Graph, s, nil),
+		}
+	}
+	if got == want {
+		return nil
+	}
+	diffs := breakdownDiffs(got, want)
+	return &Violation{
+		Check: CheckEnergy,
+		Detail: fmt.Sprintf("breakdown differs from the first-principles platform walk (%v, deadline %gs, PS=%v): %s",
+			pt, deadlineSec, opts.PS, diffs),
+		Repro: dump(s.Graph, s, nil),
+	}
+}
+
+// SelfTestPlatform is SelfTest for the platform verifier: known corruptions
+// injected into copies of a pristine (graph, platform, schedule, breakdown)
+// quadruple, every applicable one of which PlatformScheduleWithin or
+// PlatformEnergyMatches must reject. Beyond the structural classes shared
+// with the homogeneous self-test it includes the corruption unique to
+// heterogeneity: a task moved to a processor of a *different-speed* class
+// while keeping its times, which only a duration check aware of per-class
+// scaling can catch.
+func SelfTestPlatform(g *dag.Graph, pf *power.Platform, s *sched.Schedule, pt power.OperatingPoint, deadlineSec float64, opts energy.Options) ([]SelfTestResult, error) {
+	if err := PlatformSchedule(g, pf, s); err != nil {
+		return nil, fmt.Errorf("verify: platform self-test baseline schedule invalid: %w", err)
+	}
+	base, err := PlatformEnergy(s, pf, pt, deadlineSec, opts)
+	if err != nil {
+		return nil, fmt.Errorf("verify: platform self-test baseline energy invalid: %w", err)
+	}
+
+	type mutation struct {
+		class string
+		run   func() (skipped bool, verr error)
+	}
+	muts := []mutation{
+		{"class-swap", func() (bool, error) {
+			// Move one task to an idle-at-the-time processor of a class with a
+			// different scale, keeping Start/Finish: legality-by-intervals still
+			// holds whenever the target slot is free, but the slot length no
+			// longer matches the new class's scaled weight.
+			v, p := classSwapTarget(g, pf, s)
+			if v < 0 {
+				return true, nil
+			}
+			c := cloneSchedule(s)
+			c.Proc[v] = int32(p)
+			return false, PlatformSchedule(g, pf, c)
+		}},
+		{"swapped-starts", func() (bool, error) {
+			p := procWithTwoTasks(s)
+			if p < 0 {
+				return true, nil
+			}
+			tasks := tasksInStartOrder(s, p)
+			a, b := tasks[0], tasks[1]
+			c := cloneSchedule(s)
+			c.Start[a], c.Start[b] = s.Start[b], s.Start[a]
+			c.Finish[a], c.Finish[b] = s.Finish[b], s.Finish[a]
+			return false, PlatformSchedule(g, pf, c)
+		}},
+		{"duration", func() (bool, error) {
+			c := cloneSchedule(s)
+			c.Finish[0]--
+			return false, PlatformSchedule(g, pf, c)
+		}},
+		{"makespan-off-by-one", func() (bool, error) {
+			c := cloneSchedule(s)
+			c.Makespan++
+			return false, PlatformSchedule(g, pf, c)
+		}},
+		{"deadline", func() (bool, error) {
+			return false, PlatformScheduleWithin(g, pf, s, ScheduleOptions{DeadlineCycles: s.Makespan - 1})
+		}},
+		{"gap-off-by-one", func() (bool, error) {
+			// One timeline cycle of phantom idle on the reference class.
+			m := pf.ClassModel(pf.RefClass())
+			lvl := pt.Levels[pf.RefClass()]
+			bad := base
+			bad.IdleTime += 1 / pt.TimelineFreq
+			bad.Idle += (1 / pt.TimelineFreq) * m.IdlePower(lvl)
+			return false, PlatformEnergyMatches(s, pf, pt, deadlineSec, opts, bad)
+		}},
+		{"shutdown-miscount", func() (bool, error) {
+			bad := base
+			bad.Shutdowns++
+			bad.Overhead += pf.ClassModel(0).EOverhead
+			return false, PlatformEnergyMatches(s, pf, pt, deadlineSec, opts, bad)
+		}},
+	}
+
+	results := make([]SelfTestResult, 0, len(muts))
+	for _, mu := range muts {
+		skipped, verr := mu.run()
+		results = append(results, SelfTestResult{
+			Class:    mu.class,
+			Skipped:  skipped,
+			Detected: !skipped && verr != nil,
+			Err:      verr,
+		})
+	}
+	return results, nil
+}
+
+// classSwapTarget finds a task v and a processor p of a class with a
+// different scaled weight for v than v's current class, such that v's time
+// interval is free on p. Returns (-1, -1) when the platform is effectively
+// homogeneous for every placed task or no free slot exists.
+func classSwapTarget(g *dag.Graph, pf *power.Platform, s *sched.Schedule) (int, int) {
+	for v := range s.Proc {
+		cur := pf.ClassOf(int(s.Proc[v]))
+		w := g.Weight(v)
+		for p := 0; p < s.NumProcs; p++ {
+			c := pf.ClassOf(p)
+			if pf.ScaledWeight(c, w) == pf.ScaledWeight(cur, w) {
+				continue
+			}
+			if intervalFree(s, p, s.Start[v], s.Finish[v]) {
+				return v, p
+			}
+		}
+	}
+	return -1, -1
+}
+
+// intervalFree reports whether processor p runs no task overlapping [lo, hi).
+func intervalFree(s *sched.Schedule, p int, lo, hi int64) bool {
+	for v := range s.Proc {
+		if int(s.Proc[v]) != p {
+			continue
+		}
+		if s.Start[v] < hi && s.Finish[v] > lo {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"lamps/internal/energy"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+)
+
+// heteroPlatform returns the LP×3 + HP×2 test machine used across the
+// platform verifier tests.
+func heteroPlatform(t testing.TB) *power.Platform {
+	t.Helper()
+	lp := *power.Default70nm()
+	lp.VddMax = 0.85
+	lp.POn = 0.04
+	lp.PSleep = 25e-6
+	if err := lp.Build(); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := power.NewPlatform(
+		[]power.CoreClass{{Name: "lp", Model: &lp}, {Name: "hp", Model: power.Default70nm()}},
+		[]int{0, 0, 0, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pf
+}
+
+// TestPlatformScheduleAcceptsKernelSchedules: every schedule the platform
+// kernel builds must pass the platform verifier, and the degenerate
+// single-class platform must accept legacy list schedules unchanged.
+func TestPlatformScheduleAcceptsKernelSchedules(t *testing.T) {
+	pf := heteroPlatform(t)
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 25; iter++ {
+		g := member(t, 2+rng.Intn(50), rng.Intn(4), rng.Int63())
+		nprocs := 1 + rng.Intn(pf.NumProcs())
+		s, err := sched.ListSchedulePlatform(g, pf, nprocs, sched.EDFPriorities(g, 0), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := PlatformSchedule(g, pf, s); err != nil {
+			t.Fatalf("iter %d: kernel schedule rejected: %v", iter, err)
+		}
+	}
+	m := power.Default70nm()
+	g := member(t, 30, 1, 11)
+	s := schedule(t, g, 3)
+	hom, err := power.Homogeneous(3, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PlatformSchedule(g, hom, s); err != nil {
+		t.Fatalf("homogeneous platform rejects a legacy schedule: %v", err)
+	}
+}
+
+// TestPlatformScheduleRejectsScaledDurationMismatch: a heterogeneous
+// schedule whose slot length matches the raw weight instead of the
+// class-scaled weight must be rejected — the defining check of the platform
+// verifier.
+func TestPlatformScheduleRejectsScaledDurationMismatch(t *testing.T) {
+	pf := heteroPlatform(t)
+	g := member(t, 20, 0, 3)
+	s, err := sched.ListSchedulePlatform(g, pf, pf.NumProcs(), sched.EDFPriorities(g, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a task on an LP core (scale > 1) and shrink its slot to the raw
+	// weight — legal for the legacy verifier's notion of duration, illegal
+	// for the platform one.
+	for v := range s.Proc {
+		c := pf.ClassOf(int(s.Proc[v]))
+		w := g.Weight(v)
+		if pf.ScaledWeight(c, w) == w {
+			continue
+		}
+		bad := cloneSchedule(s)
+		bad.Finish[v] = bad.Start[v] + w
+		if err := PlatformSchedule(g, pf, bad); err == nil {
+			t.Fatalf("raw-weight slot on a scaled class accepted for task %d", v)
+		}
+		return
+	}
+	t.Fatal("no task landed on a scaled class; platform too small for the test")
+}
+
+// TestPlatformEnergyParity: the verifier's independent per-gap walk and the
+// profile's bucketed evaluation must agree bit for bit on heterogeneous
+// schedules — every Breakdown field — across operating points, PS modes and
+// slacks. This is the cross-implementation contract SelfCheck relies on.
+func TestPlatformEnergyParity(t *testing.T) {
+	pf := heteroPlatform(t)
+	rng := rand.New(rand.NewSource(20260809))
+	var p energy.GapProfile
+	for iter := 0; iter < 20; iter++ {
+		g := member(t, 2+rng.Intn(40), rng.Intn(4), rng.Int63())
+		s, err := sched.ListSchedulePlatform(g, pf, pf.NumProcs(), sched.EDFPriorities(g, 0), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.ResetPlatform(s, pf)
+		for _, pt := range pf.Points() {
+			base := float64(s.Makespan) / pt.TimelineFreq
+			for _, slack := range []float64{1, 1.7, 6} {
+				deadline := base * slack
+				for _, opts := range []energy.Options{{}, {PS: true}, {IgnoreIdle: true}} {
+					got, errGot := p.EvaluatePoint(pf, pt, deadline, opts)
+					want, errWant := PlatformEnergy(s, pf, pt, deadline, opts)
+					if (errGot == nil) != (errWant == nil) {
+						t.Fatalf("iter %d pt %d: err %v vs verifier %v", iter, pt.Index, errGot, errWant)
+					}
+					if errGot != nil {
+						continue
+					}
+					if got != want {
+						t.Fatalf("iter %d pt %d slack %g opts %+v:\n  profile  %+v\n  verifier %+v",
+							iter, pt.Index, slack, opts, got, want)
+					}
+					if err := PlatformEnergyMatches(s, pf, pt, deadline, opts, got); err != nil {
+						t.Fatalf("iter %d pt %d: PlatformEnergyMatches rejects the parity value: %v", iter, pt.Index, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSelfTestPlatformDetectsEveryClass: every applicable corruption class
+// of the platform self-test — including the heterogeneity-specific
+// class-swap — must be detected on a machine and graph where all mutations
+// apply.
+func TestSelfTestPlatformDetectsEveryClass(t *testing.T) {
+	pf := heteroPlatform(t)
+	g := member(t, 40, 0, 5)
+	s, err := sched.ListSchedulePlatform(g, pf, pf.NumProcs(), sched.EDFPriorities(g, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pf.MaxPoint()
+	deadline := float64(s.Makespan) / pt.TimelineFreq * 2
+	results, err := SelfTestPlatform(g, pf, s, pt, deadline, energy.Options{PS: true})
+	if err != nil {
+		t.Fatalf("SelfTestPlatform: %v", err)
+	}
+	detected := 0
+	for _, r := range results {
+		if r.Skipped {
+			t.Logf("mutation %q skipped", r.Class)
+			continue
+		}
+		if !r.Detected {
+			t.Errorf("mutation %q NOT detected", r.Class)
+			continue
+		}
+		detected++
+	}
+	if detected < 5 {
+		t.Errorf("only %d mutations detected; the self-test has lost coverage", detected)
+	}
+	// The class-swap mutation must apply on this genuinely heterogeneous
+	// machine: a skip here means the scaled-duration check went untested.
+	for _, r := range results {
+		if r.Class == "class-swap" && r.Skipped {
+			t.Error("class-swap mutation skipped on a heterogeneous platform")
+		}
+	}
+}

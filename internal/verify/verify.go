@@ -112,6 +112,12 @@ type ScheduleOptions struct {
 	// DeadlineCycles, when positive, is the latest admissible finish time of
 	// the whole schedule, in cycles at the schedule's frequency.
 	DeadlineCycles int64
+
+	// expectDur, when non-nil, overrides the expected duration of task v on
+	// its assigned processor (the raw weight by default). The platform
+	// checks use it for class-scaled slot lengths; it is unexported because
+	// callers outside the package go through PlatformScheduleWithin.
+	expectDur func(v, proc int) int64
 }
 
 // Schedule checks s against g from first principles: placements, durations,
@@ -155,7 +161,11 @@ func ScheduleWithin(g *dag.Graph, s *sched.Schedule, opt ScheduleOptions) error 
 			return violationf(CheckPlacement, g, s, []int32{int32(v)},
 				"task %d starts at %d", v, s.Start[v])
 		}
-		if d, w := s.Finish[v]-s.Start[v], g.Weight(v); d != w {
+		w := g.Weight(v)
+		if opt.expectDur != nil {
+			w = opt.expectDur(v, int(s.Proc[v]))
+		}
+		if d := s.Finish[v] - s.Start[v]; d != w {
 			return violationf(CheckPlacement, g, s, []int32{int32(v)},
 				"task %d runs for %d cycles, weight is %d", v, d, w)
 		}

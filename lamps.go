@@ -80,6 +80,46 @@ type (
 // P_on = 0.1 W, sleep power 50 µW, shutdown overhead 483 µJ).
 func Default70nm() *PowerModel { return power.Default70nm() }
 
+// Heterogeneous platforms (see internal/power): an ordered vector of
+// processors drawn from named core classes, each class with its own power
+// model and frequency ladder. Passing a Platform in Config.Platform (instead
+// of a Model) runs every approach on the heterogeneous machine; a platform
+// whose classes are all identical produces results byte-identical to the
+// equivalent homogeneous Model configuration.
+type (
+	// Platform is an immutable heterogeneous machine description.
+	Platform = power.Platform
+	// CoreClass names one processor type and its power model.
+	CoreClass = power.CoreClass
+	// OperatingPoint is one machine-wide DVS setting: a realising ladder
+	// level per core class at a common normalised speed.
+	OperatingPoint = power.OperatingPoint
+)
+
+// NewPlatform builds a platform from core classes and a processor-to-class
+// assignment (procs[p] indexes classes).
+func NewPlatform(classes []CoreClass, procs []int) (*Platform, error) {
+	return power.NewPlatform(classes, procs)
+}
+
+// HomogeneousPlatform returns an n-processor platform with a single core
+// class using model m (nil selects the 70 nm default) — the degenerate form
+// every heterogeneous code path collapses to.
+func HomogeneousPlatform(n int, m *PowerModel) (*Platform, error) {
+	return power.Homogeneous(n, m)
+}
+
+// LoadPlatformJSON reads a platform description in the canonical JSON form
+// (see Platform.WriteJSON and examples/platforms/).
+func LoadPlatformJSON(r io.Reader) (*Platform, error) { return power.LoadPlatformJSON(r) }
+
+// DeadlineFactorPlatform is DeadlineFactor against a heterogeneous platform:
+// the deadline is factor times the critical path length of g at the
+// platform's reference (fastest-class) frequency.
+func DeadlineFactorPlatform(g *Graph, pf *Platform, factor float64) Config {
+	return core.DeadlineFactorPlatform(g, pf, factor)
+}
+
 // Scheduling substrate (see internal/sched).
 type (
 	// Schedule is a static task placement on identical processors.
