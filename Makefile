@@ -35,7 +35,9 @@ fuzz-smoke:
 # checked-in BENCH_*.json workflow), and lampsd runs for two seconds and has
 # to drain cleanly on SIGINT.
 smoke:
-	@set -e; for ex in examples/*/; do echo "== $$ex"; $(GO) run ./$$ex >/dev/null; done
+	@set -e; for ex in examples/*/; do \
+		ls $$ex*.go >/dev/null 2>&1 || continue; \
+		echo "== $$ex"; $(GO) run ./$$ex >/dev/null; done
 	$(GO) run ./cmd/lamps -random 24 -seed 7 >/dev/null
 	$(GO) run ./cmd/stggen -nodes 16 -method mix >/dev/null
 	$(GO) run ./cmd/experiments -run fig3 -quick >/dev/null
@@ -89,13 +91,17 @@ bench:
 
 # The steady-state allocation gate: the reused scheduling kernel and the
 # gap-profile evaluation must not allocate at all once their buffers are
-# warm, and a warm RunBatch request must stay within its small fixed
-# per-request allocation budget. CI fails the build if any of these tests
-# report allocations over their bounds.
+# warm; a warm RunBatch request must stay within its 8-alloc arena-backed
+# per-request budget; and a warm /v1/schedule cache hit must stay within its
+# handler-layer bound (decode + graph build + digest only — never a
+# re-render). These budgets are the strict (non--race) ones; the same tests
+# run widened under `make race`. CI fails the build if any test reports
+# allocations over its bound.
 alloc-gate:
 	$(GO) test -run 'TestScheduleIntoSteadyStateZeroAlloc' -count=1 -v ./internal/sched
 	$(GO) test -run 'TestGapProfileEvaluateZeroAlloc' -count=1 -v ./internal/energy
 	$(GO) test -run 'TestRunBatchSteadyStateZeroAlloc' -count=1 -v ./internal/core
+	$(GO) test -run 'TestScheduleWarmCacheHitAllocBound' -count=1 -v ./internal/server
 
 # The heterogeneous-platform gate. The parity half is the tentpole
 # behaviour-preservation contract: an N-identical-core Platform must produce

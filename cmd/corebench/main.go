@@ -243,6 +243,30 @@ func kernelBenchmarks(gs []*dag.Graph) ([]kernelReport, error) {
 			}
 		}),
 	)
+
+	// Whole-request row: one warm LAMPS+PS request end to end through
+	// RunBatch — arena-backed run scratch, pooled schedule shells, compact
+	// result detachment. allocs/op here is the per-request figure the core
+	// alloc gate bounds (TestRunBatchSteadyStateZeroAlloc, budget 8); it is
+	// deliberately measured on the engine's serving entry point, not a
+	// kernel, so a regression anywhere on the request path shows up.
+	eng := core.Engine{}
+	warmReq := []core.BatchRequest{{
+		Approach: core.ApproachLAMPSPS,
+		Graph:    g,
+		Config:   core.DeadlineFactor(g, m, 2),
+	}}
+	if res := eng.RunBatch(context.Background(), warmReq); res[0].Err != nil {
+		return nil, res[0].Err
+	}
+	out = append(out, measure("engine_runbatch_warm_request", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := eng.RunBatch(context.Background(), warmReq); res[0].Err != nil {
+				benchErr = res[0].Err
+				b.FailNow()
+			}
+		}
+	}))
 	return out, benchErr
 }
 

@@ -37,6 +37,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -76,6 +77,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		selfcheck = fs.Bool("selfcheck", false, "re-verify every scheduling result from first principles (canary mode; failures return 500 and count in lampsd_verify_failures_total)")
 		storeDir  = fs.String("store-dir", "", "persist cached results to this directory and warm-load them on startup (empty disables persistence)")
 		queue     = fs.Int("queue-depth", server.DefaultQueueDepth, "per-cost-class admission queue depth; excess requests are shed with 429 + Retry-After")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	)
 	fs.SetOutput(logw)
 	if err := fs.Parse(args); err != nil {
@@ -145,6 +147,28 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		QueueDepth:     *queue,
 		Logger:         logger,
 	})
+
+	if *pprofAddr != "" {
+		// The profiler gets its own mux on its own listener: the serving
+		// address never exposes /debug/pprof, and the explicit handler
+		// registrations below (rather than net/http/pprof's init on
+		// http.DefaultServeMux) keep that guarantee even if some package
+		// ever serves the default mux.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() { ps.Serve(pln) }()
+		defer ps.Close()
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

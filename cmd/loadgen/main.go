@@ -75,6 +75,18 @@ type latencyBucket struct {
 	Count int     `json:"count"`
 }
 
+// memReport is the steady-state allocation profile of one measurement
+// window, from runtime.MemStats deltas taken around it. It covers the whole
+// process — engine, pooled scratch and the generator itself — so it is the
+// fleet-facing "GC pressure per request served" number rather than the
+// per-kernel allocs/op the corebench gates pin.
+type memReport struct {
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+	BytesPerRequest  float64 `json:"bytes_per_request"`
+	NumGC            uint32  `json:"num_gc"`
+	GCPauseTotalUs   float64 `json:"gc_pause_total_us"`
+}
+
 // closedReport is one closed-loop measurement at a fixed worker count.
 type closedReport struct {
 	Workers     int          `json:"workers"`
@@ -84,6 +96,7 @@ type closedReport struct {
 	Errors      int          `json:"errors"`
 	RPS         float64      `json:"rps"`
 	Latency     latencyStats `json:"latency"`
+	Memory      memReport    `json:"memory"`
 }
 
 // openReport is one open-loop measurement at a fixed arrival rate.
@@ -369,8 +382,22 @@ func runClosed(reqs []core.BatchRequest, workers, batchSize int, warmup, duratio
 	if err := drain(warmup, false, nil, nil); err != nil {
 		return rep, err
 	}
+	// Bracket only the measured window with MemStats so the warmup's pool
+	// priming (arena and schedule-shell allocation) is excluded — the
+	// published deltas are the steady state a long-running fleet worker sees.
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	if err := drain(duration, true, &rep, &samples); err != nil {
 		return rep, err
+	}
+	runtime.ReadMemStats(&msAfter)
+	if rep.Requests > 0 {
+		rep.Memory = memReport{
+			AllocsPerRequest: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(rep.Requests),
+			BytesPerRequest:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(rep.Requests),
+			NumGC:            msAfter.NumGC - msBefore.NumGC,
+			GCPauseTotalUs:   float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e3,
+		}
 	}
 	if rep.Errors > 0 {
 		return rep, fmt.Errorf("closed loop at %d workers: %d request errors", workers, rep.Errors)
@@ -482,8 +509,8 @@ func run(out, workersArg, sizesArg string, batch int, duration, warmup time.Dura
 			return 1, err
 		}
 		rep.Closed = append(rep.Closed, cr)
-		fmt.Fprintf(os.Stderr, "closed  workers=%-2d  %8.0f req/s   p50 %7.0fµs  p99 %7.0fµs  (%d requests)\n",
-			cr.Workers, cr.RPS, cr.Latency.P50Us, cr.Latency.P99Us, cr.Requests)
+		fmt.Fprintf(os.Stderr, "closed  workers=%-2d  %8.0f req/s   p50 %7.0fµs  p99 %7.0fµs  %6.1f allocs/req  (%d requests)\n",
+			cr.Workers, cr.RPS, cr.Latency.P50Us, cr.Latency.P99Us, cr.Memory.AllocsPerRequest, cr.Requests)
 	}
 
 	if rps > 0 {

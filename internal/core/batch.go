@@ -58,9 +58,13 @@ type BatchResult struct {
 //     flight abort cooperatively (within one list-scheduling call) and
 //     report ctx.Err() themselves. RunBatch returns only after every
 //     started request has finished, so no goroutines outlive the call.
-//   - Scratch: per-request scheduling kernels and gap profiles come from
-//     the package-level sync.Pools, so a steady stream of batches reuses
-//     the same scratch buffers instead of re-allocating them per request.
+//   - Scratch: each request draws a whole run arena from a package-level
+//     sync.Pool — run state, candidate and level-sweep slices, the
+//     per-processor-count schedule cache and its shells — and the
+//     scheduling kernels and gap profiles underneath come from their own
+//     pools, so a steady stream of batches runs within a fixed
+//     per-request allocation budget (see TestRunBatchSteadyStateZeroAlloc)
+//     instead of re-allocating scratch per request.
 //
 // A nil e.Pool runs the batch serially in request order. The engine's own
 // Config and Observer are not used: each request carries its Config, and

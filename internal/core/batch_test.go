@@ -271,10 +271,129 @@ func TestRunBatchSteadyStateZeroAlloc(t *testing.T) {
 		}
 	})
 	perRequest := avg / float64(len(reqs))
-	const maxAllocsPerRequest = 60
+	// The warm budget is the irreducible per-request tail: the Result and its
+	// CloneCompact-detached schedule (4 allocs), the per-phase worker
+	// closures, and the batch's own result slice. Everything else — kernels,
+	// profiles, priorities, candidate/pair slices, schedule shells — comes
+	// from the request arena and must not allocate at steady state. The race
+	// detector's instrumentation forces extra escapes, so -race runs only
+	// enforce the pre-arena bound; `make alloc-gate` builds without -race and
+	// holds the strict one.
+	maxAllocsPerRequest := 8.0
+	if raceEnabled {
+		maxAllocsPerRequest = 60
+	}
 	if perRequest > maxAllocsPerRequest {
-		t.Errorf("batch hot loop allocates %.1f allocs/request, want <= %d — per-request scratch reuse regressed",
+		t.Errorf("batch hot loop allocates %.1f allocs/request, want <= %g — per-request scratch reuse regressed",
 			perRequest, maxAllocsPerRequest)
 	}
 	t.Logf("batch steady state: %.1f allocs/request", perRequest)
+}
+
+// TestRunBatchErrorsDoNotLeakDirtyArenas: requests that fail — invalid
+// configs, infeasible deadlines, cancelled contexts — recycle their arenas
+// through the same pool as successful ones. If an error path ever returned
+// an arena without resetting it (stale schedules, candidate slices pointing
+// at the wrong graph), the interleaved good requests here would diverge
+// from the serial oracle. Every good slot is byte-compared against a
+// fresh-engine result after each error-heavy round.
+func TestRunBatchErrorsDoNotLeakDirtyArenas(t *testing.T) {
+	m := power.Default70nm()
+	gA := buildFig4a(t, coarseWeight)
+	rng := rand.New(rand.NewSource(99))
+	gB := randomGraph(rng, 40, 0.08, coarseWeight)
+
+	reqs := []BatchRequest{
+		{Approach: ApproachLAMPSPS, Graph: gA, Config: DeadlineFactor(gA, m, 2)},
+		{Approach: ApproachLAMPS, Graph: gB, Config: DeadlineFactor(gB, m, 0.5)}, // infeasible
+		{Approach: ApproachLAMPS, Graph: gB, Config: DeadlineFactor(gB, m, 1.5)},
+		{Approach: ApproachSS, Graph: gA, Config: Config{Model: m, Deadline: -1}}, // invalid
+		{Approach: ApproachSSPS, Graph: gB, Config: DeadlineFactor(gB, m, 4)},
+	}
+	good := map[int][]byte{}
+	for i, req := range reqs {
+		if r, err := RunCtx(context.Background(), req.Approach, req.Graph, req.Config); err == nil {
+			good[i] = renderForDiff(t, r)
+		}
+	}
+	if len(good) != 3 {
+		t.Fatalf("workload has %d good requests, want 3", len(good))
+	}
+	for _, pool := range []*workpool.Pool{nil, workpool.NewPool(3)} {
+		eng := Engine{Pool: pool}
+		for round := 0; round < 8; round++ {
+			got := eng.RunBatch(context.Background(), reqs)
+			for i, want := range good {
+				if got[i].Err != nil {
+					t.Fatalf("pool=%v round %d slot %d: unexpected error %v", pool != nil, round, i, got[i].Err)
+				}
+				if !bytes.Equal(renderForDiff(t, got[i].Result), want) {
+					t.Fatalf("pool=%v round %d slot %d: result diverged after error-path arena reuse", pool != nil, round, i)
+				}
+			}
+			for _, i := range []int{1, 3} {
+				if got[i].Err == nil {
+					t.Fatalf("pool=%v round %d slot %d: error request succeeded", pool != nil, round, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchPanicsDoNotRecycleArenas: a panicking request must drop its
+// arena rather than recycle it — the panic may have interrupted any
+// invariant, so a pooled dirty arena could corrupt an unrelated later
+// request. The rounds alternate panicking and clean batches and byte-compare
+// every clean result against the serial oracle; with cancellation mixed in,
+// this extends the TestRunBatchMidBatchCancellation family to arena hygiene.
+func TestRunBatchPanicsDoNotRecycleArenas(t *testing.T) {
+	m := power.Default70nm()
+	g := buildFig4a(t, coarseWeight)
+	bomb := buildFig4a(t, coarseWeight)
+	good := DeadlineFactor(g, m, 2)
+	evil := DeadlineFactor(bomb, m, 2)
+	evil.Priorities = func(*dag.Graph) []int64 { panic("boom") }
+
+	reqs := []BatchRequest{
+		{Approach: ApproachLAMPSPS, Graph: g, Config: good},
+		{Approach: ApproachLAMPS, Graph: bomb, Config: evil},
+		{Approach: ApproachLAMPS, Graph: g, Config: good},
+	}
+	want := map[int][]byte{}
+	for _, i := range []int{0, 2} {
+		r, err := RunCtx(context.Background(), reqs[i].Approach, reqs[i].Graph, reqs[i].Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = renderForDiff(t, r)
+	}
+	for _, workers := range []int{0, 2} {
+		eng := Engine{}
+		if workers > 0 {
+			eng.Pool = workpool.NewPool(workers)
+		}
+		for round := 0; round < 8; round++ {
+			got := eng.RunBatch(context.Background(), reqs)
+			if !errors.Is(got[1].Err, ErrBatchPanic) {
+				t.Fatalf("workers=%d round %d: panic slot err = %v, want ErrBatchPanic", workers, round, got[1].Err)
+			}
+			for i, w := range want {
+				if got[i].Err != nil {
+					t.Fatalf("workers=%d round %d slot %d: %v", workers, round, i, got[i].Err)
+				}
+				if !bytes.Equal(renderForDiff(t, got[i].Result), w) {
+					t.Fatalf("workers=%d round %d slot %d: result diverged after a panicking neighbour", workers, round, i)
+				}
+			}
+			// A mid-run cancellation in the same engine: the cancelled arena
+			// must also come back clean (it is recycled, not dropped).
+			cctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			for _, br := range eng.RunBatch(cctx, reqs[:1]) {
+				if !errors.Is(br.Err, context.Canceled) {
+					t.Fatalf("workers=%d round %d: cancelled slot err = %v", workers, round, br.Err)
+				}
+			}
+		}
+	}
 }

@@ -100,6 +100,26 @@ func (e *Engine) priorities(g *dag.Graph) []int64 {
 	return e.prioVals
 }
 
+// runPriorities is the run-internal variant of priorities: a warm memo hit
+// is returned as-is, but a miss computes into the arena's scratch buffer
+// instead of populating the memo — RunBatch's throwaway sub-engines never
+// see the same graph twice, so memoising there would only allocate. The
+// public priorities path (and its memo semantics) is untouched.
+func (e *Engine) runPriorities(a *arena, g *dag.Graph) []int64 {
+	if e.Config.Priorities != nil {
+		return e.Config.Priorities(g)
+	}
+	e.prioMu.Lock()
+	if e.prioGraph == g {
+		p := e.prioVals
+		e.prioMu.Unlock()
+		return p
+	}
+	e.prioMu.Unlock()
+	a.prio = sched.EDFPrioritiesInto(a.prio, g, 0)
+	return a.prio
+}
+
 // Run dispatches an approach by name under ctx.
 func (e *Engine) Run(ctx context.Context, approach string, g *dag.Graph) (*Result, error) {
 	switch approach {
@@ -154,22 +174,29 @@ func (h *obsHub) levelEvaluated(lvl power.Level, b energy.Breakdown) {
 	h.o.OnLevelEvaluated(lvl, b)
 }
 
-// run is the per-invocation state shared by the engine's phases. Exactly one
-// of the two operating modes is active: on the homogeneous path m is the
-// single model and pf is nil; on the heterogeneous path pf is the platform
-// and m is unused. fref is the frequency one schedule cycle corresponds to
-// at full speed in either mode (m.FMax() or pf.RefFMax()).
+// run is the per-invocation state shared by the engine's phases, embedded in
+// the request's arena. Exactly one of the two operating modes is active: on
+// the homogeneous path m is the single model and pf is nil; on the
+// heterogeneous path pf is the platform and m is unused. fref is the
+// frequency one schedule cycle corresponds to at full speed in either mode
+// (m.FMax() or pf.RefFMax()). cfg is a value copy so that no run state
+// aliases the (possibly throwaway, stack-allocated) Engine that started it.
 type run struct {
 	ctx  context.Context
-	cfg  *Config
+	cfg  Config
 	m    *power.Model
 	pf   *power.Platform
 	fref float64
 	pool *workpool.Pool
 	obs  obsHub
 	sc   *scheduler
+	a    *arena
 }
 
+// newRun validates the request and borrows an arena for it. Validation and
+// the context check come first, so the error paths that never start a search
+// touch no pooled state at all. On success the caller must arrange for the
+// arena to be recycled (defer r.a.runGuard()).
 func (e *Engine) newRun(ctx context.Context, g *dag.Graph) (*run, error) {
 	if err := e.Config.validate(g); err != nil {
 		return nil, err
@@ -177,7 +204,12 @@ func (e *Engine) newRun(ctx context.Context, g *dag.Graph) (*run, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r := &run{ctx: ctx, cfg: &e.Config, pool: e.Pool}
+	a := arenaPool.Get().(*arena)
+	r := &a.r
+	r.ctx = ctx
+	r.cfg = e.Config
+	r.pool = e.Pool
+	r.a = a
 	if e.Config.heterogeneous() {
 		r.pf = e.Config.Platform
 		r.fref = r.pf.RefFMax()
@@ -190,7 +222,8 @@ func (e *Engine) newRun(ctx context.Context, g *dag.Graph) (*run, error) {
 		r.fref = r.m.FMax()
 	}
 	r.obs.o = e.Observer
-	r.sc = newScheduler(ctx, g, e.priorities(g), &r.obs, e.Config.SelfCheck, r.pf)
+	a.sc.init(ctx, g, e.runPriorities(a, g), &r.obs, e.Config.SelfCheck, r.pf)
+	r.sc = &a.sc
 	return r, nil
 }
 
@@ -281,9 +314,9 @@ func (c *candidate) profileIn(r *run) *energy.GapProfile {
 // releaseProfiles returns every candidate's profile to the pool. Called
 // (deferred) once the winning Breakdown has been copied out of the
 // candidates; Results never retain a profile.
-func releaseProfiles(cands []*candidate) {
-	for _, c := range cands {
-		if c.prof != nil {
+func releaseProfiles(cands []candidate) {
+	for i := range cands {
+		if c := &cands[i]; c.prof != nil {
 			profilePool.Put(c.prof)
 			c.prof = nil
 		}
@@ -291,15 +324,15 @@ func releaseProfiles(cands []*candidate) {
 }
 
 // buildAll list-schedules every candidate, in parallel when a pool is set.
-func (r *run) buildAll(cands []*candidate) error {
+func (r *run) buildAll(cands []candidate) error {
 	r.obs.phase(PhaseBuild)
 	r.each(len(cands), func(i int) {
-		c := cands[i]
+		c := &cands[i]
 		c.s, c.err = r.sc.at(c.n)
 	})
-	for _, c := range cands {
-		if c.err != nil {
-			return c.err
+	for i := range cands {
+		if cands[i].err != nil {
+			return cands[i].err
 		}
 	}
 	return nil
@@ -311,14 +344,14 @@ func (r *run) buildAll(cands []*candidate) error {
 // Config.PruneSweep cuts each walk at the first energy rise. The
 // heterogeneous path runs the same three shapes over the platform's
 // operating grid instead of the single model's ladder.
-func (r *run) evalAll(cands []*candidate, ps bool) {
+func (r *run) evalAll(cands []candidate, ps bool) {
 	r.obs.phase(PhaseEvaluate)
 	if r.pf != nil {
 		switch {
 		case !ps:
-			r.each(len(cands), func(i int) { r.evalMinPlatform(cands[i], ps) })
+			r.each(len(cands), func(i int) { r.evalMinPlatform(&cands[i], ps) })
 		case r.cfg.PruneSweep:
-			r.each(len(cands), func(i int) { r.evalPrunedPlatform(cands[i]) })
+			r.each(len(cands), func(i int) { r.evalPrunedPlatform(&cands[i]) })
 		default:
 			r.evalPairsPlatform(cands)
 		}
@@ -326,9 +359,9 @@ func (r *run) evalAll(cands []*candidate, ps bool) {
 	}
 	switch {
 	case !ps:
-		r.each(len(cands), func(i int) { r.evalMin(cands[i], ps) })
+		r.each(len(cands), func(i int) { r.evalMin(&cands[i], ps) })
 	case r.cfg.PruneSweep:
-		r.each(len(cands), func(i int) { r.evalPruned(cands[i]) })
+		r.each(len(cands), func(i int) { r.evalPruned(&cands[i]) })
 	default:
 		r.evalPairs(cands)
 	}
@@ -382,18 +415,15 @@ func (r *run) evalMinPlatform(c *candidate, ps bool) {
 // sweep, flattened so that each pair is one leaf work item on the pool — a
 // candidate's sweep never blocks holding a slot — then reduces each
 // candidate's sweep in fastest-level-first order, matching the serial walk
-// exactly.
-func (r *run) evalPairs(cands []*candidate) {
-	type pair struct {
-		c   *candidate
-		lvl power.Level
-		b   energy.Breakdown
-		err error
-	}
-	var pairs []*pair
-	for _, c := range cands {
+// exactly. The flat pair slice is arena scratch: cands is fixed-size for the
+// whole sweep, so the *candidate pointers into it stay valid.
+func (r *run) evalPairs(cands []candidate) {
+	pairs := r.a.pairs[:0]
+	for i := range cands {
+		c := &cands[i]
 		if err := r.ctx.Err(); err != nil {
 			c.err = err
+			r.a.pairs = pairs
 			return
 		}
 		levels, err := energy.FeasibleLevels(c.s, r.m, r.cfg.Deadline)
@@ -403,11 +433,12 @@ func (r *run) evalPairs(cands []*candidate) {
 		}
 		c.profileIn(r) // extracted once here, shared read-only by all pairs
 		for _, lvl := range levels {
-			pairs = append(pairs, &pair{c: c, lvl: lvl})
+			pairs = append(pairs, evalPair{c: c, lvl: lvl})
 		}
 	}
+	r.a.pairs = pairs
 	r.each(len(pairs), func(i int) {
-		p := pairs[i]
+		p := &pairs[i]
 		if err := r.ctx.Err(); err != nil {
 			p.err = err
 			return
@@ -420,7 +451,8 @@ func (r *run) evalPairs(cands []*candidate) {
 	// Pairs are enumerated per candidate fastest→slowest, so reducing in
 	// slice order with a strict < reproduces the serial sweep's first-wins
 	// tie-break.
-	for _, p := range pairs {
+	for i := range pairs {
+		p := &pairs[i]
 		c := p.c
 		c.levels++
 		if c.err != nil {
@@ -439,17 +471,13 @@ func (r *run) evalPairs(cands []*candidate) {
 // evalPairsPlatform is evalPairs over the platform grid: one flat
 // (candidate, operating point) pair per leaf work item, reduced in
 // fastest-point-first order exactly like the level sweep.
-func (r *run) evalPairsPlatform(cands []*candidate) {
-	type pair struct {
-		c   *candidate
-		pt  power.OperatingPoint
-		b   energy.Breakdown
-		err error
-	}
-	var pairs []*pair
-	for _, c := range cands {
+func (r *run) evalPairsPlatform(cands []candidate) {
+	pairs := r.a.pairs[:0]
+	for i := range cands {
+		c := &cands[i]
 		if err := r.ctx.Err(); err != nil {
 			c.err = err
+			r.a.pairs = pairs
 			return
 		}
 		points, err := energy.FeasiblePoints(c.s, r.pf, r.cfg.Deadline)
@@ -459,11 +487,12 @@ func (r *run) evalPairsPlatform(cands []*candidate) {
 		}
 		c.profileIn(r) // extracted once here, shared read-only by all pairs
 		for _, pt := range points {
-			pairs = append(pairs, &pair{c: c, pt: pt})
+			pairs = append(pairs, evalPair{c: c, pt: pt})
 		}
 	}
+	r.a.pairs = pairs
 	r.each(len(pairs), func(i int) {
-		p := pairs[i]
+		p := &pairs[i]
 		if err := r.ctx.Err(); err != nil {
 			p.err = err
 			return
@@ -473,7 +502,8 @@ func (r *run) evalPairsPlatform(cands []*candidate) {
 			r.obs.levelEvaluated(p.pt.Levels[r.pf.RefClass()], p.b)
 		}
 	})
-	for _, p := range pairs {
+	for i := range pairs {
+		p := &pairs[i]
 		c := p.c
 		c.levels++
 		if c.err != nil {
@@ -557,11 +587,11 @@ func (r *run) evalPrunedPlatform(c *candidate) {
 // counts summed over candidates in slice order — both independent of the
 // execution interleaving, so serial and parallel runs report identical
 // Stats.
-func (r *run) stats(cands []*candidate) Stats {
+func (r *run) stats(cands []candidate) Stats {
 	s := Stats{SchedulesBuilt: r.sc.builtCount()}
-	for _, c := range cands {
-		s.LevelsEvaluated += c.levels
-		s.LevelsSkipped += c.skipped
+	for i := range cands {
+		s.LevelsEvaluated += cands[i].levels
+		s.LevelsSkipped += cands[i].skipped
 	}
 	return s
 }
@@ -573,15 +603,20 @@ func (r *run) stats(cands []*candidate) Stats {
 // On the heterogeneous path the result additionally carries the platform
 // and the winning operating point (Level stays the reference-class level
 // for homogeneous-consumer compatibility).
-func reduce(r *run, approach string, g *dag.Graph, cands []*candidate) (*Result, error) {
-	for _, c := range cands {
-		if c.err != nil {
-			return nil, wrapInfeasible(c.err)
+//
+// The winning schedule is detached with CloneCompact: the memoised original
+// is arena scratch and will be recycled when the run closes, while the
+// Result may outlive the request indefinitely (the serving layer's cache
+// keeps rendered results).
+func reduce(r *run, approach string, g *dag.Graph, cands []candidate) (*Result, error) {
+	for i := range cands {
+		if cands[i].err != nil {
+			return nil, wrapInfeasible(cands[i].err)
 		}
 	}
-	best := cands[0]
-	for _, c := range cands[1:] {
-		if c.b.Total() < best.b.Total() {
+	best := &cands[0]
+	for i := range cands[1:] {
+		if c := &cands[1+i]; c.b.Total() < best.b.Total() {
 			best = c
 		}
 	}
@@ -590,7 +625,7 @@ func reduce(r *run, approach string, g *dag.Graph, cands []*candidate) (*Result,
 		Graph:    g,
 		NumProcs: best.n,
 		Level:    best.lvl,
-		Schedule: best.s,
+		Schedule: best.s.CloneCompact(),
 		Energy:   best.b,
 	}
 	if r.pf != nil {
@@ -613,7 +648,9 @@ func (e *Engine) ss(ctx context.Context, approach string, g *dag.Graph, ps bool)
 	if err != nil {
 		return nil, err
 	}
-	cands := []*candidate{{n: r.cfg.maxUsefulProcs(g)}}
+	defer r.a.runGuard()
+	cands := append(r.a.cands[:0], candidate{n: r.cfg.maxUsefulProcs(g)})
+	r.a.cands = cands
 	defer releaseProfiles(cands)
 	if err := r.buildAll(cands); err != nil {
 		return nil, err
@@ -642,6 +679,7 @@ func (e *Engine) lamps(ctx context.Context, approach string, g *dag.Graph, ps bo
 	if err != nil {
 		return nil, err
 	}
+	defer r.a.runGuard()
 	r.obs.phase(PhaseMinProcs)
 	deadlineCycles := r.cfg.Deadline * r.fref
 	hi := r.cfg.maxUsefulProcs(g)
@@ -654,9 +692,9 @@ func (e *Engine) lamps(ctx context.Context, approach string, g *dag.Graph, ps bo
 	if err != nil {
 		return nil, err
 	}
-	cands := make([]*candidate, 0, nstop-nmin+2)
+	cands := r.a.cands[:0]
 	for n := nmin; n <= nstop; n++ {
-		cands = append(cands, &candidate{n: n})
+		cands = append(cands, candidate{n: n})
 	}
 	if nstop < hi {
 		// Also consider N_max, the "as many processors as can be employed
@@ -665,8 +703,9 @@ func (e *Engine) lamps(ctx context.Context, approach string, g *dag.Graph, ps bo
 		// wider schedules can consolidate idle time into fewer, longer,
 		// sleepable gaps, so skipping it could make LAMPS+PS worse than
 		// S&S+PS.
-		cands = append(cands, &candidate{n: hi})
+		cands = append(cands, candidate{n: hi})
 	}
+	r.a.cands = cands
 	defer releaseProfiles(cands)
 	if err := r.buildAll(cands); err != nil {
 		return nil, err

@@ -89,6 +89,7 @@ func (e *Engine) PerTask(ctx context.Context, g *dag.Graph, ps bool) (*PerTaskRe
 	if err != nil {
 		return nil, err
 	}
+	defer r.a.runGuard()
 	r.obs.phase(PhaseMinProcs)
 	deadlineCycles := r.cfg.Deadline * r.fref
 	hi := r.cfg.maxUsefulProcs(g)
@@ -101,13 +102,14 @@ func (e *Engine) PerTask(ctx context.Context, g *dag.Graph, ps bool) (*PerTaskRe
 	if err != nil {
 		return nil, err
 	}
-	cands := make([]*candidate, 0, nstop-nmin+2)
+	cands := r.a.cands[:0]
 	for n := nmin; n <= nstop; n++ {
-		cands = append(cands, &candidate{n: n})
+		cands = append(cands, candidate{n: n})
 	}
 	if nstop < hi {
-		cands = append(cands, &candidate{n: hi})
+		cands = append(cands, candidate{n: hi})
 	}
+	r.a.cands = cands
 	if err := r.buildAll(cands); err != nil {
 		return nil, err
 	}
@@ -139,6 +141,8 @@ func (e *Engine) PerTask(ctx context.Context, g *dag.Graph, ps bool) (*PerTaskRe
 		}
 	}
 	best.Stats = stats
+	// The winner's schedule is arena scratch about to be recycled; detach it.
+	best.Schedule = best.Schedule.CloneCompact()
 	return best, nil
 }
 

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation forces extra heap escapes. Allocation
+// gates widen their budgets accordingly; the strict budgets are enforced by
+// `make alloc-gate`, which builds without -race.
+const raceEnabled = true

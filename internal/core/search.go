@@ -19,6 +19,11 @@ import (
 // many goroutines. Duplicate concurrent builds of the same count are
 // possible but harmless — exactly one wins the memo slot and is counted, so
 // SchedulesBuilt stays deterministic.
+//
+// The scheduler lives inside an arena: the byCount memo and the shell free
+// list survive across requests (reset by arena.close), so a warm request
+// never allocates a Schedule — shells are recycled and ScheduleInto regrows
+// their slices in place.
 type scheduler struct {
 	ctx       context.Context
 	g         *dag.Graph
@@ -27,27 +32,62 @@ type scheduler struct {
 	selfCheck bool            // Config.SelfCheck: verify every freshly built schedule
 	pf        *power.Platform // non-nil on the heterogeneous path: build with ScheduleIntoPlatform
 
-	mu    sync.Mutex
-	cache map[int]*sched.Schedule
-	built int
+	mu      sync.Mutex
+	byCount []*sched.Schedule // memo indexed by processor count; nil = not built
+	shells  []*sched.Schedule // free list of fully-owned reusable Schedule scratch
+	built   int
 }
 
-func newScheduler(ctx context.Context, g *dag.Graph, prio []int64, obs *obsHub, selfCheck bool, pf *power.Platform) *scheduler {
-	return &scheduler{
-		ctx:       ctx,
-		g:         g,
-		prio:      prio,
-		obs:       obs,
-		selfCheck: selfCheck,
-		pf:        pf,
-		cache:     make(map[int]*sched.Schedule),
+func (sc *scheduler) init(ctx context.Context, g *dag.Graph, prio []int64, obs *obsHub, selfCheck bool, pf *power.Platform) {
+	sc.ctx = ctx
+	sc.g = g
+	sc.prio = prio
+	sc.obs = obs
+	sc.selfCheck = selfCheck
+	sc.pf = pf
+}
+
+// getShell pops a recycled Schedule (or makes the arena's first one). The
+// caller owns it until it either wins a memo slot or is returned with
+// putShell.
+func (sc *scheduler) getShell() *sched.Schedule {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if n := len(sc.shells); n > 0 {
+		s := sc.shells[n-1]
+		sc.shells[n-1] = nil
+		sc.shells = sc.shells[:n-1]
+		return s
+	}
+	return new(sched.Schedule)
+}
+
+func (sc *scheduler) putShell(s *sched.Schedule) {
+	s.Graph = nil
+	sc.mu.Lock()
+	sc.shells = append(sc.shells, s)
+	sc.mu.Unlock()
+}
+
+// recycleSchedules moves every memoised schedule onto the shell free list
+// and drops its graph reference; called by arena.close once the winning
+// schedule has been detached with CloneCompact.
+func (sc *scheduler) recycleSchedules() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for i, s := range sc.byCount {
+		if s != nil {
+			s.Graph = nil
+			sc.shells = append(sc.shells, s)
+			sc.byCount[i] = nil
+		}
 	}
 }
 
 // kernelPool recycles scheduling scratch (heaps, in-degree and dispatch
 // buffers) across runs and goroutines: every candidate build borrows one
-// kernel, so the only per-build allocations left are the Schedule slices the
-// memo must retain anyway.
+// kernel, so warm builds write straight into recycled Schedule shells
+// without allocating at all.
 var kernelPool = sync.Pool{New: func() any { return new(sched.Scheduler) }}
 
 // at returns the (memoised) list schedule on n processors. It checks the
@@ -58,13 +98,14 @@ func (sc *scheduler) at(n int) (*sched.Schedule, error) {
 		return nil, err
 	}
 	sc.mu.Lock()
-	if s, ok := sc.cache[n]; ok {
+	if n < len(sc.byCount) && sc.byCount[n] != nil {
+		s := sc.byCount[n]
 		sc.mu.Unlock()
 		return s, nil
 	}
 	sc.mu.Unlock()
 	k := kernelPool.Get().(*sched.Scheduler)
-	s := new(sched.Schedule)
+	s := sc.getShell()
 	var err error
 	if sc.pf != nil {
 		err = k.ScheduleIntoPlatform(s, sc.g, sc.pf, n, sc.prio, nil)
@@ -73,6 +114,7 @@ func (sc *scheduler) at(n int) (*sched.Schedule, error) {
 	}
 	kernelPool.Put(k)
 	if err != nil {
+		sc.putShell(s)
 		return nil, err
 	}
 	if sc.selfCheck {
@@ -85,16 +127,22 @@ func (sc *scheduler) at(n int) (*sched.Schedule, error) {
 			verr = verify.Schedule(sc.g, s)
 		}
 		if verr != nil {
+			sc.putShell(s)
 			return nil, fmt.Errorf("core: self-check: schedule on %d processors: %w", n, verr)
 		}
 	}
 	sc.mu.Lock()
-	if prev, ok := sc.cache[n]; ok {
-		// A concurrent build won the slot; discard ours uncounted.
+	for len(sc.byCount) <= n {
+		sc.byCount = append(sc.byCount, nil)
+	}
+	if prev := sc.byCount[n]; prev != nil {
+		// A concurrent build won the slot; recycle ours uncounted.
+		s.Graph = nil
+		sc.shells = append(sc.shells, s)
 		sc.mu.Unlock()
 		return prev, nil
 	}
-	sc.cache[n] = s
+	sc.byCount[n] = s
 	sc.built++
 	sc.mu.Unlock()
 	sc.obs.scheduleBuilt(n, s.Makespan)

@@ -126,10 +126,10 @@ func (b *Builder) Build() (*Graph, error) {
 func (g *Graph) computeSourcesSinks() {
 	for v := 0; v < g.NumTasks(); v++ {
 		if g.InDegree(v) == 0 {
-			g.sources = append(g.sources, v)
+			g.sources = append(g.sources, int32(v))
 		}
 		if g.OutDegree(v) == 0 {
-			g.sinks = append(g.sinks, v)
+			g.sinks = append(g.sinks, int32(v))
 		}
 	}
 }

@@ -55,8 +55,8 @@ type Graph struct {
 	topo     []int32 // a topological order of all tasks
 	blevel   []int64 // longest path to a sink, including the task's own weight
 	tlevel   []int64 // longest path from a source, excluding the task's own weight
-	sources  []int   // tasks with no predecessors, ascending
-	sinks    []int   // tasks with no successors, ascending
+	sources  []int32 // tasks with no predecessors, ascending
+	sinks    []int32 // tasks with no successors, ascending
 	cpl      int64   // critical path length, in cycles
 	work     int64   // sum of all weights, in cycles
 	maxWidth int     // upper bound on useful processors (antichain estimate)
@@ -136,12 +136,12 @@ func (g *Graph) MaxWidth() int { return g.maxWidth }
 // Sources returns all tasks with no predecessors, in ascending order. The
 // slice is precomputed in Builder.Build, owned by the graph, and must not be
 // modified — the same ownership convention as Succs and TopoOrder.
-func (g *Graph) Sources() []int { return g.sources }
+func (g *Graph) Sources() []int32 { return g.sources }
 
 // Sinks returns all tasks with no successors, in ascending order. The slice
 // is precomputed in Builder.Build, owned by the graph, and must not be
 // modified — the same ownership convention as Succs and TopoOrder.
-func (g *Graph) Sinks() []int { return g.sinks }
+func (g *Graph) Sinks() []int32 { return g.sinks }
 
 // ScaleWeights returns a copy of the graph with every weight multiplied by
 // factor. It is used to convert abstract task-graph weights into cycles: the

@@ -28,11 +28,23 @@ const NoDeadline = int64(math.MaxInt64)
 // priorities clamp to MinInt64 and ties collapse onto task-index order
 // rather than inverting.
 func EDFPriorities(g *dag.Graph, deadline int64) []int64 {
-	prio := make([]int64, g.NumTasks())
-	for v := range prio {
-		prio[v] = subSat(deadline, g.BottomLevel(v)-g.Weight(v))
+	return EDFPrioritiesInto(make([]int64, g.NumTasks()), g, deadline)
+}
+
+// EDFPrioritiesInto is EDFPriorities writing into caller-owned scratch: dst
+// is grown if needed and the filled prefix of length g.NumTasks() returned.
+// Hot paths (the engine's per-request arena) use it to keep priority
+// computation allocation-free once the scratch is warm.
+func EDFPrioritiesInto(dst []int64, g *dag.Graph, deadline int64) []int64 {
+	n := g.NumTasks()
+	if cap(dst) < n {
+		dst = make([]int64, n)
 	}
-	return prio
+	dst = dst[:n]
+	for v := range dst {
+		dst[v] = subSat(deadline, g.BottomLevel(v)-g.Weight(v))
+	}
+	return dst
 }
 
 // subSat returns a − b, saturating at math.MinInt64/math.MaxInt64 instead of

@@ -67,6 +67,34 @@ func (s *Schedule) ProcsUsed() int {
 	return n
 }
 
+// CloneCompact returns a deep copy of the schedule packed into the minimum
+// number of allocations: one shell, one int64 block shared by Start/Finish,
+// and one int32 block shared by Proc/byProcFlat/byProcOff. Engines that
+// recycle schedule scratch through a pool use it to detach the winning
+// candidate before the scratch is reused; the full-slice-expression caps keep
+// an append on any sub-slice from silently overwriting its neighbours.
+func (s *Schedule) CloneCompact() *Schedule {
+	n := len(s.Proc)
+	c := &Schedule{
+		Graph:    s.Graph,
+		NumProcs: s.NumProcs,
+		Makespan: s.Makespan,
+	}
+	t64 := make([]int64, 2*n)
+	c.Start = t64[:n:n]
+	c.Finish = t64[n:]
+	copy(c.Start, s.Start)
+	copy(c.Finish, s.Finish)
+	t32 := make([]int32, 2*n+len(s.byProcOff))
+	c.Proc = t32[:n:n]
+	c.byProcFlat = t32[n : 2*n : 2*n]
+	c.byProcOff = t32[2*n:]
+	copy(c.Proc, s.Proc)
+	copy(c.byProcFlat, s.byProcFlat)
+	copy(c.byProcOff, s.byProcOff)
+	return c
+}
+
 // Gap is a contiguous idle interval on one processor, in cycles. For
 // employed processors the intervals before the first task, between
 // consecutive tasks, and after the last task up to the schedule horizon are

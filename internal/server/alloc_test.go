@@ -1,0 +1,64 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// nullResponseWriter discards the response while reusing one header map, so
+// AllocsPerRun sees only the handler's own allocations.
+type nullResponseWriter struct{ h http.Header }
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+// TestScheduleWarmCacheHitAllocBound pins the handler-layer allocation cost
+// of a warm cache hit on POST /v1/schedule. A hit never renders or marshals
+// anything — the cached bytes go straight to the wire — so the remaining
+// allocations are request decoding, graph construction and digest hashing.
+// The budget is a bound with headroom over the measured steady state, not
+// zero; its job is to fail if the hit path ever starts re-encoding the
+// response. `make alloc-gate` enforces the strict bound (no -race).
+func TestScheduleWarmCacheHitAllocBound(t *testing.T) {
+	srv := New(Options{})
+	payload := []byte(`{"approach":"lamps","graph":{"tasks":[{"weight_cycles":400},{"weight_cycles":300},{"weight_cycles":200},{"weight_cycles":100}],"edges":[[0,1],[0,2],[1,3],[2,3]]},"deadline_factor":1.8}`)
+
+	warm := httptest.NewRecorder()
+	srv.handleSchedule(warm, httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(payload)))
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warming request: status %d, body %s", warm.Code, warm.Body.String())
+	}
+	hit := httptest.NewRecorder()
+	srv.handleSchedule(hit, httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(payload)))
+	if hit.Code != http.StatusOK || hit.Header().Get(CacheHeader) != "hit" {
+		t.Fatalf("second request: status %d, cache %q, want 200 hit", hit.Code, hit.Header().Get(CacheHeader))
+	}
+	if !bytes.Equal(hit.Body.Bytes(), warm.Body.Bytes()) {
+		t.Fatal("cache hit bytes differ from the rendered miss")
+	}
+
+	// Steady state: reuse the request, body reader and header map so the
+	// measurement covers the handler, not the test harness.
+	rd := bytes.NewReader(payload)
+	body := io.NopCloser(rd)
+	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", body)
+	w := &nullResponseWriter{h: make(http.Header)}
+	allocs := testing.AllocsPerRun(200, func() {
+		rd.Reset(payload)
+		req.Body = body // handleSchedule wraps Body in MaxBytesReader
+		srv.handleSchedule(w, req)
+	})
+
+	budget := 120.0
+	if raceEnabled {
+		budget = 400
+	}
+	t.Logf("warm cache hit: %.1f allocs/request (budget %.0f)", allocs, budget)
+	if allocs > budget {
+		t.Fatalf("warm cache hit: %.1f allocs/request, budget %.0f", allocs, budget)
+	}
+}

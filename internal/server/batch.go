@@ -96,7 +96,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		encFail error
 	)
 	writeLine := func(line batchLine) {
-		b, err := json.Marshal(line)
+		// Pooled encoding: Encoder.Encode emits Marshal + '\n' byte for
+		// byte, so the wire stream is unchanged — one Write per line, no
+		// per-line marshal buffer.
+		e := getEncoder()
+		defer e.put()
+		err := e.enc.Encode(&line)
 		wmu.Lock()
 		defer wmu.Unlock()
 		if err != nil {
@@ -104,8 +109,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			encFail = err
 			return
 		}
-		w.Write(b)
-		w.Write([]byte{'\n'})
+		w.Write(e.buf.Bytes())
 		if flusher != nil {
 			flusher.Flush()
 		}

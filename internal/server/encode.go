@@ -1,0 +1,71 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+)
+
+// encoder is a pooled bytes.Buffer + json.Encoder pair. json.Encoder.Encode
+// writes exactly json.Marshal(v) followed by '\n' (same HTML escaping, no
+// indent), which is precisely the trailing-newline convention every lampsd
+// body and NDJSON line already follows — so encoding into a pooled buffer
+// and writing buf.Bytes() in one call is byte-identical to the former
+// Marshal+append+write path, it just stops allocating a fresh intermediate
+// buffer per response.
+type encoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encoderPool = sync.Pool{New: func() any {
+	e := new(encoder)
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// getEncoder returns a reset pooled encoder. Pair with put. The buffer's
+// bytes are only valid until put; callers that retain the encoding (the
+// result cache) must copy out first.
+func getEncoder() *encoder {
+	e := encoderPool.Get().(*encoder)
+	e.buf.Reset()
+	return e
+}
+
+func (e *encoder) put() { encoderPool.Put(e) }
+
+// renderScratch is the reusable assembly area for one /v1/schedule response:
+// the response struct itself plus the per-task and per-class slices it
+// points into. renderResult fills it, encodes it, copies the bytes out for
+// the cache, and recycles it — so a warm server renders responses of any
+// steady-state size without growing the heap.
+type renderScratch struct {
+	resp    scheduleResponse
+	ps      platformSummary
+	tasks   []placedTask
+	classes []platformClassJSON
+	procs   []int
+}
+
+var renderPool = sync.Pool{New: func() any { return new(renderScratch) }}
+
+// release clears the graph-derived references (task labels, class names)
+// so a pooled scratch never pins a request's graph or platform, then
+// returns the scratch to the pool.
+func (rs *renderScratch) release() {
+	clear(rs.tasks)
+	clear(rs.classes)
+	rs.resp = scheduleResponse{}
+	rs.ps = platformSummary{}
+	renderPool.Put(rs)
+}
+
+// grown returns s resized to length n, reusing its backing array when the
+// capacity suffices.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -132,7 +132,46 @@ type errorBody struct {
 	Status int    `json:"status"`
 }
 
-// writeError renders err as a JSON error response.
+// commonErrorBodies pre-renders the fixed-message error responses — the
+// ones produced verbatim on hot shedding/timeout/validation paths — so
+// writing them costs zero allocations. Variable (formatted) messages fall
+// back to a pooled encoder in writeError. The rendered bytes are exactly
+// json.Marshal(body) + '\n', matching what the encoder path produces.
+var commonErrorBodies = func() map[errorBody][]byte {
+	m := make(map[errorBody][]byte)
+	for _, msg := range []string{
+		"request deadline exceeded",
+		"scheduling run exceeded the request deadline",
+	} {
+		premarshal(m, errorBody{Error: msg, Status: http.StatusGatewayTimeout})
+	}
+	for _, msg := range []string{
+		"trailing data after request object",
+		"exactly one of \"graph\" and \"stg\" must be set",
+		"exactly one of \"deadline_sec\" and \"deadline_factor\" must be positive",
+		"exactly one of \"deadline_secs\" and \"deadline_factors\" must be non-empty",
+		"\"approaches\" must list at least one approach",
+		"graph has no tasks",
+		"batch is empty: send one request object per line",
+	} {
+		premarshal(m, errorBody{Error: msg, Status: http.StatusBadRequest})
+	}
+	return m
+}()
+
+// premarshal renders one fixed error body into commonErrorBodies.
+func premarshal(m map[errorBody][]byte, b errorBody) {
+	j, err := json.Marshal(b)
+	if err != nil {
+		panic(err) // unreachable: fixed struct of string+int
+	}
+	m[b] = append(j, '\n')
+}
+
+// writeError renders err as a JSON error response. Fixed-message bodies
+// are served from the pre-marshalled table; formatted ones are encoded
+// into a pooled buffer — either way the bytes match what
+// json.NewEncoder(w).Encode(errorBody{...}) used to emit.
 func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	ae := classify(err)
 	w.Header().Set("Content-Type", "application/json")
@@ -140,6 +179,15 @@ func (s *Server) writeError(w http.ResponseWriter, err error) int {
 		w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
 	}
 	w.WriteHeader(ae.status)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: ae.msg, Status: ae.status})
+	body := errorBody{Error: ae.msg, Status: ae.status}
+	if b, ok := commonErrorBodies[body]; ok {
+		w.Write(b)
+		return ae.status
+	}
+	e := getEncoder()
+	defer e.put()
+	if e.enc.Encode(&body) == nil {
+		w.Write(e.buf.Bytes())
+	}
 	return ae.status
 }

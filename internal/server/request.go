@@ -288,9 +288,14 @@ type statsJSON struct {
 // renderResult converts a core result into the response body. The encoding
 // is deterministic (encoding/json with fixed struct order), so equal
 // results render to identical bytes — the property the byte-cache relies
-// on.
+// on. Assembly happens in a pooled renderScratch and the JSON bytes are
+// produced in a pooled buffer; only the exact-size copy handed to the
+// cache (and the caller) is a fresh allocation.
 func renderResult(key string, cfg core.Config, r *core.Result) ([]byte, error) {
-	resp := scheduleResponse{
+	rs := renderPool.Get().(*renderScratch)
+	defer rs.release()
+	resp := &rs.resp
+	*resp = scheduleResponse{
 		Approach: r.Approach,
 		Key:      key,
 		Graph: graphSummary{
@@ -324,18 +329,22 @@ func renderResult(key string, cfg core.Config, r *core.Result) ([]byte, error) {
 		},
 	}
 	if pf := r.Platform; pf != nil {
-		ps := &platformSummary{
-			Classes:        make([]platformClassJSON, pf.NumClasses()),
-			Procs:          make([]int, pf.NumProcs()),
+		rs.classes = grown(rs.classes, pf.NumClasses())
+		rs.procs = grown(rs.procs, pf.NumProcs())
+		ps := &rs.ps
+		*ps = platformSummary{
+			Classes:        rs.classes,
+			Procs:          rs.procs,
 			RefClass:       pf.RefClass(),
 			TimelineFreqHz: r.Point.TimelineFreq,
 		}
 		for c := 0; c < pf.NumClasses(); c++ {
-			ps.Classes[c].Name = pf.Class(c).Name
+			cl := platformClassJSON{Name: pf.Class(c).Name}
 			if c < len(r.Point.Levels) {
 				l := r.Point.Levels[c]
-				ps.Classes[c].Level = levelJSON{Index: l.Index, Vdd: l.Vdd, FreqHz: l.Freq, Norm: l.Norm}
+				cl.Level = levelJSON{Index: l.Index, Vdd: l.Vdd, FreqHz: l.Freq, Norm: l.Norm}
 			}
+			ps.Classes[c] = cl
 		}
 		for p := 0; p < pf.NumProcs(); p++ {
 			ps.Procs[p] = pf.ClassOf(p)
@@ -343,9 +352,9 @@ func renderResult(key string, cfg core.Config, r *core.Result) ([]byte, error) {
 		resp.Platform = ps
 	}
 	if r.Schedule != nil {
-		resp.Tasks = make([]placedTask, r.Graph.NumTasks())
+		rs.tasks = grown(rs.tasks, r.Graph.NumTasks())
 		for v := 0; v < r.Graph.NumTasks(); v++ {
-			resp.Tasks[v] = placedTask{
+			rs.tasks[v] = placedTask{
 				Task:         v,
 				Label:        r.Graph.Label(v),
 				Proc:         r.Schedule.Proc[v],
@@ -353,10 +362,16 @@ func renderResult(key string, cfg core.Config, r *core.Result) ([]byte, error) {
 				FinishCycles: r.Schedule.Finish[v],
 			}
 		}
+		resp.Tasks = rs.tasks
 	}
-	b, err := json.Marshal(&resp)
-	if err != nil {
+	// Encoder.Encode == Marshal + '\n' byte for byte; the cache retains the
+	// result, so copy out of the pooled buffer at exact size.
+	e := getEncoder()
+	defer e.put()
+	if err := e.enc.Encode(resp); err != nil {
 		return nil, fmt.Errorf("encoding response: %w", err)
 	}
-	return append(b, '\n'), nil
+	out := make([]byte, e.buf.Len())
+	copy(out, e.buf.Bytes())
+	return out, nil
 }
