@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke smoke verify-campaign bench alloc-gate store-gate hetero-gate serve ci
+.PHONY: all build vet test race fuzz-smoke smoke verify-campaign bench alloc-gate store-gate hetero-gate ft-gate serve ci
 
 all: ci
 
@@ -26,7 +26,7 @@ race:
 # Run the pinned fuzz seed corpora as regular tests (no fuzzing engine, no
 # new inputs — a deterministic smoke check of the parsers).
 fuzz-smoke:
-	$(GO) test -run='^Fuzz' ./internal/stg ./internal/sched
+	$(GO) test -run='^Fuzz' ./internal/stg ./internal/sched ./internal/power
 
 # Build-and-run smoke: every example and every command executes end to end
 # with quick arguments, so a main() that compiles but crashes on startup
@@ -72,6 +72,7 @@ smoke:
 # CI and locally. The nightly workflow runs `verifycamp -long` instead.
 verify-campaign:
 	$(GO) run ./cmd/verifycamp -n 200
+	$(GO) run ./cmd/verifycamp -faults -n 8 -factors 3,6 -mutate-every 2
 
 # Micro-benchmarks plus the three benchmark harnesses: sweepbench writes
 # per-cell latency percentiles and cold/warm sweep wall times to
@@ -130,6 +131,23 @@ store-gate:
 	$(GO) test -run 'TestRoundTrip|TestTruncationAtEveryByteBoundary|TestChecksumMismatchDropsTail|TestMidSegmentCorruptionKeepsPrefixOnly|TestStaleStampSkipsSegment' -count=1 -v ./internal/store
 	$(GO) test -race -run 'TestPersistenceAcrossServers|TestPersistenceSkipsStaleStamp|TestRetryAfterReflectsQueueWait|TestQueueFullReturns429' -count=1 -v ./internal/server
 	$(GO) test -race -run 'TestWarmRestartServesPersistedResults' -count=1 -v ./cmd/lampsd
+
+# The fault-tolerance gate. The parity half is the tentpole
+# behaviour-preservation contract: a Faults block with K=0 must be
+# byte-identical to no block at all across all six approaches, homogeneous
+# and heterogeneous, end to end through the serving layer. The invariant
+# half holds the K≥1 path to the independent verifier — backup-plan
+# legality, bit-for-bit FT energy, simulator/verifier agreement on replayed
+# fault patterns, detection of every backup corruption class — and to the
+# digest/serving contract (distinct keys per K and policy, byte-stable
+# bodies through cache, singleflight and a store warm restart, under -race).
+ft-gate:
+	$(GO) test -run 'TestPlanBackups|TestBackupPlan' -count=1 -v ./internal/sched
+	$(GO) test -run 'TestResetFT|TestResetPlatformFT' -count=1 -v ./internal/energy
+	$(GO) test -run 'TestSelfTestFaults|TestFaultPlan' -count=1 -v ./internal/verify
+	$(GO) test -run 'TestReplayFaults' -count=1 -v ./internal/sim
+	$(GO) test -race -run 'TestFaults' -count=1 -v ./internal/core ./internal/graphhash ./internal/verify/campaign
+	$(GO) test -race -run 'TestFaults' -count=1 -v ./internal/server
 
 # Run the scheduling service locally.
 serve:

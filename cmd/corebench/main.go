@@ -244,6 +244,35 @@ func kernelBenchmarks(gs []*dag.Graph) ([]kernelReport, error) {
 		}),
 	)
 
+	// Backup-planning kernel: one fault-tolerant plan over the warm
+	// homogeneous schedule, paired as usual — the one-shot wrapper with
+	// fresh scratch per call vs one reused BackupPlanner. The plan arrays
+	// themselves are fresh per call by design (the engine detaches them into
+	// the result), so the after row is not zero-alloc; the pair still pins
+	// the planner's interval-scratch reuse.
+	var bplanner sched.BackupPlanner
+	if _, err := bplanner.Plan(s, nil, sched.BackupAnywhere); err != nil {
+		return nil, err
+	}
+	out = append(out,
+		measure("backup_plan_before_fresh_scratch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.PlanBackups(s, nil, sched.BackupAnywhere); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		}),
+		measure("backup_plan_after_reused_planner", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bplanner.Plan(s, nil, sched.BackupAnywhere); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		}),
+	)
+
 	// Whole-request row: one warm LAMPS+PS request end to end through
 	// RunBatch — arena-backed run scratch, pooled schedule shells, compact
 	// result detachment. allocs/op here is the per-request figure the core

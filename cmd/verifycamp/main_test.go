@@ -23,6 +23,22 @@ func TestRunShortCampaign(t *testing.T) {
 	}
 }
 
+// TestRunFaultsCampaign: the -faults flag switches to the fault-injection
+// campaign, which exits 0 with its own clean tally.
+func TestRunFaultsCampaign(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-faults", "-n", "4", "-seed", "3", "-sizes", "8,12", "-factors", "3,6", "-mutate-every", "2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "fault patterns") || !strings.Contains(out.String(), "violations: 0") {
+		t.Fatalf("summary missing fault tally: %s", out.String())
+	}
+	if errb.Len() != 0 {
+		t.Fatalf("unexpected stderr: %s", errb.String())
+	}
+}
+
 // TestRunBadFlags: malformed lists are usage errors (exit 2), not crashes.
 func TestRunBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer

@@ -7,6 +7,7 @@ import (
 
 	"lamps/internal/dag"
 	"lamps/internal/energy"
+	"lamps/internal/sched"
 )
 
 // The package-level heuristic functions are thin wrappers over Engine: they
@@ -86,9 +87,11 @@ func lampsCommon(approach string, g *dag.Graph, cfg Config, ps bool) (*Result, e
 
 // wrapInfeasible maps a deadline violation at the maximum level — meaning
 // the deadline is unreachable for this schedule — onto the package's
-// ErrInfeasible sentinel.
+// ErrInfeasible sentinel. A backup-placement failure (the machine has no
+// second processor to host recovery slots) is the fault-tolerant analogue
+// and maps the same way.
 func wrapInfeasible(err error) error {
-	if errors.Is(err, energy.ErrDeadline) {
+	if errors.Is(err, energy.ErrDeadline) || errors.Is(err, sched.ErrBackupInfeasible) {
 		return fmt.Errorf("%w: %v", ErrInfeasible, err)
 	}
 	return err

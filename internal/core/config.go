@@ -21,6 +21,7 @@ import (
 
 	"lamps/internal/dag"
 	"lamps/internal/power"
+	"lamps/internal/sched"
 )
 
 // Errors returned by the heuristics.
@@ -73,6 +74,15 @@ type Config struct {
 	// untouched.
 	SelfCheck bool
 
+	// Faults, when non-nil with K > 0, requests k-fault-tolerant schedules:
+	// every task gets a statically reserved backup slot on another
+	// processor, the deadline must cover the recovery makespan (the latest
+	// backup finish), and the reserved slots are charged as idle time in the
+	// leakage-aware objective. Nil — or K == 0 — takes the legacy path with
+	// no fault-tolerance branch at all, so K=0 results are byte-identical to
+	// a config without Faults.
+	Faults *FaultConfig
+
 	// PruneSweep stops each +PS level sweep at the first operating point
 	// whose total energy strictly exceeds the sweep's running minimum,
 	// relying on the total energy of a fixed schedule being unimodal in the
@@ -81,6 +91,48 @@ type Config struct {
 	// unchanged unless this is opted into. Levels skipped by the pruned walk
 	// are counted in Stats.LevelsSkipped.
 	PruneSweep bool
+}
+
+// FaultPolicy selects where backup slots go; re-exported from
+// internal/sched for API convenience.
+type FaultPolicy = sched.FaultPolicy
+
+// The fault policies understood by FaultConfig.Policy.
+const (
+	// FaultBackupAnywhere places each backup on whichever other processor
+	// finishes it earliest.
+	FaultBackupAnywhere = sched.BackupAnywhere
+	// FaultPrimaryHPBackupLP keeps backups off the platform's reference
+	// (HP) class whenever possible; meaningful only on a heterogeneous
+	// platform.
+	FaultPrimaryHPBackupLP = sched.PrimaryHPBackupLP
+)
+
+// FaultConfig parameterises k-fault tolerance.
+type FaultConfig struct {
+	// K is the number of transient task faults the schedule must survive
+	// while still meeting the deadline. Every task carries a backup
+	// regardless of K (the static plan is K-independent — see
+	// sched.PlanBackups), so K gates only whether fault tolerance is on
+	// (K > 0) and how large a fault-pattern space the verification campaign
+	// replays. K == 0 disables fault tolerance entirely.
+	K int
+
+	// Policy selects backup placement. Empty selects FaultBackupAnywhere.
+	Policy FaultPolicy
+}
+
+// faultsOn reports whether the run takes the fault-tolerant path.
+func (c *Config) faultsOn() bool {
+	return c.Faults != nil && c.Faults.K > 0
+}
+
+// faultPolicy returns the effective backup placement policy.
+func (c *Config) faultPolicy() sched.FaultPolicy {
+	if c.Faults == nil || c.Faults.Policy == "" {
+		return sched.BackupAnywhere
+	}
+	return c.Faults.Policy
 }
 
 // DeadlineFactor returns a Config whose deadline is factor times the
@@ -129,6 +181,25 @@ func (c *Config) validate(g *dag.Graph) error {
 	if c.Model != nil && c.Platform != nil {
 		return fmt.Errorf("%w: both Model and Platform set", ErrBadConfig)
 	}
+	if c.Faults != nil {
+		if c.Faults.K < 0 {
+			return fmt.Errorf("%w: Faults.K %d", ErrBadConfig, c.Faults.K)
+		}
+		switch c.Faults.Policy {
+		case "", FaultBackupAnywhere, FaultPrimaryHPBackupLP:
+		default:
+			return fmt.Errorf("%w: unknown fault policy %q", ErrBadConfig, c.Faults.Policy)
+		}
+		if c.faultsOn() {
+			if c.MaxProcs == 1 {
+				return fmt.Errorf("%w: fault tolerance needs at least two processors, MaxProcs is 1", ErrBadConfig)
+			}
+			if c.Platform != nil && c.Platform.NumProcs() < 2 {
+				return fmt.Errorf("%w: fault tolerance needs at least two processors, platform has %d",
+					ErrBadConfig, c.Platform.NumProcs())
+			}
+		}
+	}
 	return nil
 }
 
@@ -153,6 +224,12 @@ func (c *Config) maxUsefulProcs(g *dag.Graph) int {
 	}
 	if n < 1 {
 		n = 1
+	}
+	if c.faultsOn() && n < 2 {
+		// A backup never shares its primary's processor, so fault-tolerant
+		// runs need a second one even for a serial graph. validate already
+		// rejected machines that cannot provide it.
+		n = 2
 	}
 	return n
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -238,10 +239,17 @@ func (r *run) selfCheckResult(res *Result, ps bool) error {
 		return nil
 	}
 	var err error
-	if r.pf != nil {
+	switch {
+	case r.pf != nil && res.Backups != nil:
+		err = verify.PlatformEnergyFTMatches(res.Schedule, r.pf, res.Backups, res.Point, r.cfg.Deadline,
+			energy.Options{PS: ps}, res.Energy)
+	case r.pf != nil:
 		err = verify.PlatformEnergyMatches(res.Schedule, r.pf, res.Point, r.cfg.Deadline,
 			energy.Options{PS: ps}, res.Energy)
-	} else {
+	case res.Backups != nil:
+		err = verify.EnergyFTMatches(res.Schedule, r.m, res.Backups, res.Level, r.cfg.Deadline,
+			energy.Options{PS: ps}, res.Energy)
+	default:
 		err = verify.EnergyMatches(res.Schedule, r.m, res.Level, r.cfg.Deadline,
 			energy.Options{PS: ps}, res.Energy)
 	}
@@ -281,6 +289,7 @@ func (r *run) each(n int, fn func(i int)) {
 type candidate struct {
 	n       int
 	s       *sched.Schedule
+	plan    *sched.BackupPlan    // fault-tolerant runs: the candidate's backup plan
 	prof    *energy.GapProfile   // pooled; set lazily by profileIn, released by releaseProfiles
 	lvl     power.Level          // homogeneous path: the winning level
 	pt      power.OperatingPoint // heterogeneous path: the winning platform point
@@ -288,6 +297,17 @@ type candidate struct {
 	levels  int // (schedule, level) evaluations charged to this candidate
 	skipped int // sweep levels pruned by Config.PruneSweep
 	err     error
+}
+
+// feasCycles returns the cycle count the deadline must cover for this
+// candidate: the recovery makespan when a backup plan is attached, the
+// primary makespan otherwise. Feasibility and level sweeps are driven by
+// this value, so fault-tolerant runs keep enough slack for recovery.
+func (c *candidate) feasCycles() int64 {
+	if c.plan != nil {
+		return c.plan.RecoveryMakespan
+	}
+	return c.s.Makespan
 }
 
 // profilePool recycles gap profiles (sorted gap lengths, prefix sums)
@@ -302,9 +322,14 @@ var profilePool = sync.Pool{New: func() any { return new(energy.GapProfile) }}
 func (c *candidate) profileIn(r *run) *energy.GapProfile {
 	if c.prof == nil {
 		c.prof = profilePool.Get().(*energy.GapProfile)
-		if r.pf != nil {
+		switch {
+		case r.pf != nil && c.plan != nil:
+			c.prof.ResetPlatformFT(c.s, r.pf, c.plan)
+		case r.pf != nil:
 			c.prof.ResetPlatform(c.s, r.pf)
-		} else {
+		case c.plan != nil:
+			c.prof.ResetFT(c.s, c.plan)
+		default:
 			c.prof.Reset(c.s)
 		}
 	}
@@ -324,18 +349,46 @@ func releaseProfiles(cands []candidate) {
 }
 
 // buildAll list-schedules every candidate, in parallel when a pool is set.
+// Fault-tolerant runs additionally plan each candidate's backup layer here
+// — placement depends only on the built schedule, so it parallelises the
+// same way — and surface planning failures through wrapInfeasible (a
+// machine too small for backups is an infeasibility of the configuration,
+// like a deadline no level can meet).
 func (r *run) buildAll(cands []candidate) error {
 	r.obs.phase(PhaseBuild)
+	ft := r.cfg.faultsOn()
 	r.each(len(cands), func(i int) {
 		c := &cands[i]
 		c.s, c.err = r.sc.at(c.n)
+		if c.err == nil && ft {
+			c.plan, c.err = r.planBackups(c.s)
+		}
 	})
 	for i := range cands {
 		if cands[i].err != nil {
-			return cands[i].err
+			return wrapInfeasible(cands[i].err)
 		}
 	}
 	return nil
+}
+
+// planBackups plans the backup layer of one built schedule and, under
+// SelfCheck, holds it to the independent plan verifier before the engine
+// evaluates any energy on top of it.
+func (r *run) planBackups(s *sched.Schedule) (*sched.BackupPlan, error) {
+	plan, err := sched.PlanBackups(s, r.pf, r.cfg.faultPolicy())
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.SelfCheck {
+		if verr := verify.FaultPlan(r.sc.g, s, plan, verify.FaultPlanOptions{
+			Platform: r.pf,
+			Policy:   r.cfg.faultPolicy(),
+		}); verr != nil {
+			return nil, fmt.Errorf("core: self-check: backup plan on %d processors: %w", s.NumProcs, verr)
+		}
+	}
+	return plan, nil
 }
 
 // evalAll picks each candidate's operating point and energy. With sweep
@@ -374,7 +427,7 @@ func (r *run) evalMin(c *candidate, ps bool) {
 		c.err = err
 		return
 	}
-	lvl, err := energy.MinFeasibleLevel(c.s, r.m, r.cfg.Deadline)
+	lvl, err := energy.MinFeasibleLevelCycles(c.feasCycles(), r.m, r.cfg.Deadline)
 	if err != nil {
 		c.err = err
 		return
@@ -396,7 +449,7 @@ func (r *run) evalMinPlatform(c *candidate, ps bool) {
 		c.err = err
 		return
 	}
-	pt, err := energy.MinFeasiblePoint(c.s, r.pf, r.cfg.Deadline)
+	pt, err := energy.MinFeasiblePointCycles(c.feasCycles(), r.pf, r.cfg.Deadline)
 	if err != nil {
 		c.err = err
 		return
@@ -426,7 +479,7 @@ func (r *run) evalPairs(cands []candidate) {
 			r.a.pairs = pairs
 			return
 		}
-		levels, err := energy.FeasibleLevels(c.s, r.m, r.cfg.Deadline)
+		levels, err := energy.FeasibleLevelsCycles(c.feasCycles(), r.m, r.cfg.Deadline)
 		if err != nil {
 			c.err = err
 			continue
@@ -480,7 +533,7 @@ func (r *run) evalPairsPlatform(cands []candidate) {
 			r.a.pairs = pairs
 			return
 		}
-		points, err := energy.FeasiblePoints(c.s, r.pf, r.cfg.Deadline)
+		points, err := energy.FeasiblePointsCycles(c.feasCycles(), r.pf, r.cfg.Deadline)
 		if err != nil {
 			c.err = err
 			continue
@@ -530,7 +583,7 @@ func (r *run) evalPruned(c *candidate) {
 		c.err = err
 		return
 	}
-	levels, err := energy.FeasibleLevels(c.s, r.m, r.cfg.Deadline)
+	levels, err := energy.FeasibleLevelsCycles(c.feasCycles(), r.m, r.cfg.Deadline)
 	if err != nil {
 		c.err = err
 		return
@@ -560,7 +613,7 @@ func (r *run) evalPrunedPlatform(c *candidate) {
 		c.err = err
 		return
 	}
-	points, err := energy.FeasiblePoints(c.s, r.pf, r.cfg.Deadline)
+	points, err := energy.FeasiblePointsCycles(c.feasCycles(), r.pf, r.cfg.Deadline)
 	if err != nil {
 		c.err = err
 		return
@@ -609,16 +662,32 @@ func (r *run) stats(cands []candidate) Stats {
 // Result may outlive the request indefinitely (the serving layer's cache
 // keeps rendered results).
 func reduce(r *run, approach string, g *dag.Graph, cands []candidate) (*Result, error) {
+	// Phase 1 sizes the candidate range by the *primary* makespan, so on the
+	// fault-tolerant path the smallest counts can still be
+	// recovery-infeasible (the recovery makespan shrinks as processors are
+	// added). Those candidates are skipped rather than failing the run; any
+	// other error — and, on the legacy path, any error at all — still fails
+	// it, first in candidate order, as the serial walk did.
+	ft := r.cfg.faultsOn()
+	var firstErr error
+	var best *candidate
 	for i := range cands {
-		if cands[i].err != nil {
-			return nil, wrapInfeasible(cands[i].err)
+		c := &cands[i]
+		if c.err != nil {
+			if ft && errors.Is(c.err, energy.ErrDeadline) {
+				if firstErr == nil {
+					firstErr = c.err
+				}
+				continue
+			}
+			return nil, wrapInfeasible(c.err)
 		}
-	}
-	best := &cands[0]
-	for i := range cands[1:] {
-		if c := &cands[1+i]; c.b.Total() < best.b.Total() {
+		if best == nil || c.b.Total() < best.b.Total() {
 			best = c
 		}
+	}
+	if best == nil {
+		return nil, wrapInfeasible(firstErr)
 	}
 	res := &Result{
 		Approach: approach,
@@ -626,6 +695,7 @@ func reduce(r *run, approach string, g *dag.Graph, cands []candidate) (*Result, 
 		NumProcs: best.n,
 		Level:    best.lvl,
 		Schedule: best.s.CloneCompact(),
+		Backups:  best.plan, // owned by this candidate, never pooled
 		Energy:   best.b,
 	}
 	if r.pf != nil {
@@ -661,6 +731,10 @@ func (e *Engine) ss(ctx context.Context, approach string, g *dag.Graph, ps bool)
 		return nil, err
 	}
 	best.NumProcs = cands[0].s.ProcsUsed()
+	if best.Backups != nil {
+		// Backup-only processors must stay powered too.
+		best.NumProcs = best.Backups.EmployedWith(cands[0].s)
+	}
 	best.Stats = r.stats(cands)
 	if err := r.selfCheckResult(best, ps); err != nil {
 		return nil, err
@@ -686,6 +760,10 @@ func (e *Engine) lamps(ctx context.Context, approach string, g *dag.Graph, ps bo
 	nmin, err := r.sc.minProcsForDeadline(deadlineCycles, hi)
 	if err != nil {
 		return nil, err
+	}
+	if r.cfg.faultsOn() && nmin < 2 {
+		// Backups need a second processor; maxUsefulProcs guarantees hi >= 2.
+		nmin = 2
 	}
 	r.obs.phase(PhaseSaturation)
 	nstop, err := r.sc.saturationPoint(nmin, hi)

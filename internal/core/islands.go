@@ -75,6 +75,12 @@ func VoltageIslandsCtx(ctx context.Context, g *dag.Graph, cfg Config, ps bool) (
 // descent runs serially (each step depends on the previous acceptance) with
 // a context check per candidate evaluation.
 func (e *Engine) Islands(ctx context.Context, g *dag.Graph, ps bool) (*IslandsResult, error) {
+	if e.Config.faultsOn() {
+		// The greedy descent re-times tasks per island, which would strand
+		// the statically planned backup slots; fault tolerance is limited to
+		// the uniform-frequency heuristics for now.
+		return nil, fmt.Errorf("%w: the voltage-island extension does not support fault tolerance", ErrBadConfig)
+	}
 	base, err := e.lamps(ctx, ApproachLAMPSPS, g, ps)
 	if err != nil {
 		return nil, err

@@ -85,6 +85,12 @@ func SlackReclaimDVSCtx(ctx context.Context, g *dag.Graph, cfg Config, ps bool) 
 // reclaimed per task (in parallel across candidates when a pool is set) and
 // the cheapest kept, ties to the lower processor count.
 func (e *Engine) PerTask(ctx context.Context, g *dag.Graph, ps bool) (*PerTaskResult, error) {
+	if e.Config.faultsOn() {
+		// Per-task stretching moves every slot boundary, which would strand
+		// the statically planned backup slots; fault tolerance is limited to
+		// the uniform-frequency heuristics for now.
+		return nil, fmt.Errorf("%w: the per-task DVS extension does not support fault tolerance", ErrBadConfig)
+	}
 	r, err := e.newRun(ctx, g)
 	if err != nil {
 		return nil, err

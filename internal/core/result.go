@@ -72,6 +72,12 @@ type Result struct {
 	// heterogeneous platform its times are reference-class timeline cycles.
 	Schedule *sched.Schedule
 
+	// Backups is the statically reserved recovery layer when the config
+	// requested fault tolerance (Config.Faults with K > 0): one backup slot
+	// per task on the schedule's slack, nil otherwise. Its reserved cycles
+	// are already charged as idle time in Energy.
+	Backups *sched.BackupPlan
+
 	// Energy is the full energy breakdown.
 	Energy energy.Breakdown
 
@@ -92,6 +98,19 @@ func (r *Result) MakespanSec() float64 {
 		return float64(r.Schedule.Makespan) / r.Point.TimelineFreq
 	}
 	return float64(r.Schedule.Makespan) / r.Level.Freq
+}
+
+// RecoveryMakespanSec returns the worst-case schedule length in seconds
+// when recovery is exercised — the latest backup finish at the winning
+// operating point — or 0 when the result carries no backup plan.
+func (r *Result) RecoveryMakespanSec() float64 {
+	if r.Backups == nil {
+		return 0
+	}
+	if r.Platform != nil {
+		return float64(r.Backups.RecoveryMakespan) / r.Point.TimelineFreq
+	}
+	return float64(r.Backups.RecoveryMakespan) / r.Level.Freq
 }
 
 func (r *Result) String() string {

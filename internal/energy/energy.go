@@ -88,14 +88,22 @@ func Evaluate(s *sched.Schedule, m *power.Model, lvl power.Level, deadlineSec fl
 // schedule's makespan still fits the deadline, i.e. the most aggressive DVS
 // stretch. This is the "stretch" step of Schedule-and-Stretch.
 func MinFeasibleLevel(s *sched.Schedule, m *power.Model, deadlineSec float64) (power.Level, error) {
+	return MinFeasibleLevelCycles(s.Makespan, m, deadlineSec)
+}
+
+// MinFeasibleLevelCycles is MinFeasibleLevel for an explicit cycle count —
+// the fault-tolerant engine passes the recovery makespan here, so the
+// chosen stretch leaves room for recovery, not just for the primary
+// schedule.
+func MinFeasibleLevelCycles(makespan int64, m *power.Model, deadlineSec float64) (power.Level, error) {
 	if deadlineSec <= 0 {
 		return power.Level{}, fmt.Errorf("%w: non-positive deadline", ErrDeadline)
 	}
-	need := float64(s.Makespan) / deadlineSec
+	need := float64(makespan) / deadlineSec
 	lvl, err := m.LevelForFrequency(need)
 	if err != nil {
 		return power.Level{}, fmt.Errorf("%w: need %.4g Hz for makespan %d cycles in %.4gs",
-			ErrDeadline, need, s.Makespan, deadlineSec)
+			ErrDeadline, need, makespan, deadlineSec)
 	}
 	return lvl, nil
 }
@@ -105,7 +113,12 @@ func MinFeasibleLevel(s *sched.Schedule, m *power.Model, deadlineSec float64) (p
 // one. The frequency sweep of the +PS heuristics iterates over exactly this
 // slice.
 func FeasibleLevels(s *sched.Schedule, m *power.Model, deadlineSec float64) ([]power.Level, error) {
-	min, err := MinFeasibleLevel(s, m, deadlineSec)
+	return FeasibleLevelsCycles(s.Makespan, m, deadlineSec)
+}
+
+// FeasibleLevelsCycles is FeasibleLevels for an explicit cycle count.
+func FeasibleLevelsCycles(makespan int64, m *power.Model, deadlineSec float64) ([]power.Level, error) {
+	min, err := MinFeasibleLevelCycles(makespan, m, deadlineSec)
 	if err != nil {
 		return nil, err
 	}

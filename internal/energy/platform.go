@@ -16,6 +16,7 @@ import (
 type classGaps struct {
 	busySlot int64 // timeline cycles occupied by task slots on this class
 	busyWork int64 // raw work cycles executed by this class (sum of weights)
+	reserved int64 // timeline cycles held by backup slots (ResetPlatformFT)
 
 	inner    []int64 // inner gap lengths in timeline cycles, sorted ascending
 	innerSum []int64
@@ -38,7 +39,7 @@ func (p *GapProfile) ResetPlatform(s *sched.Schedule, pf *power.Platform) {
 	p.classes = p.classes[:nc]
 	for c := range p.classes {
 		cg := &p.classes[c]
-		cg.busySlot, cg.busyWork = 0, 0
+		cg.busySlot, cg.busyWork, cg.reserved = 0, 0, 0
 		cg.inner = cg.inner[:0]
 		cg.last = cg.last[:0]
 	}
@@ -139,6 +140,9 @@ func (p *GapProfile) EvaluatePoint(pf *power.Platform, pt power.OperatingPoint, 
 		} else {
 			idleCycles = cg.innerSum[len(cg.inner)] + int64(nEmp)*horizon - cg.lastSum[nEmp]
 		}
+		// Backup reservations are idle-but-awake in either mode; zero
+		// outside the fault-tolerant resets.
+		idleCycles += cg.reserved
 
 		idleT := float64(idleCycles) / ft
 		b.IdleTime += idleT
@@ -156,14 +160,20 @@ func (p *GapProfile) EvaluatePoint(pf *power.Platform, pt power.OperatingPoint, 
 // the schedule's timeline makespan still fits the deadline — the platform
 // analogue of MinFeasibleLevel.
 func MinFeasiblePoint(s *sched.Schedule, pf *power.Platform, deadlineSec float64) (power.OperatingPoint, error) {
+	return MinFeasiblePointCycles(s.Makespan, pf, deadlineSec)
+}
+
+// MinFeasiblePointCycles is MinFeasiblePoint for an explicit timeline cycle
+// count — the fault-tolerant engine passes the recovery makespan here.
+func MinFeasiblePointCycles(makespan int64, pf *power.Platform, deadlineSec float64) (power.OperatingPoint, error) {
 	if deadlineSec <= 0 {
 		return power.OperatingPoint{}, fmt.Errorf("%w: non-positive deadline", ErrDeadline)
 	}
-	need := float64(s.Makespan) / deadlineSec
+	need := float64(makespan) / deadlineSec
 	pt, err := pf.PointForFrequency(need)
 	if err != nil {
 		return power.OperatingPoint{}, fmt.Errorf("%w: need %.4g Hz for makespan %d timeline cycles in %.4gs",
-			ErrDeadline, need, s.Makespan, deadlineSec)
+			ErrDeadline, need, makespan, deadlineSec)
 	}
 	return pt, nil
 }
@@ -172,7 +182,13 @@ func MinFeasiblePoint(s *sched.Schedule, pf *power.Platform, deadlineSec float64
 // schedule meets the deadline, fastest first — the grid the heterogeneous
 // +PS sweep iterates.
 func FeasiblePoints(s *sched.Schedule, pf *power.Platform, deadlineSec float64) ([]power.OperatingPoint, error) {
-	min, err := MinFeasiblePoint(s, pf, deadlineSec)
+	return FeasiblePointsCycles(s.Makespan, pf, deadlineSec)
+}
+
+// FeasiblePointsCycles is FeasiblePoints for an explicit timeline cycle
+// count.
+func FeasiblePointsCycles(makespan int64, pf *power.Platform, deadlineSec float64) ([]power.OperatingPoint, error) {
+	min, err := MinFeasiblePointCycles(makespan, pf, deadlineSec)
 	if err != nil {
 		return nil, err
 	}

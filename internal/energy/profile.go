@@ -36,10 +36,22 @@ type GapProfile struct {
 	busyCycles int64
 	makespan   int64
 
+	// reserved counts the cycles held by statically planned backup slots
+	// (ResetFT/ResetPlatformFT). A reserved processor cannot sleep — it must
+	// be ready to take over the instant a fault is detected — so these
+	// cycles are charged as idle time regardless of the PS option. Plain
+	// Reset/ResetPlatform leave it zero, keeping the non-fault-tolerant
+	// accounting bit-identical.
+	reserved int64
+
 	inner    []int64 // inner gap lengths in cycles, sorted ascending
 	innerSum []int64 // innerSum[i] = sum of inner[:i]; len(inner)+1
 	last     []int64 // per-employed-processor last finish, sorted ascending
 	lastSum  []int64 // lastSum[i] = sum of last[:i]; len(last)+1
+
+	// ftOrder is ResetFT/ResetPlatformFT scratch: task indices sorted by
+	// (backup processor, backup start).
+	ftOrder []int32
 
 	// classes holds the per-core-class profile of a heterogeneous platform
 	// schedule, populated by ResetPlatform and read by EvaluatePoint. The
@@ -59,6 +71,7 @@ func NewGapProfile(s *sched.Schedule) *GapProfile {
 func (p *GapProfile) Reset(s *sched.Schedule) {
 	p.busyCycles = s.BusyCycles()
 	p.makespan = s.Makespan
+	p.reserved = 0
 	p.inner = p.inner[:0]
 	p.last = p.last[:0]
 	for proc := 0; proc < s.NumProcs; proc++ {
@@ -144,6 +157,9 @@ func (p *GapProfile) Evaluate(m *power.Model, lvl power.Level, deadlineSec float
 	} else {
 		idleCycles = p.innerSum[len(p.inner)] + int64(nEmp)*horizon - p.lastSum[nEmp]
 	}
+	// Backup reservations are idle-but-awake in either mode; zero outside
+	// the fault-tolerant resets.
+	idleCycles += p.reserved
 
 	b.IdleTime = float64(idleCycles) / lvl.Freq
 	b.Idle = b.IdleTime * m.IdlePower(lvl)

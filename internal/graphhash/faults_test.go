@@ -1,0 +1,69 @@
+package graphhash
+
+import "testing"
+
+// TestFaultsSensitivity asserts the faults block perturbs the digest
+// exactly when it should: K=0 problems — whatever the policy string says —
+// are byte-identical to pre-fault encodings, while K and the policy each
+// distinguish digests, on homogeneous and platform problems alike.
+func TestFaultsSensitivity(t *testing.T) {
+	g := platformGraph(t)
+	pf := makePlatform(t, "lp", 0.85, []int{0, 0, 0, 1})
+
+	bases := map[string]Problem{
+		"model":    {Graph: g, Deadline: 2, Approach: "LAMPS+PS"},
+		"platform": {Graph: g, Platform: pf, Deadline: 2, Approach: "LAMPS+PS"},
+	}
+	for name, base := range bases {
+		off := base
+		off.FaultsPolicy = "backup-anywhere" // ignored at K=0
+		if Sum(off) != Sum(base) {
+			t.Errorf("%s: K=0 digest differs from the pre-fault encoding", name)
+		}
+
+		k1 := base
+		k1.FaultsK = 1
+		k1.FaultsPolicy = "backup-anywhere"
+		k2 := k1
+		k2.FaultsK = 2
+		hplp := k1
+		hplp.FaultsPolicy = "primary-hp-backup-lp"
+		seen := map[string]string{Sum(base): "base"}
+		for label, p := range map[string]Problem{"k1": k1, "k2": k2, "k1-hplp": hplp} {
+			d := Sum(p)
+			if prev, dup := seen[d]; dup {
+				t.Errorf("%s: %s and %s share digest %s", name, label, prev, d)
+			}
+			seen[d] = label
+		}
+	}
+}
+
+// TestProblemHasherMatchesSum pins the sweep fast path for fault-tolerant
+// problems: NewProblemHasher's cells must agree with Sum for every
+// (deadline, procs, approach) cell, both with and without a faults block,
+// and on the recompute fallback.
+func TestProblemHasherMatchesSum(t *testing.T) {
+	g := platformGraph(t)
+	pf := makePlatform(t, "lp", 0.85, []int{0, 0, 0, 1})
+	for _, p := range []Problem{
+		{Graph: g},
+		{Graph: g, FaultsK: 1, FaultsPolicy: "backup-anywhere"},
+		{Graph: g, Platform: pf, FaultsK: 2, FaultsPolicy: "primary-hp-backup-lp"},
+	} {
+		h := NewProblemHasher(p)
+		for i, d := range []float64{0.5, 2, 8} {
+			q := p
+			q.Deadline, q.MaxProcs, q.Approach = d, i, "LAMPS+PS"
+			if got, want := h.Cell(d, i, "LAMPS+PS"), Sum(q); got != want {
+				t.Errorf("faultsK=%d cell %d: Hasher.Cell = %s, Sum = %s", p.FaultsK, i, got, want)
+			}
+		}
+		h.state = nil // force the recompute fallback
+		q := p
+		q.Deadline, q.Approach = 1, "S&S"
+		if got, want := h.Cell(1, 0, "S&S"), Sum(q); got != want {
+			t.Errorf("faultsK=%d fallback Cell = %s, Sum = %s", p.FaultsK, got, want)
+		}
+	}
+}

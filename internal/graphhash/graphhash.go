@@ -45,13 +45,21 @@ type Problem struct {
 	Deadline float64         // seconds
 	MaxProcs int             // 0 = bounded only by graph parallelism
 	Approach string          // canonical approach name, e.g. "LAMPS+PS"
+
+	// FaultsK and FaultsPolicy describe the fault-tolerance request. K=0
+	// (fault tolerance off) writes nothing, so every pre-fault digest is
+	// unchanged; K>0 writes a tagged block, so fault-tolerant problems can
+	// never alias their non-tolerant twins. Pass the resolved canonical
+	// policy string (e.g. "backup-anywhere"), never a user-supplied alias.
+	FaultsK      int
+	FaultsPolicy string
 }
 
 // Sum returns the hex-encoded SHA-256 digest of the problem's canonical
 // encoding.
 func Sum(p Problem) string {
 	h := sha256.New()
-	writePrefix(h, p.Graph, p.Model, p.Platform)
+	writePrefix(h, p.Graph, p.Model, p.Platform, p.FaultsK, p.FaultsPolicy)
 	writeCell(h, p.Deadline, p.MaxProcs, p.Approach)
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -63,8 +71,10 @@ func Sum(p Problem) string {
 // platform writes nothing extra, so every pre-platform digest — and the
 // golden files and persistent stores keyed by them — is unchanged; the tag
 // plus framing guarantees no platform stream can collide with a
-// non-platform one.
-func writePrefix(h hash.Hash, g *dag.Graph, m *power.Model, pf *power.Platform) {
+// non-platform one. A fault-tolerance request (faultsK > 0) appends its own
+// tagged block under the same rules: K=0 streams are byte-identical to
+// pre-fault ones.
+func writePrefix(h hash.Hash, g *dag.Graph, m *power.Model, pf *power.Platform, faultsK int, faultsPolicy string) {
 	writeString(h, Version)
 
 	writeInt(h, int64(g.NumTasks()))
@@ -99,6 +109,12 @@ func writePrefix(h hash.Hash, g *dag.Graph, m *power.Model, pf *power.Platform) 
 			writeInt(h, int64(pf.ClassOf(p)))
 		}
 	}
+
+	if faultsK > 0 {
+		writeString(h, "faults")
+		writeInt(h, int64(faultsK))
+		writeString(h, faultsPolicy)
+	}
 }
 
 // writeModel encodes a power model's defining constants (the built ladder is
@@ -129,29 +145,39 @@ func writeCell(h hash.Hash, deadline float64, maxProcs int, approach string) {
 // Hasher.Cell and Sum are guaranteed to agree: both write through the same
 // encoder functions.
 type Hasher struct {
-	graph    *dag.Graph
-	model    *power.Model
-	platform *power.Platform
-	state    []byte // marshaled sha256 state after the prefix; nil = recompute
+	graph        *dag.Graph
+	model        *power.Model
+	platform     *power.Platform
+	faultsK      int
+	faultsPolicy string
+	state        []byte // marshaled sha256 state after the prefix; nil = recompute
 }
 
 // NewHasher returns a Hasher for problems over the given graph and model
 // (nil model selects power.Default70nm()).
 func NewHasher(g *dag.Graph, m *power.Model) *Hasher {
-	return newHasher(g, m, nil)
+	return newHasher(g, m, nil, 0, "")
 }
 
 // NewPlatformHasher returns a Hasher for problems over the given graph and
 // heterogeneous platform; its cells agree with Sum of the equivalent
 // Problem{Platform: pf}.
 func NewPlatformHasher(g *dag.Graph, pf *power.Platform) *Hasher {
-	return newHasher(g, nil, pf)
+	return newHasher(g, nil, pf, 0, "")
 }
 
-func newHasher(g *dag.Graph, m *power.Model, pf *power.Platform) *Hasher {
-	hr := &Hasher{graph: g, model: m, platform: pf}
+// NewProblemHasher returns a Hasher sharing p's whole cell-independent
+// prefix — graph, model or platform, and fault-tolerance request. Deadline,
+// MaxProcs and Approach on p are ignored; Cell supplies them. Its cells
+// agree with Sum of the equivalent Problem.
+func NewProblemHasher(p Problem) *Hasher {
+	return newHasher(p.Graph, p.Model, p.Platform, p.FaultsK, p.FaultsPolicy)
+}
+
+func newHasher(g *dag.Graph, m *power.Model, pf *power.Platform, faultsK int, faultsPolicy string) *Hasher {
+	hr := &Hasher{graph: g, model: m, platform: pf, faultsK: faultsK, faultsPolicy: faultsPolicy}
 	h := sha256.New()
-	writePrefix(h, g, m, pf)
+	writePrefix(h, g, m, pf, faultsK, faultsPolicy)
 	if mb, ok := h.(encoding.BinaryMarshaler); ok {
 		if st, err := mb.MarshalBinary(); err == nil {
 			hr.state = st
@@ -171,7 +197,7 @@ func (hr *Hasher) Cell(deadline float64, maxProcs int, approach string) string {
 		}
 	}
 	if !restored {
-		writePrefix(h, hr.graph, hr.model, hr.platform)
+		writePrefix(h, hr.graph, hr.model, hr.platform, hr.faultsK, hr.faultsPolicy)
 	}
 	writeCell(h, deadline, maxProcs, approach)
 	return hex.EncodeToString(h.Sum(nil))

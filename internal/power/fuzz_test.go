@@ -1,0 +1,74 @@
+package power
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadPlatformJSON feeds arbitrary bytes to the platform deserialiser:
+// it must never panic, and every accepted document must yield a fully built
+// platform — classes with ladders, a reference class, an operating grid —
+// that survives a WriteJSON/LoadPlatformJSON round trip with identical
+// shape.
+func FuzzLoadPlatformJSON(f *testing.F) {
+	// A well-formed two-class document, serialised by the writer itself.
+	lp := *Default70nm()
+	lp.VddMax = 0.85
+	lp.POn = 0.04
+	if err := lp.Build(); err != nil {
+		f.Fatal(err)
+	}
+	pf, err := NewPlatform(
+		[]CoreClass{{Name: "lp", Model: &lp}, {Name: "hp", Model: Default70nm()}},
+		[]int{0, 0, 0, 1},
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var doc bytes.Buffer
+	if err := pf.WriteJSON(&doc); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(doc.String())
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"classes":[],"procs":[]}`)
+	f.Add(`{"classes":[{"name":"a","model":{}}],"procs":["a"]}`)
+	f.Add(`{"classes":[{"name":"a","model":{"vdd_max":-1}}],"procs":["a"]}`)
+	f.Add(`{"classes":[{"name":"a","model":{}}],"procs":["ghost"]}`)
+	f.Add(`{"unknown_field":1}`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		pf, err := LoadPlatformJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if pf.NumProcs() < 1 || pf.NumClasses() < 1 {
+			t.Fatalf("accepted platform is empty: %d procs, %d classes", pf.NumProcs(), pf.NumClasses())
+		}
+		if rc := pf.RefClass(); rc < 0 || rc >= pf.NumClasses() {
+			t.Fatalf("reference class %d out of range", rc)
+		}
+		if len(pf.Points()) == 0 {
+			t.Fatal("accepted platform has an empty operating grid")
+		}
+		for p := 0; p < pf.NumProcs(); p++ {
+			if c := pf.ClassOf(p); c < 0 || c >= pf.NumClasses() {
+				t.Fatalf("processor %d assigned to class %d of %d", p, c, pf.NumClasses())
+			}
+		}
+		var out bytes.Buffer
+		if err := pf.WriteJSON(&out); err != nil {
+			t.Fatalf("round-trip write: %v", err)
+		}
+		again, err := LoadPlatformJSON(&out)
+		if err != nil {
+			t.Fatalf("round-trip load rejects the writer's own output: %v", err)
+		}
+		if again.NumProcs() != pf.NumProcs() || again.NumClasses() != pf.NumClasses() ||
+			again.RefClass() != pf.RefClass() || len(again.Points()) != len(pf.Points()) {
+			t.Fatal("round trip changed the platform's shape")
+		}
+	})
+}

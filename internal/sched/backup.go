@@ -1,0 +1,255 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lamps/internal/power"
+)
+
+// Fault-tolerant scheduling: every task of a primary schedule gets one
+// statically planned backup slot on a *different* processor, placed on the
+// schedule's existing slack. Execution is time-triggered: primaries always
+// run at their static times; a fault in task v (or a missing input, because
+// a predecessor's valid output only became available from its backup) is
+// detected when v's primary slot ends, and v's statically reserved backup
+// slot re-executes it. Because every backup starts no earlier than the
+// backup finish of every predecessor, a backup's inputs are always
+// available by its start, so ANY set of faulty tasks — one transient fault
+// per task — is recovered without re-planning. The recovery makespan is the
+// latest backup finish: the deadline guarantee for up to K faults follows
+// from RecoveryMakespan fitting the deadline, independent of which tasks
+// actually fault.
+
+// FaultPolicy selects where backup slots may be placed.
+type FaultPolicy string
+
+const (
+	// BackupAnywhere places each backup on whichever processor (other than
+	// the primary's) finishes it earliest.
+	BackupAnywhere FaultPolicy = "backup-anywhere"
+	// PrimaryHPBackupLP confines backups to processors outside the
+	// platform's reference (fastest, HP) class whenever such a processor
+	// other than the primary's exists — the FEST/EnSuRe-style split that
+	// keeps recovery reservations on the low-power cores. On a homogeneous
+	// machine every processor is reference-class, so the policy degrades to
+	// BackupAnywhere.
+	PrimaryHPBackupLP FaultPolicy = "primary-hp-backup-lp"
+)
+
+// ErrBackupInfeasible is returned when no legal backup placement exists —
+// fault tolerance needs at least two processors.
+var ErrBackupInfeasible = errors.New("sched: backup placement needs at least two processors")
+
+// BackupPlan is the statically reserved recovery layer of one schedule: one
+// backup slot per task, indexed like the schedule's own arrays. All times
+// are in the schedule's timeline cycles.
+type BackupPlan struct {
+	Proc   []int32 // task -> backup processor (never the primary's)
+	Start  []int64 // task -> backup start [cycles]
+	Finish []int64 // task -> backup finish [cycles]
+
+	// RecoveryMakespan is the latest backup finish — the schedule length
+	// when recovery is exercised, and the quantity the deadline must cover
+	// for the fault-tolerance guarantee to hold. It is never smaller than
+	// the primary makespan.
+	RecoveryMakespan int64
+
+	// Policy records the placement policy the plan was built under.
+	Policy FaultPolicy
+}
+
+// ReservedCycles returns the total timeline cycles held by backup slots.
+func (pl *BackupPlan) ReservedCycles() int64 {
+	var sum int64
+	for v := range pl.Start {
+		sum += pl.Finish[v] - pl.Start[v]
+	}
+	return sum
+}
+
+// EmployedWith returns the number of processors that run at least one
+// primary task or hold at least one backup slot under s — the processor
+// count that must stay powered in the fault-tolerant configuration.
+func (pl *BackupPlan) EmployedWith(s *Schedule) int {
+	n := 0
+	for p := 0; p < s.NumProcs; p++ {
+		if len(s.TasksOn(p)) > 0 {
+			n++
+			continue
+		}
+		for v := range pl.Proc {
+			if int(pl.Proc[v]) == p {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// backupIv is one reserved interval on a processor's merged timeline.
+type backupIv struct {
+	start, finish int64
+}
+
+// BackupPlanner carries the scratch of PlanBackups so repeated planning
+// (the engine evaluates many candidate processor counts per request)
+// reuses its buffers. The zero value is ready to use; a planner is not
+// safe for concurrent use.
+type BackupPlanner struct {
+	ivs   [][]backupIv // per-processor reserved intervals, sorted by start
+	order []int32      // tasks in (primary finish, index) order
+}
+
+// PlanBackups plans one backup slot per task of s under policy. A nil
+// platform means identical processors (durations equal task weights); with
+// a platform, a backup on processor p takes ScaledWeight(ClassOf(p), w)
+// timeline cycles. The plan is deterministic: tasks are processed in
+// (primary finish, task index) order and each backup goes to the eligible
+// processor with the earliest finish, ties broken by processor index.
+func PlanBackups(s *Schedule, pf *power.Platform, policy FaultPolicy) (*BackupPlan, error) {
+	var bp BackupPlanner
+	return bp.Plan(s, pf, policy)
+}
+
+// Plan is PlanBackups on reusable scratch.
+func (bp *BackupPlanner) Plan(s *Schedule, pf *power.Platform, policy FaultPolicy) (*BackupPlan, error) {
+	switch policy {
+	case "", BackupAnywhere, PrimaryHPBackupLP:
+	default:
+		return nil, fmt.Errorf("sched: unknown fault policy %q", policy)
+	}
+	if policy == "" {
+		policy = BackupAnywhere
+	}
+	if s.NumProcs < 2 {
+		return nil, fmt.Errorf("%w: schedule uses %d", ErrBackupInfeasible, s.NumProcs)
+	}
+	g := s.Graph
+	n := g.NumTasks()
+
+	if cap(bp.ivs) < s.NumProcs {
+		bp.ivs = make([][]backupIv, s.NumProcs)
+	}
+	bp.ivs = bp.ivs[:s.NumProcs]
+	for p := 0; p < s.NumProcs; p++ {
+		ivs := bp.ivs[p][:0]
+		// Primary slots seed each processor's reserved timeline; TasksOn is
+		// already in start order.
+		for _, v := range s.TasksOn(p) {
+			ivs = append(ivs, backupIv{s.Start[v], s.Finish[v]})
+		}
+		bp.ivs[p] = ivs
+	}
+
+	if cap(bp.order) < n {
+		bp.order = make([]int32, n)
+	}
+	bp.order = bp.order[:n]
+	for v := range bp.order {
+		bp.order[v] = int32(v)
+	}
+	// (Finish, index) order is topological: weights are positive, so a
+	// successor always finishes strictly after every predecessor.
+	sort.Slice(bp.order, func(i, j int) bool {
+		vi, vj := bp.order[i], bp.order[j]
+		if s.Finish[vi] != s.Finish[vj] {
+			return s.Finish[vi] < s.Finish[vj]
+		}
+		return vi < vj
+	})
+
+	plan := &BackupPlan{
+		Proc:   make([]int32, n),
+		Start:  make([]int64, n),
+		Finish: make([]int64, n),
+		Policy: policy,
+	}
+	ref := -1
+	if pf != nil {
+		ref = pf.RefClass()
+	}
+	for _, v := range bp.order {
+		// The backup can start only after the fault is detectable (the
+		// primary slot's end) and after every predecessor's backup output is
+		// available — the invariant that makes recovery valid for any fault
+		// set.
+		lb := s.Finish[v]
+		for _, u := range g.Preds(int(v)) {
+			if plan.Finish[u] > lb {
+				lb = plan.Finish[u]
+			}
+		}
+		w := g.Weight(int(v))
+
+		// The primary-HP/backup-LP policy restricts the candidate set to
+		// non-reference-class processors when one other than the primary's
+		// exists; otherwise (homogeneous machine, or the only LP core runs
+		// the primary) it falls back to any other processor.
+		restrict := false
+		if policy == PrimaryHPBackupLP && pf != nil {
+			for p := 0; p < s.NumProcs; p++ {
+				if int32(p) != s.Proc[v] && pf.ClassOf(p) != ref {
+					restrict = true
+					break
+				}
+			}
+		}
+
+		bestProc, bestStart, bestFinish := -1, int64(0), int64(0)
+		for p := 0; p < s.NumProcs; p++ {
+			if int32(p) == s.Proc[v] {
+				continue
+			}
+			if restrict && pf.ClassOf(p) == ref {
+				continue
+			}
+			dur := w
+			if pf != nil {
+				dur = pf.ScaledWeight(pf.ClassOf(p), w)
+			}
+			start := earliestFit(bp.ivs[p], lb, dur)
+			if finish := start + dur; bestProc < 0 || finish < bestFinish {
+				bestProc, bestStart, bestFinish = p, start, finish
+			}
+		}
+		if bestProc < 0 {
+			return nil, fmt.Errorf("%w: no processor other than %d eligible for task %d",
+				ErrBackupInfeasible, s.Proc[v], v)
+		}
+		plan.Proc[v] = int32(bestProc)
+		plan.Start[v] = bestStart
+		plan.Finish[v] = bestFinish
+		bp.ivs[bestProc] = insertIv(bp.ivs[bestProc], backupIv{bestStart, bestFinish})
+		if bestFinish > plan.RecoveryMakespan {
+			plan.RecoveryMakespan = bestFinish
+		}
+	}
+	return plan, nil
+}
+
+// earliestFit returns the earliest start >= lb at which a slot of dur cycles
+// fits between the sorted, non-overlapping reserved intervals.
+func earliestFit(ivs []backupIv, lb, dur int64) int64 {
+	cursor := lb
+	for _, iv := range ivs {
+		if iv.start >= cursor+dur {
+			break // the slot fits entirely before this interval
+		}
+		if iv.finish > cursor {
+			cursor = iv.finish
+		}
+	}
+	return cursor
+}
+
+// insertIv inserts iv into the sorted interval list, keeping start order.
+func insertIv(ivs []backupIv, iv backupIv) []backupIv {
+	i := sort.Search(len(ivs), func(j int) bool { return ivs[j].start > iv.start })
+	ivs = append(ivs, backupIv{})
+	copy(ivs[i+1:], ivs[i:])
+	ivs[i] = iv
+	return ivs
+}

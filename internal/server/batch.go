@@ -250,13 +250,6 @@ func (s *Server) prepareBatchLine(req *scheduleRequest) batchItem {
 		approach: approach,
 		g:        g,
 		cfg:      cfg,
-		key: graphhash.Sum(graphhash.Problem{
-			Graph:    g,
-			Model:    cfg.Model,
-			Platform: cfg.Platform,
-			Deadline: cfg.Deadline,
-			MaxProcs: cfg.MaxProcs,
-			Approach: approach,
-		}),
+		key:      graphhash.Sum(problem(approach, g, cfg)),
 	}
 }

@@ -43,6 +43,7 @@ func (e *encoder) put() { encoderPool.Put(e) }
 type renderScratch struct {
 	resp    scheduleResponse
 	ps      platformSummary
+	fs      faultsSummary
 	tasks   []placedTask
 	classes []platformClassJSON
 	procs   []int
@@ -58,6 +59,7 @@ func (rs *renderScratch) release() {
 	clear(rs.classes)
 	rs.resp = scheduleResponse{}
 	rs.ps = platformSummary{}
+	rs.fs = faultsSummary{}
 	renderPool.Put(rs)
 }
 

@@ -1,0 +1,297 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"lamps/internal/server"
+)
+
+// faultsReq returns a schedule request carrying a faults block.
+func faultsReq(approach string, graph map[string]any, factor float64, k int, policy string) map[string]any {
+	req := scheduleReq(approach, graph, factor)
+	fb := map[string]any{"k": k}
+	if policy != "" {
+		fb["policy"] = policy
+	}
+	req["faults"] = fb
+	return req
+}
+
+// faultsRespBlock mirrors the response's faults summary for assertions.
+type faultsRespBlock struct {
+	K                   int     `json:"k"`
+	Policy              string  `json:"policy"`
+	RecoveryMakespanSec float64 `json:"recovery_makespan_sec"`
+	BackupSlots         int     `json:"backup_slots"`
+	ReservedCycles      int64   `json:"reserved_cycles"`
+}
+
+// TestFaultsScheduleDigestsAndSummary drives the faults block through
+// /schedule: K=0 must be byte-identical to no block at all, K≥1 must key
+// differently (per K), and the response must carry the recovery summary.
+func TestFaultsScheduleDigestsAndSummary(t *testing.T) {
+	ts := newTestServer(t, server.Options{})
+	g := diamondGraph()
+
+	status, plainBody, src := post(t, ts, scheduleReq("lamps+ps", g, 3))
+	if status != http.StatusOK || src != "miss" {
+		t.Fatalf("plain request: status %d, cache %q", status, src)
+	}
+	if bytes.Contains(plainBody, []byte(`"faults"`)) {
+		t.Fatalf("plain response carries a faults block: %s", plainBody)
+	}
+
+	// K=0 is the explicit no-op spelling: same digest, same bytes.
+	status, k0Body, _ := post(t, ts, faultsReq("lamps+ps", g, 3, 0, ""))
+	if status != http.StatusOK {
+		t.Fatalf("K=0 request: status %d, body %s", status, k0Body)
+	}
+	if !bytes.Equal(k0Body, plainBody) {
+		t.Errorf("K=0 response differs from the plain one:\n%s\nvs\n%s", k0Body, plainBody)
+	}
+
+	status, k1Body, src := post(t, ts, faultsReq("lamps+ps", g, 3, 1, ""))
+	if status != http.StatusOK || src != "miss" {
+		t.Fatalf("K=1 request: status %d, cache %q, body %s", status, src, k1Body)
+	}
+	status, k2Body, _ := post(t, ts, faultsReq("lamps+ps", g, 3, 2, ""))
+	if status != http.StatusOK {
+		t.Fatalf("K=2 request: status %d", status)
+	}
+
+	plain, k1, k2 := decodeResp(t, plainBody), decodeResp(t, k1Body), decodeResp(t, k2Body)
+	if k1.Key == plain.Key || k2.Key == plain.Key || k1.Key == k2.Key {
+		t.Errorf("digests not distinct: plain %s, k1 %s, k2 %s", plain.Key, k1.Key, k2.Key)
+	}
+
+	var ftResp struct {
+		Faults      *faultsRespBlock `json:"faults"`
+		Deadline    float64          `json:"deadline_sec"`
+		MakespanSec float64          `json:"makespan_sec"`
+		Tasks       []struct {
+			Task int `json:"task"`
+		} `json:"placement"`
+	}
+	if err := json.Unmarshal(k1Body, &ftResp); err != nil {
+		t.Fatal(err)
+	}
+	fb := ftResp.Faults
+	if fb == nil {
+		t.Fatalf("K=1 response has no faults summary: %s", k1Body)
+	}
+	if fb.K != 1 || fb.Policy != "backup-anywhere" {
+		t.Errorf("faults summary %+v, want k=1 policy backup-anywhere", fb)
+	}
+	if fb.BackupSlots != len(ftResp.Tasks) {
+		t.Errorf("backup_slots = %d, want one per task (%d)", fb.BackupSlots, len(ftResp.Tasks))
+	}
+	if fb.ReservedCycles <= 0 {
+		t.Errorf("reserved_cycles = %d, want > 0", fb.ReservedCycles)
+	}
+	if fb.RecoveryMakespanSec < ftResp.MakespanSec || fb.RecoveryMakespanSec > ftResp.Deadline {
+		t.Errorf("recovery makespan %.6g outside [makespan %.6g, deadline %.6g]",
+			fb.RecoveryMakespanSec, ftResp.MakespanSec, ftResp.Deadline)
+	}
+}
+
+// TestFaultsSchedulePlatformPolicy drives the primary-HP/backup-LP policy
+// on a heterogeneous request and pins that the two policies key and render
+// differently.
+func TestFaultsSchedulePlatformPolicy(t *testing.T) {
+	ts := newTestServer(t, server.Options{})
+	mk := func(policy string) map[string]any {
+		req := faultsReq("lamps+ps", diamondGraph(), 3, 1, policy)
+		req["platform"] = requestPlatformJSON(t)
+		return req
+	}
+	status, anyBody, _ := post(t, ts, mk(""))
+	if status != http.StatusOK {
+		t.Fatalf("backup-anywhere: status %d, body %s", status, anyBody)
+	}
+	status, lpBody, _ := post(t, ts, mk("primary-hp-backup-lp"))
+	if status != http.StatusOK {
+		t.Fatalf("primary-hp-backup-lp: status %d, body %s", status, lpBody)
+	}
+	if decodeResp(t, anyBody).Key == decodeResp(t, lpBody).Key {
+		t.Error("both policies share one digest")
+	}
+	var r struct {
+		Faults *faultsRespBlock `json:"faults"`
+	}
+	if err := json.Unmarshal(lpBody, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults == nil || r.Faults.Policy != "primary-hp-backup-lp" {
+		t.Errorf("faults summary %+v, want the hp-lp policy echoed", r.Faults)
+	}
+}
+
+// TestFaultsRequestValidation pins the 400/422 surface of the faults block.
+func TestFaultsRequestValidation(t *testing.T) {
+	ts := newTestServer(t, server.Options{})
+	for name, req := range map[string]map[string]any{
+		"negative k":     faultsReq("lamps", diamondGraph(), 3, -1, ""),
+		"unknown policy": faultsReq("lamps", diamondGraph(), 3, 1, "teleport"),
+	} {
+		if status, body, _ := post(t, ts, req); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400; body %s", name, status, body)
+		}
+	}
+	// A deadline the primary schedule only just meets leaves no recovery
+	// slack: feasible without faults, 422 with them.
+	if status, body, _ := post(t, ts, scheduleReq("ss", diamondGraph(), 1)); status != http.StatusOK {
+		t.Fatalf("factor-1 plain request: status %d, body %s", status, body)
+	}
+	if status, body, _ := post(t, ts, faultsReq("ss", diamondGraph(), 1, 1, "")); status != http.StatusUnprocessableEntity {
+		t.Errorf("factor-1 FT request: status %d, want 422; body %s", status, body)
+	}
+}
+
+// TestFaultsConcurrentRequests hammers one fault-tolerant problem from many
+// goroutines: every response must be byte-identical whether computed,
+// coalesced into the in-flight run, or served from cache. Run with -race
+// this doubles as the data-race gate on the new render path.
+func TestFaultsConcurrentRequests(t *testing.T) {
+	ts := newTestServer(t, server.Options{})
+	req := faultsReq("lamps+ps", diamondGraph(), 3, 1, "")
+
+	const n = 16
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			if err := json.NewEncoder(&buf).Encode(req); err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.Post(ts.URL+"/schedule", "application/json", &buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("response %d differs:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if _, _, src := post(t, ts, req); src != "hit" {
+		t.Errorf("follow-up request served from %q, want hit", src)
+	}
+}
+
+// TestFaultsPersistenceAcrossServers is the warm-restart leg: fault-tolerant
+// results and their plain siblings survive a store round trip under their
+// distinct digests and replay byte-identically.
+func TestFaultsPersistenceAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+	plain := scheduleReq("lamps+ps", diamondGraph(), 3)
+	ft := faultsReq("lamps+ps", diamondGraph(), 3, 1, "")
+
+	st1 := openStore(t, dir)
+	ts1 := newTestServer(t, server.Options{Store: st1})
+	_, plainBody, _ := post(t, ts1, plain)
+	status, ftBody, src := post(t, ts1, ft)
+	if status != http.StatusOK || src != "miss" {
+		t.Fatalf("FT request: status %d, cache %q", status, src)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	ts2 := newTestServer(t, server.Options{Store: st2})
+	status, gotFT, src := post(t, ts2, ft)
+	if status != http.StatusOK || src != "hit" {
+		t.Fatalf("FT request after restart: status %d, cache %q", status, src)
+	}
+	if !bytes.Equal(gotFT, ftBody) {
+		t.Errorf("restarted FT bytes differ:\n%s\nvs\n%s", gotFT, ftBody)
+	}
+	status, gotPlain, src := post(t, ts2, plain)
+	if status != http.StatusOK || src != "hit" {
+		t.Fatalf("plain request after restart: status %d, cache %q", status, src)
+	}
+	if !bytes.Equal(gotPlain, plainBody) {
+		t.Errorf("restarted plain bytes differ")
+	}
+	if decodeResp(t, gotFT).Key == decodeResp(t, gotPlain).Key {
+		t.Error("FT and plain results share one store key")
+	}
+}
+
+// TestFaultsSweepBatchAgreeWithSchedule: a faults block on /v1/sweep and
+// /v1/batch must produce, cell for cell and line for line, exactly the bytes
+// /v1/schedule returns for the same fault-tolerant problem.
+func TestFaultsSweepBatchAgreeWithSchedule(t *testing.T) {
+	ts := newTestServer(t, server.Options{})
+	g := diamondGraph()
+
+	sweep := sweepReq(g, []string{"ss", "lamps+ps"}, []float64{3, 4}, nil)
+	sweep["faults"] = map[string]any{"k": 1}
+	status, lines, raw := postSweep(t, ts, sweep)
+	if status != http.StatusOK {
+		t.Fatalf("sweep: status %d, body %s", status, raw)
+	}
+	if sum := lines[len(lines)-1].Summary; sum == nil || sum.OK != 4 {
+		t.Fatalf("sweep summary %+v, want 4 clean cells", lines[len(lines)-1].Summary)
+	}
+	for _, line := range lines[:len(lines)-1] {
+		if line.Status != http.StatusOK {
+			t.Fatalf("cell %d: status %d (%s)", line.Cell.Index, line.Status, line.Error)
+		}
+		_, body, _ := post(t, ts, faultsReq(line.Cell.Approach, g, line.Cell.DeadlineFactor, 1, ""))
+		if want := bytes.TrimSuffix(body, []byte("\n")); !bytes.Equal(line.Result, want) {
+			t.Errorf("cell %d diverges from /v1/schedule:\n%s\nvs\n%s", line.Cell.Index, line.Result, want)
+		}
+		if !bytes.Contains(line.Result, []byte(`"faults"`)) {
+			t.Errorf("cell %d result has no faults summary", line.Cell.Index)
+		}
+	}
+
+	batchReqs := []any{
+		faultsReq("lamps+ps", g, 3, 1, ""),
+		scheduleReq("lamps+ps", g, 3),
+	}
+	status, blines, braw := postBatch(t, ts, ndjsonBody(t, batchReqs...))
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d, body %s", status, braw)
+	}
+	byIndex, _ := splitBatch(t, blines, 2)
+	for i, req := range batchReqs {
+		line := byIndex[i]
+		if line.Status != http.StatusOK {
+			t.Fatalf("batch line %d: status %d (%s)", i, line.Status, line.Error)
+		}
+		_, body, _ := post(t, ts, req)
+		if want := bytes.TrimSuffix(body, []byte("\n")); !bytes.Equal(line.Result, want) {
+			t.Errorf("batch line %d diverges from /v1/schedule:\n%s\nvs\n%s", i, line.Result, want)
+		}
+	}
+	if bytes.Equal(byIndex[0].Result, byIndex[1].Result) {
+		t.Error("FT and plain batch lines returned identical bytes")
+	}
+}

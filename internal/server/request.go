@@ -11,6 +11,7 @@ import (
 
 	"lamps/internal/core"
 	"lamps/internal/dag"
+	"lamps/internal/graphhash"
 	"lamps/internal/power"
 	"lamps/internal/stg"
 )
@@ -45,6 +46,51 @@ type scheduleRequest struct {
 	// model. Omitted: the server's platform (lampsd -platform) or, failing
 	// that, its single power model applies.
 	Platform json.RawMessage `json:"platform,omitempty"`
+
+	// Faults optionally requests k-fault tolerance: the schedule additionally
+	// reserves a backup slot for every task and the deadline must cover the
+	// worst-case recovery. {"k": 0} (or omitting the block) is exactly the
+	// non-tolerant problem — same digest, same bytes.
+	Faults *faultsSpec `json:"faults,omitempty"`
+}
+
+// faultsSpec is the fault-tolerance request block shared by /v1/schedule,
+// each /v1/batch line and /v1/sweep.
+type faultsSpec struct {
+	// K is the number of transient faults to tolerate (0 = off).
+	K int `json:"k"`
+	// Policy selects backup placement: "backup-anywhere" (default) or
+	// "primary-hp-backup-lp".
+	Policy string `json:"policy,omitempty"`
+}
+
+// faultPolicyAliases maps lowercase API names onto canonical policies.
+var faultPolicyAliases = map[string]core.FaultPolicy{
+	"":                     core.FaultBackupAnywhere,
+	"backup-anywhere":      core.FaultBackupAnywhere,
+	"primary-hp-backup-lp": core.FaultPrimaryHPBackupLP,
+}
+
+// canonicalFaultPolicy resolves a fault policy name or returns a 400 error.
+func canonicalFaultPolicy(name string) (core.FaultPolicy, error) {
+	if p, ok := faultPolicyAliases[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return p, nil
+	}
+	return "", badRequest("unknown fault policy %q (one of: backup-anywhere, primary-hp-backup-lp)", name)
+}
+
+// faultConfig resolves the request's faults block onto the core form: nil
+// when fault tolerance is off, otherwise K plus the canonical policy (never
+// empty, so digests are stable across request spellings).
+func (req *scheduleRequest) faultConfig() (*core.FaultConfig, error) {
+	if req.Faults == nil || req.Faults.K == 0 {
+		return nil, nil
+	}
+	policy, err := canonicalFaultPolicy(req.Faults.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return &core.FaultConfig{K: req.Faults.K, Policy: policy}, nil
 }
 
 // graphSpec is the inline JSON task-graph representation.
@@ -115,6 +161,14 @@ func (req *scheduleRequest) validate() error {
 	if req.MaxProcs < 0 {
 		return badRequest("max_procs must be non-negative, got %d", req.MaxProcs)
 	}
+	if req.Faults != nil {
+		if req.Faults.K < 0 {
+			return badRequest("faults.k must be non-negative, got %d", req.Faults.K)
+		}
+		if _, err := canonicalFaultPolicy(req.Faults.Policy); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -170,11 +224,16 @@ func (s *Server) config(req *scheduleRequest, g *dag.Graph) (core.Config, error)
 			return core.Config{}, badRequest("invalid platform: %v", err)
 		}
 	}
+	faults, err := req.faultConfig()
+	if err != nil {
+		return core.Config{}, err
+	}
 	if pf != nil {
 		return core.Config{
 			Platform:  pf,
 			Deadline:  s.resolveDeadlineAt(g, req.DeadlineSec, req.DeadlineFactor, pf.RefFMax()),
 			MaxProcs:  req.MaxProcs,
+			Faults:    faults,
 			SelfCheck: s.opts.SelfCheck,
 		}, nil
 	}
@@ -182,8 +241,29 @@ func (s *Server) config(req *scheduleRequest, g *dag.Graph) (core.Config, error)
 		Model:     s.opts.Model,
 		Deadline:  s.resolveDeadline(g, req.DeadlineSec, req.DeadlineFactor),
 		MaxProcs:  req.MaxProcs,
+		Faults:    faults,
 		SelfCheck: s.opts.SelfCheck,
 	}, nil
+}
+
+// problem maps one resolved (approach, graph, config) triple onto its
+// canonical graphhash problem — the single place the serving layer decides
+// what enters a digest, shared by /v1/schedule, /v1/batch and /v1/sweep so
+// all three agree on every key.
+func problem(approach string, g *dag.Graph, cfg core.Config) graphhash.Problem {
+	p := graphhash.Problem{
+		Graph:    g,
+		Model:    cfg.Model,
+		Platform: cfg.Platform,
+		Deadline: cfg.Deadline,
+		MaxProcs: cfg.MaxProcs,
+		Approach: approach,
+	}
+	if cfg.Faults != nil {
+		p.FaultsK = cfg.Faults.K
+		p.FaultsPolicy = string(cfg.Faults.Policy)
+	}
+	return p
 }
 
 // resolveDeadline converts the two request deadline forms onto absolute
@@ -227,8 +307,23 @@ type scheduleResponse struct {
 	Energy   energyJSON       `json:"energy"`
 	Deadline float64          `json:"deadline_sec"`
 	Makespan float64          `json:"makespan_sec"`
+	Faults   *faultsSummary   `json:"faults,omitempty"`
 	Tasks    []placedTask     `json:"placement,omitempty"`
 	Stats    statsJSON        `json:"stats"`
+}
+
+// faultsSummary reports the fault-tolerance outcome: the tolerated fault
+// count and resolved policy echoed back, the worst-case recovery makespan
+// (every ≤K-fault pattern completes by then), and the reserved backup
+// capacity — slot count and total cycles — whose idle energy is already
+// included in the energy block. Present only on fault-tolerant results;
+// every K=0 response stays byte-identical to the pre-fault encoding.
+type faultsSummary struct {
+	K                   int     `json:"k"`
+	Policy              string  `json:"policy"`
+	RecoveryMakespanSec float64 `json:"recovery_makespan_sec"`
+	BackupSlots         int     `json:"backup_slots"`
+	ReservedCycles      int64   `json:"reserved_cycles"`
 }
 
 // platformSummary reports the heterogeneous machine and the winning
@@ -350,6 +445,16 @@ func renderResult(key string, cfg core.Config, r *core.Result) ([]byte, error) {
 			ps.Procs[p] = pf.ClassOf(p)
 		}
 		resp.Platform = ps
+	}
+	if bp := r.Backups; bp != nil && cfg.Faults != nil {
+		rs.fs = faultsSummary{
+			K:                   cfg.Faults.K,
+			Policy:              string(bp.Policy),
+			RecoveryMakespanSec: r.RecoveryMakespanSec(),
+			BackupSlots:         len(bp.Proc),
+			ReservedCycles:      bp.ReservedCycles(),
+		}
+		resp.Faults = &rs.fs
 	}
 	if r.Schedule != nil {
 		rs.tasks = grown(rs.tasks, r.Graph.NumTasks())

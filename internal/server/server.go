@@ -350,14 +350,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	key := graphhash.Sum(graphhash.Problem{
-		Graph:    g,
-		Model:    cfg.Model,
-		Platform: cfg.Platform,
-		Deadline: cfg.Deadline,
-		MaxProcs: cfg.MaxProcs,
-		Approach: approach,
-	})
+	key := graphhash.Sum(problem(approach, g, cfg))
 
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()

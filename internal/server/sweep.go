@@ -36,6 +36,11 @@ type sweepRequest struct {
 	// MaxProcs lists processor caps (0 = bounded only by graph
 	// parallelism). Empty means the single cap 0.
 	MaxProcs []int `json:"max_procs,omitempty"`
+
+	// Faults optionally requests k-fault tolerance for every cell; same
+	// block as the schedule endpoint. {"k": 0} or omission is the
+	// non-tolerant sweep with unchanged cell digests.
+	Faults *faultsSpec `json:"faults,omitempty"`
 }
 
 // sweepCell identifies one grid cell in the response stream. Cells are
@@ -111,6 +116,14 @@ func decodeSweepRequest(body io.Reader) (*sweepRequest, error) {
 			return nil, badRequest("max_procs entries must be non-negative, got %d", p)
 		}
 	}
+	if req.Faults != nil {
+		if req.Faults.K < 0 {
+			return nil, badRequest("faults.k must be non-negative, got %d", req.Faults.K)
+		}
+		if _, err := canonicalFaultPolicy(req.Faults.Policy); err != nil {
+			return nil, err
+		}
+	}
 	return &req, nil
 }
 
@@ -165,17 +178,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Resolve the sweep-wide fault-tolerance request once; every cell
+	// shares it, exactly as a single-shot request with the same block
+	// would. The policy was validated during decode.
+	var faults *core.FaultConfig
+	if req.Faults != nil && req.Faults.K > 0 {
+		policy, perr := canonicalFaultPolicy(req.Faults.Policy)
+		if perr != nil {
+			s.writeError(w, perr)
+			return
+		}
+		faults = &core.FaultConfig{K: req.Faults.K, Policy: policy}
+	}
+
 	// Enumerate the grid and derive each cell's cache key from the shared
 	// graph+machine hash prefix (platform-tagged when the server default
-	// machine is heterogeneous, so sweep cells and single-shot requests
-	// agree on every digest).
+	// machine is heterogeneous, faults-tagged when tolerance is on, so
+	// sweep cells and single-shot requests agree on every digest).
 	cells := make([]sweepCell, 0, n)
 	cfgs := make([]core.Config, 0, n)
 	keys := make([]string, 0, n)
-	hasher := graphhash.NewHasher(g, s.opts.Model)
+	baseCfg := core.Config{Model: s.opts.Model, Faults: faults, SelfCheck: s.opts.SelfCheck}
 	if s.opts.Platform != nil {
-		hasher = graphhash.NewPlatformHasher(g, s.opts.Platform)
+		baseCfg.Model, baseCfg.Platform = nil, s.opts.Platform
 	}
+	hasher := graphhash.NewProblemHasher(problem("", g, baseCfg))
 	for _, a := range approaches {
 		for _, d := range deadlines {
 			for _, p := range procs {
@@ -186,10 +213,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					DeadlineFactor: d.factor,
 					MaxProcs:       p,
 				})
-				cfg := core.Config{Model: s.opts.Model, Deadline: d.sec, MaxProcs: p, SelfCheck: s.opts.SelfCheck}
-				if s.opts.Platform != nil {
-					cfg.Model, cfg.Platform = nil, s.opts.Platform
-				}
+				cfg := baseCfg
+				cfg.Deadline, cfg.MaxProcs = d.sec, p
 				cfgs = append(cfgs, cfg)
 				keys = append(keys, hasher.Cell(d.sec, p, a))
 			}

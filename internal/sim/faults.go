@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"lamps/internal/sched"
+)
+
+// Fault-injection replay: execute a fault-tolerant schedule under a given
+// fault pattern and report what actually happens on the machine. The
+// execution model is time-triggered, matching sched.PlanBackups: primaries
+// always occupy their static slots; a task whose primary execution is
+// invalid — it faulted, or a predecessor's valid output was not available
+// when its primary slot began — is detected at the primary slot's end and
+// re-executed in its statically reserved backup slot. Backups are assumed
+// fault-free (one transient fault per task), so any fault set is recovered
+// without re-planning.
+
+// FaultReplay is the outcome of replaying one fault pattern.
+type FaultReplay struct {
+	// Faulty marks the injected faults, one flag per task.
+	Faulty []bool
+	// Invalid marks the tasks whose primary execution produced no valid
+	// output — the injected faults plus the closure of tasks that started
+	// before a predecessor's recovery delivered its input.
+	Invalid []bool
+	// Finish is each task's effective completion time in timeline cycles:
+	// the primary finish for valid tasks, the backup finish for invalid
+	// ones.
+	Finish []int64
+	// MakespanCycles is the latest effective completion time.
+	MakespanCycles int64
+	// Recovered counts the tasks that ran their backup slot.
+	Recovered int
+	// DeadlineMet reports whether the effective makespan fits deadlineSec
+	// at timelineFreq (with the engine's one-ULP tolerance).
+	DeadlineMet bool
+}
+
+// ReplayFaults replays s under plan with the tasks in faults suffering a
+// transient fault in their primary slot. timelineFreq converts cycles to
+// seconds (the winning level or operating point's timeline frequency);
+// deadlineSec is the deadline the recovery must still meet.
+func ReplayFaults(s *sched.Schedule, plan *sched.BackupPlan, faults []int, timelineFreq, deadlineSec float64) (*FaultReplay, error) {
+	if s == nil || plan == nil {
+		return nil, fmt.Errorf("sim: nil schedule or backup plan")
+	}
+	n := len(s.Proc)
+	if len(plan.Proc) != n || len(plan.Start) != n || len(plan.Finish) != n {
+		return nil, fmt.Errorf("sim: backup plan covers %d tasks, schedule has %d", len(plan.Proc), n)
+	}
+	if timelineFreq <= 0 || deadlineSec <= 0 {
+		return nil, fmt.Errorf("sim: non-positive frequency or deadline")
+	}
+	r := &FaultReplay{
+		Faulty:  make([]bool, n),
+		Invalid: make([]bool, n),
+		Finish:  make([]int64, n),
+	}
+	for _, v := range faults {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("sim: fault index %d out of range [0,%d)", v, n)
+		}
+		if r.Faulty[v] {
+			return nil, fmt.Errorf("sim: duplicate fault index %d", v)
+		}
+		r.Faulty[v] = true
+	}
+
+	// Process tasks in (primary finish, index) order — topological, since
+	// weights are positive — so every predecessor's validity is settled
+	// before its successors are examined.
+	order := make([]int32, n)
+	for v := range order {
+		order[v] = int32(v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		vi, vj := order[i], order[j]
+		if s.Finish[vi] != s.Finish[vj] {
+			return s.Finish[vi] < s.Finish[vj]
+		}
+		return vi < vj
+	})
+	g := s.Graph
+	for _, v := range order {
+		invalid := r.Faulty[v]
+		if !invalid {
+			// The primary execution is also invalid when a predecessor's
+			// valid output arrived only after this primary slot started.
+			for _, u := range g.Preds(int(v)) {
+				if r.Invalid[u] && plan.Finish[u] > s.Start[v] {
+					invalid = true
+					break
+				}
+			}
+		}
+		r.Invalid[v] = invalid
+		if invalid {
+			r.Finish[v] = plan.Finish[v]
+			r.Recovered++
+		} else {
+			r.Finish[v] = s.Finish[v]
+		}
+		if r.Finish[v] > r.MakespanCycles {
+			r.MakespanCycles = r.Finish[v]
+		}
+	}
+	r.DeadlineMet = float64(r.MakespanCycles)/timelineFreq <= deadlineSec*(1+1e-12)
+	return r, nil
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"lamps/internal/dag"
+	"lamps/internal/power"
+	"lamps/internal/sched"
+	"lamps/internal/taskgen"
+	"lamps/internal/verify"
+)
+
+// faultFixture builds the paper's Fig. 4a graph, a 3-processor schedule and
+// its backup plan.
+func faultFixture(t testing.TB) (*dag.Graph, *sched.Schedule, *sched.BackupPlan) {
+	t.Helper()
+	b := dag.NewBuilder("fig4a")
+	t1 := b.AddLabeledTask(2, "T1")
+	t2 := b.AddLabeledTask(6, "T2")
+	t3 := b.AddLabeledTask(4, "T3")
+	t4 := b.AddLabeledTask(4, "T4")
+	t5 := b.AddLabeledTask(2, "T5")
+	b.AddEdge(t1, t2)
+	b.AddEdge(t1, t3)
+	b.AddEdge(t1, t4)
+	b.AddEdge(t2, t5)
+	b.AddEdge(t3, t5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.ListEDF(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sched.PlanBackups(s, nil, sched.BackupAnywhere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, plan
+}
+
+// TestReplayFaultsNone pins the fault-free replay: nothing is invalid,
+// every task keeps its primary finish, and the makespan is the primary one.
+func TestReplayFaultsNone(t *testing.T) {
+	_, s, plan := faultFixture(t)
+	freq := power.Default70nm().FMax()
+	r, err := ReplayFaults(s, plan, nil, freq, float64(plan.RecoveryMakespan)/freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Recovered != 0 {
+		t.Errorf("Recovered = %d with no faults", r.Recovered)
+	}
+	if r.MakespanCycles != s.Makespan {
+		t.Errorf("makespan = %d, want the primary %d", r.MakespanCycles, s.Makespan)
+	}
+	if !r.DeadlineMet {
+		t.Error("deadline missed on the fault-free replay")
+	}
+	for v := range r.Finish {
+		if r.Finish[v] != s.Finish[v] {
+			t.Errorf("task %d finish = %d, want primary %d", v, r.Finish[v], s.Finish[v])
+		}
+	}
+}
+
+// TestReplayFaultsSingle pins one injected fault: the faulty task runs its
+// backup, the invalidity closure only captures successors whose primary
+// started before the backup delivered, and the makespan never exceeds the
+// plan's recovery makespan.
+func TestReplayFaultsSingle(t *testing.T) {
+	g, s, plan := faultFixture(t)
+	freq := power.Default70nm().FMax()
+	deadline := float64(plan.RecoveryMakespan) / freq
+	for v := 0; v < g.NumTasks(); v++ {
+		r, err := ReplayFaults(s, plan, []int{v}, freq, deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Faulty[v] || !r.Invalid[v] {
+			t.Errorf("fault %d not marked faulty/invalid", v)
+		}
+		if r.Finish[v] != plan.Finish[v] {
+			t.Errorf("fault %d finish = %d, want backup %d", v, r.Finish[v], plan.Finish[v])
+		}
+		if r.Recovered < 1 {
+			t.Errorf("fault %d: Recovered = %d", v, r.Recovered)
+		}
+		if r.MakespanCycles > plan.RecoveryMakespan {
+			t.Errorf("fault %d: makespan %d exceeds recovery makespan %d", v, r.MakespanCycles, plan.RecoveryMakespan)
+		}
+		if !r.DeadlineMet {
+			t.Errorf("fault %d: deadline equal to the recovery makespan reported missed", v)
+		}
+	}
+}
+
+// TestReplayFaultsValidation pins the input checks: bad indices, duplicate
+// indices, shape mismatches and non-positive parameters are rejected.
+func TestReplayFaultsValidation(t *testing.T) {
+	_, s, plan := faultFixture(t)
+	freq := power.Default70nm().FMax()
+	if _, err := ReplayFaults(s, plan, []int{99}, freq, 1); err == nil {
+		t.Error("out-of-range fault index accepted")
+	}
+	if _, err := ReplayFaults(s, plan, []int{1, 1}, freq, 1); err == nil {
+		t.Error("duplicate fault index accepted")
+	}
+	if _, err := ReplayFaults(s, plan, nil, 0, 1); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := ReplayFaults(s, nil, nil, freq, 1); err == nil {
+		t.Error("nil plan accepted")
+	}
+	short := *plan
+	short.Proc = short.Proc[:1]
+	if _, err := ReplayFaults(s, &short, nil, freq, 1); err == nil {
+		t.Error("truncated plan accepted")
+	}
+}
+
+// TestReplayFaultsAgreesWithVerifier cross-checks the simulator against
+// verify.RecoverySchedule — two independent derivations of the same
+// execution model — on random graphs and random fault patterns: same
+// effective makespan, same deadline verdict.
+func TestReplayFaultsAgreesWithVerifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260809))
+	freq := power.Default70nm().FMax()
+	for iter := 0; iter < 50; iter++ {
+		g, err := taskgen.Member(2+rng.Intn(40), rng.Intn(4), rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.ListEDF(g, 2+rng.Intn(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := sched.PlanBackups(s, nil, sched.BackupAnywhere)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumTasks()
+		k := 1 + rng.Intn(2)
+		faults := rng.Perm(n)[:min(k, n)]
+		r, err := ReplayFaults(s, plan, faults, freq, float64(plan.RecoveryMakespan)/freq)
+		if err != nil {
+			t.Fatalf("iter %d: replay: %v", iter, err)
+		}
+		mk, err := verify.RecoverySchedule(g, s, plan, faults, plan.RecoveryMakespan)
+		if err != nil {
+			t.Fatalf("iter %d faults %v: verifier rejects the recovery: %v", iter, faults, err)
+		}
+		if mk != r.MakespanCycles {
+			t.Fatalf("iter %d faults %v: simulator makespan %d, verifier %d", iter, faults, r.MakespanCycles, mk)
+		}
+		if !r.DeadlineMet {
+			t.Fatalf("iter %d faults %v: recovery within the plan's makespan reported late", iter, faults)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestFaultsCampaignClean runs a reduced but fully featured fault-injection
+// campaign — all three machines, both K values, pattern replay, digest
+// relations, a mutation pass on every second graph — and requires zero
+// violations plus a tally proving every layer actually ran.
+func TestFaultsCampaignClean(t *testing.T) {
+	rep, err := RunFaults(context.Background(), Options{
+		Graphs:      8,
+		Seed:        17,
+		Sizes:       []int{6, 10, 16},
+		Factors:     []float64{3, 6},
+		MutateEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fault campaign found violations:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Graphs != 8 {
+		t.Fatalf("ran %d graphs, want 8", rep.Graphs)
+	}
+	// 3 machines × K∈{1,2} per graph; generous factors keep recovery feasible.
+	if want := 8 * 3 * 2; rep.Runs != want {
+		t.Fatalf("ran %d FT invocations, want %d: %s", rep.Runs, want, rep.Summary())
+	}
+	if rep.Infeasible != 0 {
+		t.Fatalf("%d infeasible cases at factors 3 and 6: %s", rep.Infeasible, rep.Summary())
+	}
+	if rep.Patterns == 0 || rep.PlanChecks != 8*3 || rep.EnergyChecks != 8*3 {
+		t.Fatalf("check tally looks wrong: %s", rep.Summary())
+	}
+	if want := 8 * 3; rep.MetamorphicChecks != want {
+		t.Fatalf("%d metamorphic checks, want %d", rep.MetamorphicChecks, want)
+	}
+	if rep.MutationRuns == 0 || rep.MutationDetected == 0 {
+		t.Fatalf("fault mutation self-test never ran: %s", rep.Summary())
+	}
+	if rep.MutationDetected+rep.MutationSkipped != rep.MutationRuns {
+		t.Fatalf("mutation tally inconsistent: %s", rep.Summary())
+	}
+	if !strings.Contains(rep.Summary(), "violations: 0") {
+		t.Fatalf("summary: %s", rep.Summary())
+	}
+}
+
+// TestFaultsCampaignCountsInfeasible: a deadline factor of 1 leaves no slack
+// for recovery on most instances, and the campaign must tally those cases
+// as infeasible rather than flagging them.
+func TestFaultsCampaignCountsInfeasible(t *testing.T) {
+	rep, err := RunFaults(context.Background(), Options{
+		Graphs:      2,
+		Seed:        5,
+		Sizes:       []int{10},
+		Factors:     []float64{1},
+		MutateEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("violations on infeasible-deadline instances:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Infeasible == 0 {
+		t.Fatalf("no case counted infeasible at factor 1: %s", rep.Summary())
+	}
+}
+
+// TestFaultsCampaignHonoursContext: an expired context aborts the campaign
+// with the context's error.
+func TestFaultsCampaignHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunFaults(ctx, Options{Graphs: 4}); err != context.Canceled {
+		t.Fatalf("cancelled fault campaign returned %v", err)
+	}
+}
